@@ -1,0 +1,134 @@
+package pfe_test
+
+// The benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (§5), driven by the same runners as cmd/pfe-bench, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every artifact. Benchmarks use reduced instruction budgets so
+// the full sweep completes in minutes; run cmd/pfe-bench for the full-budget
+// numbers recorded in EXPERIMENTS.md. Each benchmark reports the headline
+// figure-of-merit as custom metrics and logs the full table.
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/experiments"
+)
+
+// benchOpts returns reduced budgets sized for the bench harness.
+func benchOpts() experiments.Options {
+	return experiments.Options{Warmup: 20_000, Measure: 60_000}
+}
+
+// runExperiment executes one experiment per b.N iteration, logging its
+// rendered table once.
+func runExperiment(b *testing.B, id string) interface{ String() string } {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last interface{ String() string }
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.Log("\n" + last.String())
+	return last
+}
+
+func BenchmarkTable1Config(b *testing.B) {
+	runExperiment(b, "table1")
+}
+
+func BenchmarkTable2FragmentSizes(b *testing.B) {
+	res := runExperiment(b, "table2").(*experiments.Table2Result)
+	var sum float64
+	for _, row := range res.Rows {
+		sum += row.AvgFragSize
+	}
+	b.ReportMetric(sum/float64(len(res.Rows)), "avgFragSize")
+}
+
+func BenchmarkFig4FetchSlotUtilization(b *testing.B) {
+	res := runExperiment(b, "fig4").(*experiments.SweepResult)
+	b.ReportMetric(res.Summary["W16"], "utilW16")
+	b.ReportMetric(res.Summary["TC"], "utilTC")
+	b.ReportMetric(res.Summary["PF-2x8w"], "utilPF2x8w")
+	b.ReportMetric(res.Summary["PF-4x4w"], "utilPF4x4w")
+}
+
+func BenchmarkFig5FetchRenameRates(b *testing.B) {
+	res := runExperiment(b, "fig5").(*experiments.Fig5Result)
+	b.ReportMetric(res.Fetch["W16"], "fetchW16")
+	b.ReportMetric(res.Fetch["PF-2x8w"], "fetchPF2x8w")
+	b.ReportMetric(res.Rename["PF-2x8w"], "renamePF2x8w")
+	b.ReportMetric(res.Rename["PR-2x8w"], "renamePR2x8w")
+}
+
+func BenchmarkFig6ParallelRenamePenalty(b *testing.B) {
+	res := runExperiment(b, "fig6").(*experiments.SweepResult)
+	b.ReportMetric(res.Summary["TC+PR-2x8w"], "slowdown2x8wPct")
+	b.ReportMetric(res.Summary["TC+PR-4x4w"], "slowdown4x4wPct")
+}
+
+func BenchmarkFig7LiveOutPredictor(b *testing.B) {
+	res := runExperiment(b, "fig7").(*experiments.Fig7Result)
+	b.ReportMetric(res.At(4096, 2), "acc4K2way")
+	b.ReportMetric(res.At(256, 1), "acc256direct")
+}
+
+func BenchmarkFig8Performance(b *testing.B) {
+	res := runExperiment(b, "fig8").(*experiments.SweepResult)
+	b.ReportMetric(res.Summary["TC"], "speedupTCPct")
+	b.ReportMetric(res.Summary["TC2x"], "speedupTC2xPct")
+	b.ReportMetric(res.Summary["PR-2x8w"], "speedupPR2x8wPct")
+	b.ReportMetric(res.Summary["PR-4x4w"], "speedupPR4x4wPct")
+}
+
+func BenchmarkFig9CacheSizeSensitivity(b *testing.B) {
+	res := runExperiment(b, "fig9").(*experiments.Fig9Result)
+	// The paper's headline: PR loses only ~6% from 128 KB to 8 KB while
+	// sequential mechanisms lose 50-65%.
+	prLoss := 1 - res.At("PR-2x8w", 8)/res.At("PR-2x8w", 128)
+	tcLoss := 1 - res.At("TC", 8)/res.At("TC", 128)
+	w16Loss := 1 - res.At("W16", 8)/res.At("W16", 128)
+	b.ReportMetric(100*prLoss, "prLossPct")
+	b.ReportMetric(100*tcLoss, "tcLossPct")
+	b.ReportMetric(100*w16Loss, "w16LossPct")
+}
+
+func BenchmarkFig10PredictorSizeSensitivity(b *testing.B) {
+	res := runExperiment(b, "fig10").(*experiments.Fig10Result)
+	// Gain per predictor doubling, averaged over the sweep, for PR-2x8w.
+	first := res.At("PR-2x8w", 16<<10)
+	last := res.At("PR-2x8w", 256<<10)
+	gain := (last/first - 1) / 4 * 100 // four doublings
+	b.ReportMetric(gain, "gainPerDoublingPct")
+}
+
+func BenchmarkFragmentConstruction(b *testing.B) {
+	runExperiment(b, "construction")
+}
+
+func BenchmarkAblationDelayedRename(b *testing.B) {
+	res := runExperiment(b, "delayed").(*experiments.SweepResult)
+	b.ReportMetric(res.Summary["PR-2x8w"], "ipcPR2x8w")
+	b.ReportMetric(res.Summary["PRd-2x8w"], "ipcPRd2x8w")
+}
+
+func BenchmarkAblationSwitchOnMiss(b *testing.B) {
+	res := runExperiment(b, "switchonmiss").(*experiments.SwitchOnMissResult)
+	b.ReportMetric(res.GainPct[0], "gainAt8KBPct")
+	b.ReportMetric(res.GainPct[len(res.GainPct)-1], "gainAt64KBPct")
+}
+
+func BenchmarkAblationFragmentSelection(b *testing.B) {
+	res := runExperiment(b, "fragsel").(*experiments.FragSelResult)
+	b.ReportMetric(res.IPC["PR-2x8w 16/8 (paper)"], "ipcPaperHeuristics")
+	b.ReportMetric(res.IPC["PR-2x8w 32/16"], "ipcLongFragments")
+}

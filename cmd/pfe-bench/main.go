@@ -1,0 +1,66 @@
+// pfe-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pfe-bench -list
+//	pfe-bench -exp fig8
+//	pfe-bench -exp all -warmup 100000 -measure 300000
+//	pfe-bench -exp fig9 -benches gcc,gzip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (table1, table2, fig4..fig10, construction, all)")
+		warmup  = flag.Int64("warmup", 100_000, "warmup instructions per simulation")
+		measure = flag.Int64("measure", 300_000, "measured instructions per simulation")
+		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all twelve)")
+		workers = flag.Int("workers", 0, "concurrent simulations (default GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

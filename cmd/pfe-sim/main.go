@@ -1,0 +1,74 @@
+// pfe-sim runs one front-end configuration on one benchmark and prints
+// detailed statistics.
+//
+// Usage:
+//
+//	pfe-sim -bench gcc -frontend PR-2x8w
+//	pfe-sim -bench gzip -frontend TC -l1i 32 -measure 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	pfe "github.com/parallel-frontend/pfe"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gcc", "benchmark name (see -listbenches)")
+		frontend = flag.String("frontend", "PR-2x8w", "front-end: W16, TC, TC2x, PF-2x8w, PF-4x4w, PR-2x8w, PR-4x4w, TC+PR-2x8w, TC+PR-4x4w")
+		l1iKB    = flag.Int("l1i", 0, "override total L1 instruction storage in KB (0 = preset default)")
+		predEnt  = flag.Int("pred", 0, "override fragment predictor primary entries (0 = 64K)")
+		warmup   = flag.Int64("warmup", 100_000, "warmup instructions")
+		measure  = flag.Int64("measure", 300_000, "measured instructions")
+		listB    = flag.Bool("listbenches", false, "list benchmark names and exit")
+		trace    = flag.Uint64("trace", 0, "print a per-cycle pipeline trace for the first N cycles")
+	)
+	flag.Parse()
+
+	if *listB {
+		for _, b := range pfe.Benchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	m := pfe.Preset(pfe.FrontEnd(*frontend))
+
+	if *l1iKB > 0 {
+		m = m.WithTotalL1I(*l1iKB)
+	}
+	if *predEnt > 0 {
+		m = m.WithPredictorEntries(*predEnt)
+	}
+	opts := pfe.RunOptions{WarmupInsts: *warmup, MeasureInsts: *measure}
+	if *trace > 0 {
+		opts.Trace = os.Stdout
+		opts.TraceCycles = *trace
+	}
+	res, err := pfe.Run(*bench, m, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(res)
+	fmt.Printf("  fetch slot utilization: %.3f\n", res.FetchSlotUtilization)
+	fmt.Printf("  fragment prediction:    %.3f (of generated fragments, wrong-path included)\n", res.FragPredAccuracy)
+	fmt.Printf("  redirects:              %d\n", res.Redirects)
+	fmt.Printf("  L1I miss rate:          %.4f\n", res.L1IMissRate)
+	fmt.Printf("  L1D miss rate:          %.4f\n", res.L1DMissRate)
+	if res.TCHitRate > 0 {
+		fmt.Printf("  trace cache hit rate:   %.3f\n", res.TCHitRate)
+	}
+	if res.BufferReuseRate > 0 {
+		fmt.Printf("  buffer reuse rate:      %.3f\n", res.BufferReuseRate)
+		fmt.Printf("  constructed early:      %.3f\n", res.FragsConstructedEarly)
+	}
+	if res.LiveOutMispredicts > 0 || res.LiveOutMisses > 0 {
+		fmt.Printf("  live-out mispredicts:   %d (misses %d)\n", res.LiveOutMispredicts, res.LiveOutMisses)
+		fmt.Printf("  renamed before source:  %.3f\n", res.RenamedBeforeSourceFrac)
+	}
+}

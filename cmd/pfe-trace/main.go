@@ -1,0 +1,118 @@
+// pfe-trace inspects the synthetic benchmarks: static properties,
+// disassembly, dynamic fragment statistics and control-flow predictability.
+//
+// Usage:
+//
+//	pfe-trace -bench gcc                  # summary
+//	pfe-trace -bench gcc -disasm 40       # first 40 instructions
+//	pfe-trace -bench gcc -frags 10        # first 10 dynamic fragments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/parallel-frontend/pfe/internal/bpred"
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/frag"
+	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "gcc", "benchmark name")
+		disasm = flag.Int("disasm", 0, "disassemble the first N instructions")
+		frags  = flag.Int("frags", 0, "print the first N dynamic fragments")
+		budget = flag.Int64("budget", 300_000, "dynamic instructions to analyze")
+	)
+	flag.Parse()
+
+	spec, err := program.SpecByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p, err := program.Build(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s (input %s, seed %d)\n", p.Name, p.Input, spec.Seed)
+	fmt.Printf("  static: %d instructions, %d KB code, %d KB data\n",
+		p.NumInsts(), p.CodeBytes()/1024, p.DataSize/1024)
+	mix := p.StaticMix()
+	fmt.Printf("  mix: %d int-alu, %d int-mul, %d fp-add, %d fp-mul, %d load/store\n",
+		mix[isa.ClassIntALU], mix[isa.ClassIntMul], mix[isa.ClassFPAdd],
+		mix[isa.ClassFPMul], mix[isa.ClassLoadStore])
+
+	if *disasm > 0 {
+		for i := 0; i < *disasm && i < p.NumInsts(); i++ {
+			pc := program.CodeBase + uint64(i*isa.InstBytes)
+			in, _ := p.InstAt(pc)
+			fmt.Printf("  %#08x: %s\n", pc, in)
+		}
+	}
+
+	// Dynamic analysis: fragment statistics and predictability.
+	m := emu.New(p)
+	pred := bpred.New(bpred.DefaultConfig())
+	var hist bpred.History
+	var stream []frag.Dyn
+	var total, nfrags, branches, taken, indirect int64
+	lenHist := map[int]int64{}
+	printed := 0
+	for total < *budget {
+		for len(stream) < 2*frag.MaxLen && !m.Halted() {
+			d, err := m.Step()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			stream = append(stream, frag.Dyn{PC: d.PC, Inst: d.Inst, Taken: d.Taken})
+		}
+		if len(stream) == 0 {
+			break
+		}
+		n, id := frag.Split(stream)
+		if printed < *frags {
+			fmt.Printf("  frag %d: %v len=%d\n", nfrags, id, n)
+			printed++
+		}
+		for i := 0; i < n; i++ {
+			in := stream[i].Inst
+			if in.IsCondBranch() {
+				branches++
+				if stream[i].Taken {
+					taken++
+				}
+			}
+			if in.IsIndirect() {
+				indirect++
+			}
+		}
+		pred.Update(&hist, id)
+		hist.Push(id.Key())
+		lenHist[n]++
+		stream = stream[:copy(stream, stream[n:])]
+		total += int64(n)
+		nfrags++
+	}
+
+	fmt.Printf("  dynamic (%d instructions, %d fragments):\n", total, nfrags)
+	fmt.Printf("    avg fragment size:   %.2f\n", float64(total)/float64(nfrags))
+	fmt.Printf("    cond branches:       %.1f%% of instructions (%.1f%% taken)\n",
+		100*float64(branches)/float64(total), 100*float64(taken)/float64(branches))
+	fmt.Printf("    indirect transfers:  %.2f%% of instructions\n", 100*float64(indirect)/float64(total))
+	if acc, n := pred.Accuracy(); n > 0 {
+		fmt.Printf("    fragment predictor:  %.3f accuracy over %d fragments\n", acc, n)
+	}
+	fmt.Printf("    length histogram:\n")
+	for l := 1; l <= frag.MaxLen; l++ {
+		if c := lenHist[l]; c > 0 {
+			fmt.Printf("      %2d: %5.1f%%\n", l, 100*float64(c)/float64(nfrags))
+		}
+	}
+}

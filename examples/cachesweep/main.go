@@ -1,0 +1,49 @@
+// cachesweep reproduces a per-benchmark slice of Figure 9: how each
+// front-end's performance degrades as the total L1 instruction storage
+// shrinks from 128 KB to 8 KB. The parallel front-end's latency tolerance —
+// overlapping one sequencer's miss with the others' fetch — shows up as a
+// much shallower curve than the trace cache's.
+//
+//	go run ./examples/cachesweep -bench gcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	pfe "github.com/parallel-frontend/pfe"
+)
+
+func main() {
+	bench := flag.String("bench", "gcc", "benchmark to sweep")
+	flag.Parse()
+
+	sizes := []int{8, 16, 32, 64, 128}
+	frontends := []pfe.FrontEnd{pfe.W16, pfe.TC, pfe.PR2x8w, pfe.PR4x4w}
+	opts := pfe.DefaultRunOptions()
+
+	fmt.Printf("cache-size sensitivity on %s (IPC; trace-cache configs split the budget)\n\n", *bench)
+	fmt.Printf("%-9s", "")
+	for _, kb := range sizes {
+		fmt.Printf("%8d KB", kb)
+	}
+	fmt.Println()
+
+	base := 0.0
+	for _, fe := range frontends {
+		fmt.Printf("%-9s", fe)
+		for _, kb := range sizes {
+			r, err := pfe.Run(*bench, pfe.Preset(fe).WithTotalL1I(kb), opts)
+			if err != nil {
+				log.Fatalf("%s@%dKB: %v", fe, kb, err)
+			}
+			if fe == pfe.W16 && kb == 64 {
+				base = r.IPC
+			}
+			fmt.Printf("%11.2f", r.IPC)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n(W16 at 64 KB is the paper's baseline: IPC %.2f)\n", base)
+}

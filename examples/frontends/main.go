@@ -1,0 +1,40 @@
+// frontends compares every front-end of the paper's evaluation on one
+// benchmark — the per-benchmark slice of Figures 4, 5 and 8.
+//
+//	go run ./examples/frontends            # defaults to perl
+//	go run ./examples/frontends -bench mcf -measure 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	pfe "github.com/parallel-frontend/pfe"
+)
+
+func main() {
+	bench := flag.String("bench", "perl", "benchmark to compare on")
+	warmup := flag.Int64("warmup", 100_000, "warmup instructions")
+	measure := flag.Int64("measure", 300_000, "measured instructions")
+	flag.Parse()
+
+	opts := pfe.RunOptions{WarmupInsts: *warmup, MeasureInsts: *measure}
+	fmt.Printf("front-end comparison on %s (%d instructions measured)\n\n", *bench, *measure)
+	fmt.Printf("%-12s %6s %8s %9s %10s %10s\n",
+		"front-end", "IPC", "vs W16", "util", "fetch/cyc", "rename/cyc")
+
+	var baseIPC float64
+	for _, fe := range pfe.AllFrontEnds() {
+		r, err := pfe.Run(*bench, pfe.Preset(fe), opts)
+		if err != nil {
+			log.Fatalf("%s: %v", fe, err)
+		}
+		if fe == pfe.W16 {
+			baseIPC = r.IPC
+		}
+		fmt.Printf("%-12s %6.2f %+7.1f%% %8.0f%% %10.2f %10.2f\n",
+			fe, r.IPC, 100*(r.IPC/baseIPC-1),
+			100*r.FetchSlotUtilization, r.FetchRate, r.RenameRate)
+	}
+}

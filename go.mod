@@ -1,0 +1,3 @@
+module github.com/parallel-frontend/pfe
+
+go 1.22

@@ -1,0 +1,67 @@
+package bpred
+
+// Gshare is a classic global-history direction predictor. The paper's
+// front-ends do not need it (the trace predictor supplies directions), but
+// the repository uses it for ablation benchmarks that quantify how much the
+// path-based predictor buys over a conventional scheme, and tests use it as
+// a baseline for predictability of the synthetic workloads.
+type Gshare struct {
+	table   []uint8 // 2-bit counters
+	history uint64
+	bits    uint
+
+	updates int64
+	correct int64
+}
+
+// NewGshare creates a gshare predictor with 2^bits counters.
+func NewGshare(bits uint) *Gshare {
+	if bits == 0 || bits > 24 {
+		bits = 14
+	}
+	return &Gshare{table: make([]uint8, 1<<bits), bits: bits}
+}
+
+func (g *Gshare) index(pc uint64) int {
+	return int(((pc >> 2) ^ g.history) & (uint64(len(g.table)) - 1))
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update trains the predictor with the actual outcome and shifts the global
+// history, self-scoring against its own pre-update prediction. Callers must
+// Update in program order for history coherence.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	g.updates++
+	i := g.index(pc)
+	if (g.table[i] >= 2) == taken {
+		g.correct++
+	}
+	if taken {
+		if g.table[i] < 3 {
+			g.table[i]++
+		}
+	} else if g.table[i] > 0 {
+		g.table[i]--
+	}
+	g.history = g.history<<1 | boolBit(taken)
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Accuracy returns the fraction of updates whose direction the predictor
+// had right before training.
+func (g *Gshare) Accuracy() float64 {
+	if g.updates == 0 {
+		return 0
+	}
+	return float64(g.correct) / float64(g.updates)
+}

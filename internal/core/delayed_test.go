@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/backend"
+	"github.com/parallel-frontend/pfe/internal/isa"
+)
+
+// mkDepFrags builds two fragments where the second's first instruction
+// consumes a value produced by the FIRST fragment's LAST instruction,
+// exercising the cross-fragment delay logic.
+func mkDepFrags() (*fragState, *fragState) {
+	a := mkFrag(1, 4)
+	b := mkFrag(5, 4)
+	// b's first op depends on a's last op (seq 4).
+	b.ff.Ops[0].Producers[0] = 4
+	b.ff.Ops[0].NProd = 1
+	return a, b
+}
+
+func TestDelayedRenameWaitsForMapping(t *testing.T) {
+	be := &fakeBackend{slots: 256}
+	var stats Stats
+	dr := newDelayedRename(2, 8, be, &stats)
+	var q fragQueue
+	a, b := mkDepFrags()
+	// Only b's instructions have been fetched; a is empty, so a's last
+	// op (the producer) cannot have renamed.
+	b.markFetched(4)
+	q.push(a)
+	q.push(b)
+
+	dr.cycle(0, &q) // a eligible; nothing to rename from a; b not yet eligible
+	dr.cycle(1, &q) // b eligible; its first op is blocked on a's unrenamed op
+	if len(be.inserted) != 0 {
+		t.Fatalf("renamed %d ops while the producer is unrenamed", len(be.inserted))
+	}
+	if stats.DelayedForMapping == 0 {
+		t.Error("delay not counted")
+	}
+
+	// Fetch a; its ops rename; b unblocks the cycle AFTER a's last op
+	// renames (mappings propagate with one cycle of communication).
+	a.markFetched(4)
+	dr.cycle(2, &q)
+	if len(be.inserted) != 4 {
+		t.Fatalf("cycle 2: %d ops, want a's 4", len(be.inserted))
+	}
+	dr.cycle(3, &q)
+	if len(be.inserted) != 8 {
+		t.Fatalf("cycle 3: %d ops total, want 8", len(be.inserted))
+	}
+}
+
+func TestDelayedRenameIndependentFragmentsProceed(t *testing.T) {
+	be := &fakeBackend{slots: 256}
+	var stats Stats
+	dr := newDelayedRename(2, 8, be, &stats)
+	var q fragQueue
+	a, b := mkFrag(1, 4), mkFrag(5, 4) // no cross-fragment deps
+	b.markFetched(4)
+	q.push(a)
+	q.push(b)
+
+	dr.cycle(0, &q)
+	dr.cycle(1, &q)
+	// b renames even though a has nothing fetched: no mapping conflict.
+	if len(be.inserted) != 4 {
+		t.Fatalf("independent younger fragment blocked: %d", len(be.inserted))
+	}
+}
+
+func TestDelayedRenameRespectsWindowReservation(t *testing.T) {
+	be := &fakeBackend{slots: 6}
+	var stats Stats
+	dr := newDelayedRename(2, 8, be, &stats)
+	var q fragQueue
+	a, b := mkFrag(1, 4), mkFrag(5, 4)
+	a.markFetched(4)
+	b.markFetched(4)
+	q.push(a)
+	q.push(b)
+
+	dr.cycle(0, &q) // a eligible (4 <= 6), renames
+	dr.cycle(1, &q) // b needs 4 slots; 6-4reserved... a inserted 4, free=2: b not eligible
+	for _, s := range be.inserted {
+		if s >= 5 {
+			t.Fatal("fragment b renamed without window space")
+		}
+	}
+}
+
+func TestDelayedRenameSameCycleMappingInvisible(t *testing.T) {
+	// A producer renamed in cycle N must not unblock its consumer in the
+	// SAME cycle (renamer-to-renamer communication takes a cycle).
+	be := &fakeBackend{slots: 256}
+	var stats Stats
+	dr := newDelayedRename(2, 8, be, &stats)
+	var q fragQueue
+	a, b := mkDepFrags()
+	a.markFetched(4)
+	b.markFetched(4)
+	q.push(a)
+	q.push(b)
+
+	dr.cycle(0, &q) // a eligible + renames fully; b not eligible yet
+	if len(be.inserted) != 4 {
+		t.Fatalf("cycle 0: %d", len(be.inserted))
+	}
+	dr.cycle(1, &q) // b eligible; a's mapping is now visible (renamed cycle 0)
+	if len(be.inserted) != 8 {
+		t.Fatalf("cycle 1: %d", len(be.inserted))
+	}
+}
+
+func TestDelayedRenameProducerOutsideQueueIsReady(t *testing.T) {
+	be := &fakeBackend{slots: 256}
+	var stats Stats
+	dr := newDelayedRename(1, 8, be, &stats)
+	var q fragQueue
+	b := mkFrag(100, 4)
+	b.ff.Ops[0].Producers[0] = 7 // long-retired producer
+	b.ff.Ops[0].NProd = 1
+	b.markFetched(4)
+	q.push(b)
+	dr.cycle(0, &q)
+	if len(be.inserted) != 4 {
+		t.Fatalf("retired producer blocked rename: %d", len(be.inserted))
+	}
+	if stats.DelayedForMapping != 0 {
+		t.Error("spurious delay counted")
+	}
+}
+
+// Interface conformance checks for the backend contract.
+var (
+	_ ExecBackend = (*backend.Backend)(nil)
+	_             = isa.OpAdd
+)

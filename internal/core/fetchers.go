@@ -1,0 +1,511 @@
+package core
+
+import (
+	"github.com/parallel-frontend/pfe/internal/frag"
+	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/tcache"
+)
+
+// fetchEngine is the fetch half of a front-end: it pulls fragments from the
+// stream (respecting its own prediction-rate limit), moves their
+// instructions through the instruction-cache path, and marks them fetched
+// in the fragment queue.
+type fetchEngine interface {
+	cycle(now uint64, q *fragQueue)
+	redirect()
+}
+
+// lineWords is the number of instructions per cache line (64-byte blocks).
+const lineWords = 16
+
+// lineOf returns the line-aligned address containing pc.
+func lineOf(pc uint64) uint64 { return pc &^ (lineWords*isa.InstBytes - 1) }
+
+// runLen computes how many instructions a sequential fetch can take from
+// fragment fs starting at index start this cycle: bounded by max, by the
+// cache line containing the first instruction, and by taken control
+// transfers (a transfer is taken when the next instruction's address is not
+// sequential).
+func runLen(fs *fragState, start, max int) int {
+	pcs := fs.ff.Frag.PCs
+	line := lineOf(pcs[start])
+	n := 0
+	for start+n < fs.len() && n < max {
+		pc := pcs[start+n]
+		if lineOf(pc) != line {
+			break
+		}
+		n++
+		// Stop after a taken transfer (the next instruction is not
+		// sequential). The last instruction of a fragment ends the
+		// run regardless.
+		if start+n < fs.len() && pcs[start+n] != pc+isa.InstBytes {
+			break
+		}
+	}
+	return n
+}
+
+// seqFetch is the W16 fetch engine: one line per cycle, up to width
+// instructions, stopping at taken branches and line boundaries. It pulls as
+// many fragment predictions per cycle as it needs — the paper's W16 has "no
+// restriction on the number of branch predictions in a cycle".
+type seqFetch struct {
+	ic     *ICache
+	stream *Stream
+	stats  *Stats
+	width  int
+	qcap   int // max unrenamed instructions buffered ahead of rename
+
+	stallUntil uint64
+	pending    []*fragState // fragments receiving the in-flight line
+	pendingN   []int
+}
+
+func newSeqFetch(ic *ICache, stream *Stream, stats *Stats, width int) *seqFetch {
+	return &seqFetch{ic: ic, stream: stream, stats: stats, width: width, qcap: 3 * width}
+}
+
+func (sf *seqFetch) redirect() {
+	sf.stallUntil = 0
+	sf.pending = nil
+	sf.pendingN = nil
+}
+
+// topUp generates fragments until the queue has instructions to fetch or
+// the cap is reached.
+func (sf *seqFetch) topUp(q *fragQueue) {
+	for q.unrenamedOps() < sf.qcap {
+		ff, err := sf.stream.Next()
+		if err != nil {
+			return
+		}
+		q.push(&fragState{ff: ff, effLen: len(ff.Ops)})
+	}
+}
+
+// firstUnfetched returns the oldest fragment with unfetched instructions.
+func firstUnfetched(q *fragQueue) *fragState {
+	for i := 0; i < q.size(); i++ {
+		if fs := q.at(i); fs.fetched < fs.len() {
+			return fs
+		}
+	}
+	return nil
+}
+
+func (sf *seqFetch) cycle(now uint64, q *fragQueue) {
+	// Deliver an in-flight missed line when it arrives. Waiting cycles
+	// carry no fetch slots: a fetch unit stalled on a miss has no
+	// "potential maximum number of instructions it can fetch" (§5.1); the
+	// delivery cycle does.
+	if sf.stallUntil != 0 {
+		if now < sf.stallUntil {
+			return
+		}
+		sf.stats.FetchSlots += int64(sf.width)
+		for i, fs := range sf.pending {
+			fs.markFetched(sf.pendingN[i])
+			sf.stats.Fetched += int64(sf.pendingN[i])
+			sf.stats.FetchedFromCache += int64(sf.pendingN[i])
+		}
+		sf.stallUntil = 0
+		sf.pending, sf.pendingN = nil, nil
+		return
+	}
+
+	sf.topUp(q)
+	fs := firstUnfetched(q)
+	if fs == nil {
+		return // nothing to fetch: not active
+	}
+	sf.stats.FetchSlots += int64(sf.width)
+
+	// Build this cycle's run. W16 treats the predicted stream as flat:
+	// the run continues through not-taken branches and across fragment
+	// boundaries while control flow stays sequential, stopping at taken
+	// transfers, the cache-line boundary, or the width limit.
+	startPC := fs.ff.Frag.PCs[fs.fetched]
+	line := lineOf(startPC)
+	done := sf.ic.L1I.Access(line, false, now)
+
+	var taken []*fragState
+	var takenN []int
+	budget := sf.width
+	idx := indexOf(q, fs)
+	cur := fs
+	pos := cur.fetched
+	count := 0
+	flush := func() {
+		if count > 0 {
+			taken = append(taken, cur)
+			takenN = append(takenN, count)
+			count = 0
+		}
+	}
+walk:
+	for budget > 0 {
+		pc := cur.ff.Frag.PCs[pos]
+		if lineOf(pc) != line {
+			break
+		}
+		count++
+		pos++
+		budget--
+		if pos == cur.len() {
+			// Fragment boundary: continue into the next fragment
+			// only if it is present, unfetched, and sequential.
+			flush()
+			idx++
+			if idx >= q.size() {
+				break walk
+			}
+			next := q.at(idx)
+			if next.fetched != 0 || next.len() == 0 || next.ff.Frag.PCs[0] != pc+isa.InstBytes {
+				break walk
+			}
+			cur, pos = next, 0
+			continue
+		}
+		if cur.ff.Frag.PCs[pos] != pc+isa.InstBytes {
+			break // taken transfer inside the fragment
+		}
+	}
+	flush()
+
+	if done <= now+1 {
+		for i, t := range taken {
+			t.markFetched(takenN[i])
+			sf.stats.Fetched += int64(takenN[i])
+			sf.stats.FetchedFromCache += int64(takenN[i])
+		}
+		return
+	}
+	// Miss: instructions arrive when the line does.
+	sf.stallUntil = done
+	sf.pending = taken
+	sf.pendingN = takenN
+}
+
+func indexOf(q *fragQueue, fs *fragState) int {
+	for i := 0; i < q.size(); i++ {
+		if q.at(i) == fs {
+			return i
+		}
+	}
+	return -1
+}
+
+// tcFetch is the trace-cache fetch engine: one trace-cache lookup per cycle
+// supplying a whole fragment on a hit; on a miss the fragment is fetched
+// through the instruction cache with the sequential mechanism and then
+// filled into the trace cache.
+type tcFetch struct {
+	ic     *ICache
+	tc     *tcache.Cache
+	stream *Stream
+	stats  *Stats
+	width  int
+	qcap   int
+
+	fallback   *fragState // fragment being fetched from the I-cache
+	stallUntil uint64
+	pendingN   int
+}
+
+func newTCFetch(ic *ICache, tc *tcache.Cache, stream *Stream, stats *Stats, width int) *tcFetch {
+	return &tcFetch{ic: ic, tc: tc, stream: stream, stats: stats, width: width, qcap: 3 * width}
+}
+
+func (tf *tcFetch) redirect() {
+	tf.fallback = nil
+	tf.stallUntil = 0
+	tf.pendingN = 0
+}
+
+func (tf *tcFetch) cycle(now uint64, q *fragQueue) {
+	if tf.fallback != nil {
+		tf.fallbackCycle(now)
+		return
+	}
+	if q.unrenamedOps() >= tf.qcap {
+		return // back-pressured
+	}
+	ff, err := tf.stream.Next()
+	if err != nil {
+		return
+	}
+	tf.stats.FetchSlots += int64(tf.width)
+	fs := &fragState{ff: ff, effLen: len(ff.Ops)}
+	q.push(fs)
+	if _, hit := tf.tc.Lookup(ff.Frag.ID); hit {
+		fs.markFetched(fs.len())
+		tf.stats.Fetched += int64(fs.len())
+		tf.stats.FetchedFromCache += int64(fs.len())
+		return
+	}
+	tf.fallback = fs
+	tf.fallbackCycle(now)
+}
+
+// fallbackCycle advances the W16-style fetch of the missing trace.
+func (tf *tcFetch) fallbackCycle(now uint64) {
+	fs := tf.fallback
+	if tf.stallUntil != 0 {
+		if now < tf.stallUntil {
+			return // miss wait: no fetch potential, no slots
+		}
+		tf.stats.FetchSlots += int64(tf.width)
+		fs.markFetched(tf.pendingN)
+		tf.stats.Fetched += int64(tf.pendingN)
+		tf.stats.FetchedFromCache += int64(tf.pendingN)
+		tf.stallUntil = 0
+		tf.pendingN = 0
+		tf.finishIfDone()
+		return
+	}
+	n := runLen(fs, fs.fetched, tf.width)
+	if n == 0 {
+		tf.finishIfDone()
+		return
+	}
+	tf.stats.FetchSlots += int64(tf.width)
+	line := lineOf(fs.ff.Frag.PCs[fs.fetched])
+	done := tf.ic.L1I.Access(line, false, now)
+	if done <= now+1 {
+		fs.markFetched(n)
+		tf.stats.Fetched += int64(n)
+		tf.stats.FetchedFromCache += int64(n)
+		tf.finishIfDone()
+		return
+	}
+	tf.stallUntil = done
+	tf.pendingN = n
+}
+
+func (tf *tcFetch) finishIfDone() {
+	fs := tf.fallback
+	if fs.fetched >= fs.len() {
+		// Fill the trace cache with the constructed trace (the fill
+		// unit). Wrong-path traces fill too — real trace caches are
+		// polluted by wrong-path fills.
+		tf.tc.Fill(fs.ff.Frag)
+		tf.fallback = nil
+	}
+}
+
+// pfFetch is the parallel fetch engine (§3): one fragment prediction per
+// cycle allocated to a fragment buffer (reusing stale buffer contents when
+// the same fragment is still resident), and several narrow sequencers
+// fetching the oldest unfetched fragments concurrently through the banked
+// instruction cache.
+type pfFetch struct {
+	ic     *ICache
+	stream *Stream
+	stats  *Stats
+	pool   *frag.Pool
+	width  int // per-sequencer width
+
+	seqs []sequencer
+
+	// switchOnMiss enables §2.2's optional policy: a sequencer that
+	// misses parks the fragment (the fill completes in the background)
+	// and fetches a different fragment meanwhile. Off in the paper's
+	// base design; the "switchonmiss" ablation measures its value.
+	switchOnMiss bool
+	parked       []parkedMiss
+}
+
+// parkedMiss is an outstanding miss whose instructions will arrive at done.
+type parkedMiss struct {
+	fs   *fragState
+	n    int
+	done uint64
+}
+
+type sequencer struct {
+	fs         *fragState
+	stallUntil uint64
+	pendingN   int
+}
+
+func newPFFetch(ic *ICache, stream *Stream, stats *Stats, pool *frag.Pool, nseq, width int, switchOnMiss bool) *pfFetch {
+	return &pfFetch{
+		ic: ic, stream: stream, stats: stats, pool: pool,
+		width: width, seqs: make([]sequencer, nseq),
+		switchOnMiss: switchOnMiss,
+	}
+}
+
+func (pf *pfFetch) redirect() {
+	for i := range pf.seqs {
+		pf.seqs[i] = sequencer{}
+	}
+	for _, pk := range pf.parked {
+		pk.fs.missPending = false
+	}
+	pf.parked = pf.parked[:0]
+}
+
+// deliverParked completes background fills whose lines have arrived.
+func (pf *pfFetch) deliverParked(now uint64) {
+	kept := pf.parked[:0]
+	for _, pk := range pf.parked {
+		if pk.done > now {
+			kept = append(kept, pk)
+			continue
+		}
+		pk.fs.missPending = false
+		pk.fs.markFetched(pk.n)
+		pf.stats.Fetched += int64(pk.n)
+		pf.stats.FetchedFromCache += int64(pk.n)
+	}
+	pf.parked = kept
+}
+
+func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
+	if pf.switchOnMiss {
+		pf.deliverParked(now)
+	}
+	// One prediction/allocation per cycle, gated on a free buffer.
+	if ff, err := pf.streamNextIfBufferFree(q); err == nil && ff != nil {
+		fs := &fragState{ff: ff, effLen: len(ff.Ops)}
+		buf, reused := pf.pool.Allocate(ff.Frag.ID, ff.Ops[0].Seq, func() *frag.Fragment { return ff.Frag })
+		fs.buf = buf
+		pf.stats.FragAllocs++
+		if reused {
+			// Buffer reuse: the instructions are already on chip;
+			// no sequencer or cache bandwidth is spent.
+			fs.markFetched(fs.len())
+			pf.stats.FragReuses++
+			pf.stats.Fetched += int64(fs.len())
+		}
+		q.push(fs)
+	}
+
+	// Sequencers: assign idle ones to the oldest unassigned incomplete
+	// fragments, then advance, arbitrating cache banks. Two sequencers
+	// requesting the SAME line share the bank's read (common when
+	// consecutive fragments abut in straight-line code); different lines
+	// on one bank conflict.
+	bankLine := make(map[int]uint64, len(pf.seqs)*2) // bank -> line served
+	lineDone := make(map[uint64]uint64, len(pf.seqs)*2)
+	for i := range pf.seqs {
+		sq := &pf.seqs[i]
+		if sq.fs == nil || sq.fs.complete {
+			sq.fs = pf.nextFetchTarget(q)
+			sq.stallUntil = 0
+			sq.pendingN = 0
+		}
+		if sq.fs == nil {
+			continue // idle: no fragment to fetch, no slots charged
+		}
+		switch {
+		case sq.stallUntil != 0 && now < sq.stallUntil:
+			// Miss in progress: the sequencer is waiting and has no
+			// fetch potential this cycle — no slots (§5.1).
+		case sq.stallUntil != 0:
+			// Line arrived: deliver.
+			pf.stats.FetchSlots += int64(pf.width)
+			sq.fs.markFetched(sq.pendingN)
+			pf.stats.Fetched += int64(sq.pendingN)
+			pf.stats.FetchedFromCache += int64(sq.pendingN)
+			sq.stallUntil = 0
+			sq.pendingN = 0
+		default:
+			// The sequencer knows its fragment's instruction
+			// addresses from the prediction, so unlike W16 it does
+			// not stop at taken transfers: it gathers up to width
+			// instructions per cycle through the banked cache,
+			// claiming every distinct line's bank. A bank conflict
+			// truncates the group; a miss on any line delays the
+			// whole group until the last line arrives.
+			pf.stats.FetchSlots += int64(pf.width)
+			fs := sq.fs
+			pcs := fs.ff.Frag.PCs
+			n := 0
+			var done uint64
+			truncated := false
+			for n < pf.width && fs.fetched+n < fs.len() {
+				line := lineOf(pcs[fs.fetched+n])
+				bank := pf.ic.IBankOf(line)
+				if d, shared := lineDone[line]; shared {
+					// Same line already read this cycle: share it.
+					if d > done {
+						done = d
+					}
+				} else if servedLine, used := bankLine[bank]; used && servedLine != line {
+					truncated = true
+					break // different line on a busy bank: conflict
+				} else {
+					d := pf.ic.L1I.Access(line, false, now)
+					bankLine[bank] = line
+					lineDone[line] = d
+					if d > done {
+						done = d
+					}
+				}
+				n++
+			}
+			if n == 0 {
+				pf.stats.BankConflicts++
+				continue // pure bank conflict: retry next cycle
+			}
+			if truncated {
+				pf.stats.ConflictTrunc++
+			}
+			if done <= now+1 {
+				fs.markFetched(n)
+				pf.stats.Fetched += int64(n)
+				pf.stats.FetchedFromCache += int64(n)
+			} else if pf.switchOnMiss {
+				// Park the miss; the fill completes in the
+				// background and the sequencer is free to take a
+				// different fragment next cycle (Â§2.2).
+				fs.missPending = true
+				pf.parked = append(pf.parked, parkedMiss{fs: fs, n: n, done: done})
+				sq.fs = nil
+			} else {
+				sq.stallUntil = done
+				sq.pendingN = n
+			}
+		}
+	}
+}
+
+// streamNextIfBufferFree asks the stream for the next fragment only when a
+// buffer is available to hold it (otherwise the predictor stalls).
+func (pf *pfFetch) streamNextIfBufferFree(q *fragQueue) (*FetchedFrag, error) {
+	if pf.pool.InUseCount() >= pf.pool.Size() {
+		return nil, nil
+	}
+	ff, err := pf.stream.Next()
+	if err != nil {
+		return nil, err
+	}
+	return ff, nil
+}
+
+// nextFetchTarget returns the oldest fragment that needs a sequencer.
+func (pf *pfFetch) nextFetchTarget(q *fragQueue) *fragState {
+	for i := 0; i < q.size(); i++ {
+		fs := q.at(i)
+		if fs.complete || fs.fetched >= fs.len() || fs.missPending {
+			continue
+		}
+		if pf.isAssigned(fs) {
+			continue
+		}
+		return fs
+	}
+	return nil
+}
+
+func (pf *pfFetch) isAssigned(fs *fragState) bool {
+	for i := range pf.seqs {
+		if pf.seqs[i].fs == fs {
+			return true
+		}
+	}
+	return false
+}

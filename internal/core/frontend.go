@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/backend"
+	"github.com/parallel-frontend/pfe/internal/frag"
+	"github.com/parallel-frontend/pfe/internal/rename"
+	"github.com/parallel-frontend/pfe/internal/tcache"
+)
+
+// ExecBackend is the back-end contract the front-ends drive.
+type ExecBackend interface {
+	FreeSlots() int
+	Insert(op *backend.Op)
+	SquashFrom(seq uint64) int
+	// SetCommitBarrier communicates the lowest op sequence rename has
+	// not yet delivered (^uint64(0) = none outstanding): commit must not
+	// pass an allocated-but-unwritten reorder-buffer slot.
+	SetCommitBarrier(seq uint64)
+}
+
+// Unit is a complete front-end: a fetch engine composed with a rename
+// stage over a shared fragment queue.
+type Unit struct {
+	cfg    Config
+	stream *Stream
+	engine fetchEngine
+	stage  renameStage
+	queue  fragQueue
+	pool   *frag.Pool // parallel fetch only
+	tc     *tcache.Cache
+	be     ExecBackend
+	stats  Stats
+
+	fetchAllowedAt uint64
+	pr             *parallelRename // non-nil when rename is parallel
+}
+
+// NewUnit builds the front-end described by cfg over the given stream,
+// instruction-cache path and back-end.
+func NewUnit(cfg Config, stream *Stream, ic *ICache, be ExecBackend) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &Unit{cfg: cfg, stream: stream, be: be}
+
+	switch cfg.Fetch {
+	case FetchSequential:
+		u.engine = newSeqFetch(ic, stream, &u.stats, cfg.FetchWidth)
+	case FetchTraceCache:
+		u.tc = tcache.New(tcache.Config{SizeBytes: cfg.TraceCache, Ways: 2})
+		u.engine = newTCFetch(ic, u.tc, stream, &u.stats, cfg.FetchWidth)
+	case FetchParallel:
+		u.pool = frag.NewPool(cfg.FragBuffers)
+		u.engine = newPFFetch(ic, stream, &u.stats, u.pool, cfg.Sequencers, cfg.SeqWidth, cfg.SwitchOnMiss)
+	default:
+		return nil, fmt.Errorf("core: unknown fetch kind %v", cfg.Fetch)
+	}
+
+	switch cfg.Rename {
+	case RenameSequential:
+		u.stage = newSequentialRename(cfg.RenameWidth, be, &u.stats)
+	case RenameParallel:
+		lo := rename.NewLiveOutPredictor(cfg.LiveOut)
+		u.pr = newParallelRename(cfg.Renamers, cfg.RenWidth, lo, be, &u.stats)
+		u.stage = u.pr
+	case RenameDelayed:
+		u.stage = newDelayedRename(cfg.Renamers, cfg.RenWidth, be, &u.stats)
+	default:
+		return nil, fmt.Errorf("core: unknown rename kind %v", cfg.Rename)
+	}
+	return u, nil
+}
+
+// Stats exposes the front-end counters.
+func (u *Unit) Stats() *Stats { return &u.stats }
+
+// TraceCache exposes the trace cache (nil for non-TC front-ends).
+func (u *Unit) TraceCache() *tcache.Cache { return u.tc }
+
+// Pool exposes the fragment buffer pool (nil unless parallel fetch).
+func (u *Unit) Pool() *frag.Pool { return u.pool }
+
+// Cycle advances fetch then rename by one cycle.
+func (u *Unit) Cycle(now uint64) {
+	u.stats.Cycles++
+	if now >= u.fetchAllowedAt {
+		u.engine.cycle(now, &u.queue)
+	}
+	u.stage.cycle(now, &u.queue)
+	if seq, ok := u.queue.oldestUnrenamedSeq(); ok {
+		u.be.SetCommitBarrier(seq)
+	} else {
+		u.be.SetCommitBarrier(^uint64(0))
+	}
+	for _, fs := range u.queue.drainPopped() {
+		if fs.buf != nil {
+			u.pool.Release(fs.buf)
+		}
+	}
+	// Live-out misprediction recovery: the rename stage has already reset
+	// every younger fragment's rename progress (§4.3: "on a misprediction,
+	// all future fragments are squashed"); remove their ops from the
+	// window and rebuild the reservation counter.
+	if u.pr != nil {
+		if seq, ok := u.pr.takeSquash(); ok {
+			u.be.SquashFrom(seq)
+			u.pr.recomputeReserved(&u.queue)
+		}
+	}
+}
+
+// Drained reports whether every fetched instruction has been renamed and
+// handed to the back-end.
+func (u *Unit) Drained() bool { return u.queue.unrenamedOps() == 0 }
+
+// Redirect recovers the front-end after the back-end resolved the
+// mispredicted instruction with the given sequence number: younger
+// fragments are dropped, the fragment containing the culprit is truncated
+// to its correct prefix, and fetch pauses for the configured pipeline
+// bubble.
+func (u *Unit) Redirect(now uint64, culpritSeq uint64) {
+	u.stats.Redirects++
+	kept := u.queue.frags[:0]
+	for _, fs := range u.queue.frags {
+		first := fs.ff.Ops[0].Seq
+		last := fs.ff.Ops[len(fs.ff.Ops)-1].Seq
+		switch {
+		case last <= culpritSeq:
+			kept = append(kept, fs)
+		case first > culpritSeq:
+			// Fully younger: dropped. Its buffer is squashed below.
+		default:
+			// Contains the culprit: truncate to the correct prefix.
+			n := int(culpritSeq-first) + 1
+			fs.effLen = n
+			if fs.fetched > n {
+				fs.fetched = n
+			}
+			if fs.renamed > n {
+				fs.renamed = n
+			}
+			fs.complete = fs.fetched == n
+			kept = append(kept, fs)
+		}
+	}
+	u.queue.frags = kept
+	if u.pool != nil {
+		u.pool.SquashYounger(culpritSeq + 1)
+	}
+	u.engine.redirect()
+	u.stage.redirect()
+	if u.pr != nil {
+		u.pr.recomputeReserved(&u.queue)
+	}
+	u.fetchAllowedAt = now + uint64(u.cfg.RedirectBubble)
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/backend"
+	"github.com/parallel-frontend/pfe/internal/bpred"
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/frag"
+	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// Stream generates the speculative fetch stream every front-end consumes:
+// predicted fragments, materialized from the static code image, compared
+// against the true dynamic stream (the functional emulator). When a
+// prediction diverges from the truth, the stream keeps producing wrong-path
+// fragments — which occupy fetch slots, buffers and window entries exactly
+// like real speculative hardware — until the mispredicted instruction
+// resolves in the back-end and the simulator applies the redirect.
+//
+// The stream also owns the oracle-side bookkeeping hardware keeps in its
+// own structures: per-register last-writer state for dependence edges
+// (proven equivalent to parallel rename's bindings by the rename package's
+// tests), speculative vs. retirement predictor history, and the redirect
+// checkpoint.
+type Stream struct {
+	prog *program.Program
+	mach *emu.Machine
+	pred *bpred.TracePredictor
+	heur frag.Heuristics
+
+	// Oracle lookahead ring.
+	oracle     []emu.DynInst
+	oracleBase uint64 // Seq of oracle[0]
+	oracleEOF  bool
+
+	// Speculative state.
+	specHist   bpred.History
+	retireHist bpred.History
+	lastWriter [isa.NumRegs]uint64 // speculative seq+1 of last writer (0 = none)
+	nextSeq    uint64              // next speculative op seq (starts at 1)
+
+	trueCursor uint64 // oracle seq speculation has correctly consumed
+	onTrue     bool
+	prevFrag   *frag.Fragment // last generated fragment (successor computation)
+	prevLastOp *backend.Op    // its final op (retroactive mispredict points)
+
+	pending *Redirect
+
+	fragsGenerated int64
+	fragsCorrect   int64
+	doneTrue       bool // true path fully generated (halt fragment emitted)
+}
+
+// Redirect is the recovery checkpoint for the single outstanding divergence.
+type Redirect struct {
+	CulpritSeq uint64      // spec seq of the op whose execution reveals the misprediction
+	Culprit    *backend.Op // that op
+	TrueSeq    uint64      // oracle seq fetch resumes from
+	TruePC     uint64      // address of that instruction
+	retireHist bpred.History
+	lastWriter [isa.NumRegs]uint64
+}
+
+// FetchedFrag is one generated fragment with everything the fetch and
+// rename stages need.
+type FetchedFrag struct {
+	Frag *frag.Fragment
+	Ops  []*backend.Op // parallel to Frag.Insts
+	// WrongFrom is the index of the first wrong-path instruction
+	// (len(Ops) when the fragment is fully correct-path).
+	WrongFrom int
+
+	// lastWriterAtWrong snapshots the dependence table as of the first
+	// wrong-path instruction, restored on redirect.
+	lastWriterAtWrong [isa.NumRegs]uint64
+}
+
+// ErrNoFragment is returned when the stream cannot produce a fragment this
+// cycle (wrong-path fetch ran off the code image, or the predictor has no
+// target after an indirect jump on the wrong path). The front-end simply
+// idles; the pending redirect will restart fetch.
+var ErrNoFragment = errors.New("core: no fragment available")
+
+// NewStream builds a stream over a fresh emulator for p. A zero Heuristics
+// value selects the paper's fragment selection.
+func NewStream(p *program.Program, pred *bpred.TracePredictor, h frag.Heuristics) *Stream {
+	s := &Stream{
+		prog:    p,
+		mach:    emu.New(p),
+		pred:    pred,
+		heur:    h,
+		nextSeq: 1,
+		onTrue:  true,
+	}
+	s.refill()
+	return s
+}
+
+// refill extends the oracle lookahead and trims consumed entries.
+func (s *Stream) refill() {
+	// Trim below trueCursor.
+	if drop := int(s.trueCursor - s.oracleBase); drop > 0 {
+		s.oracle = s.oracle[:copy(s.oracle, s.oracle[drop:])]
+		s.oracleBase = s.trueCursor
+	}
+	for len(s.oracle) < 8*frag.MaxLen && !s.mach.Halted() {
+		d, err := s.mach.Step()
+		if err != nil {
+			s.oracleEOF = true
+			return
+		}
+		s.oracle = append(s.oracle, d)
+	}
+	if s.mach.Halted() {
+		s.oracleEOF = true
+	}
+}
+
+// oracleAt returns the oracle entry for seq (must be >= trueCursor and
+// within lookahead).
+func (s *Stream) oracleAt(seq uint64) (emu.DynInst, bool) {
+	i := int(seq - s.oracleBase)
+	if i < 0 || i >= len(s.oracle) {
+		return emu.DynInst{}, false
+	}
+	return s.oracle[i], true
+}
+
+// Done reports whether the true path has been fully generated (the fragment
+// containing halt was produced) and no redirect is pending.
+func (s *Stream) Done() bool { return s.doneTrue && s.pending == nil }
+
+// Pending returns the outstanding redirect, if any.
+func (s *Stream) Pending() *Redirect { return s.pending }
+
+// Accuracy returns generated-fragment statistics.
+func (s *Stream) Accuracy() (generated, correct int64) {
+	return s.fragsGenerated, s.fragsCorrect
+}
+
+// Next generates the next speculative fragment. The caller enforces the
+// one-prediction-per-cycle limit. After the program's halt fragment has
+// been generated, Next returns ErrNoFragment forever.
+func (s *Stream) Next() (*FetchedFrag, error) {
+	if s.onTrue {
+		if s.doneTrue {
+			return nil, ErrNoFragment
+		}
+		return s.nextTruePath()
+	}
+	return s.nextWrongPath()
+}
+
+// nextTruePath generates a fragment starting at the known correct PC,
+// using the predictor for directions and detecting divergence inline.
+func (s *Stream) nextTruePath() (*FetchedFrag, error) {
+	s.refill()
+	trueStart, ok := s.oracleAt(s.trueCursor)
+	if !ok {
+		// Lookahead empty: program halted exactly at cursor.
+		s.doneTrue = true
+		return nil, ErrNoFragment
+	}
+
+	// Choose the predicted ID: the predictor's if it agrees on the start
+	// PC, otherwise a not-taken walk from the known start.
+	pred := s.pred.Predict(&s.specHist)
+	id := frag.ID{StartPC: trueStart.PC}
+	if pred.Valid && pred.ID.StartPC == trueStart.PC {
+		id = pred.ID
+	}
+	f := s.heur.FromCode(s.prog, id)
+	if f.Len() == 0 {
+		return nil, fmt.Errorf("core: empty fragment at true PC %#x", trueStart.PC)
+	}
+
+	// Compare against the oracle.
+	m := 0
+	for ; m < f.Len(); m++ {
+		d, ok := s.oracleAt(s.trueCursor + uint64(m))
+		if !ok || d.PC != f.PCs[m] {
+			break
+		}
+	}
+
+	// Determine the true fragment at this position for training and
+	// retirement history.
+	trueLen, trueID := s.splitTrue(s.trueCursor)
+	s.pred.Update(&s.retireHist, trueID)
+
+	ff := s.materialize(f, m)
+	s.fragsGenerated++
+	s.specHist.Push(f.ID.Key())
+
+	if m == f.Len() && f.ID == trueID {
+		// Fully correct fragment (boundary and directions included).
+		s.fragsCorrect++
+		s.retireHist.Push(trueID.Key())
+		s.trueCursor += uint64(trueLen)
+		if f.Insts[f.Len()-1].Op == isa.OpHalt {
+			s.doneTrue = true
+		}
+		return ff, nil
+	}
+
+	// Divergence. Instructions [0,m) are correct path and will commit;
+	// the divergence resolves when the culprit executes.
+	s.retireHist.Push(trueID.Key())
+	red := &Redirect{
+		TrueSeq:    s.trueCursor + uint64(m),
+		retireHist: s.retireHist,
+	}
+	if d, ok := s.oracleAt(red.TrueSeq); ok {
+		red.TruePC = d.PC
+	} else {
+		// The true path ends inside this fragment (halt reached); the
+		// correct prefix will commit and the program finishes. Treat
+		// the remaining suffix as wrong path resolved by the last
+		// correct instruction.
+		red.TruePC = 0
+	}
+	if m > 0 {
+		red.Culprit = ff.Ops[m-1]
+	} else {
+		red.Culprit = s.prevLastOp
+	}
+	if red.Culprit == nil {
+		// Divergence at the very first fragment with no predecessor
+		// (cannot happen: the first fragment starts at the entry PC,
+		// which is forced correct for at least one instruction).
+		return nil, fmt.Errorf("core: divergence with no culprit at %#x", trueStart.PC)
+	}
+	red.CulpritSeq = red.Culprit.Seq
+	red.Culprit.MispredictPoint = true
+	// Checkpoint the last-writer state as of the correct prefix: the
+	// materialize call has already applied all instructions, so rebuild
+	// from the snapshot it took at the divergence index.
+	red.lastWriter = ff.lastWriterAtWrong
+	s.pending = red
+	s.onTrue = false
+	return ff, nil
+}
+
+// splitTrue computes the true fragment boundary and ID at oracle seq.
+func (s *Stream) splitTrue(seq uint64) (int, frag.ID) {
+	var buf [2 * 32]frag.Dyn
+	n := 0
+	for ; n < len(buf); n++ {
+		d, ok := s.oracleAt(seq + uint64(n))
+		if !ok {
+			break
+		}
+		buf[n] = frag.Dyn{PC: d.PC, Inst: d.Inst, Taken: d.Taken}
+	}
+	return s.heur.Split(buf[:n])
+}
+
+// nextWrongPath generates a fragment beyond the divergence point: pure
+// speculation through the static image, steered by the predictor where it
+// has an opinion and by fallthrough otherwise.
+func (s *Stream) nextWrongPath() (*FetchedFrag, error) {
+	start, known := s.successorOf(s.prevFrag)
+	pred := s.pred.Predict(&s.specHist)
+	var id frag.ID
+	switch {
+	case known && pred.Valid && pred.ID.StartPC == start:
+		id = pred.ID
+	case known:
+		id = frag.ID{StartPC: start}
+	case pred.Valid:
+		id = pred.ID
+	default:
+		return nil, ErrNoFragment
+	}
+	f := s.heur.FromCode(s.prog, id)
+	if f.Len() == 0 {
+		return nil, ErrNoFragment
+	}
+	ff := s.materialize(f, 0) // entirely wrong path
+	s.fragsGenerated++
+	s.specHist.Push(f.ID.Key())
+	return ff, nil
+}
+
+// successorOf computes the address the speculative stream continues at
+// after fragment f, when that is statically determined (everything except
+// indirect terminators).
+func (s *Stream) successorOf(f *frag.Fragment) (uint64, bool) {
+	if f == nil || f.Len() == 0 {
+		return 0, false
+	}
+	last := f.Insts[f.Len()-1]
+	lastPC := f.PCs[f.Len()-1]
+	switch {
+	case last.IsIndirect():
+		return 0, false
+	case last.IsDirectJump():
+		return uint64(last.Imm) * isa.InstBytes, true
+	case last.IsCondBranch():
+		if taken, _ := f.DirectionOf(f.Len() - 1); taken {
+			return uint64(int64(lastPC) + isa.InstBytes + int64(last.Imm)*isa.InstBytes), true
+		}
+		return lastPC + isa.InstBytes, true
+	default:
+		return lastPC + isa.InstBytes, true
+	}
+}
+
+// materialize assigns sequence numbers, dependence edges and oracle
+// effective addresses to the fragment's instructions. wrongFrom is the
+// index of the first wrong-path instruction (0 for fully wrong-path
+// fragments; f.Len() would mean fully correct but callers pass m).
+func (s *Stream) materialize(f *frag.Fragment, wrongFrom int) *FetchedFrag {
+	ff := &FetchedFrag{Frag: f, Ops: make([]*backend.Op, f.Len())}
+	if s.onTrue {
+		ff.WrongFrom = wrongFrom
+	} else {
+		ff.WrongFrom = 0
+	}
+	// Correct the common caller idiom: nextTruePath passes the matched
+	// prefix length m which may equal f.Len() (fully correct).
+	for i, in := range f.Insts {
+		op := &backend.Op{
+			Seq:  s.nextSeq,
+			PC:   f.PCs[i],
+			Inst: in,
+		}
+		s.nextSeq++
+		op.WrongPath = i >= ff.WrongFrom
+		if i == ff.WrongFrom {
+			ff.lastWriterAtWrong = s.lastWriter
+		}
+		// Dependence edges from the speculative last-writer table.
+		var srcs [3]isa.Reg
+		for _, src := range in.Sources(srcs[:0]) {
+			if w := s.lastWriter[src]; w != 0 {
+				op.Producers[op.NProd] = w - 1
+				op.NProd++
+			}
+		}
+		if rd, ok := in.Dest(); ok {
+			s.lastWriter[rd] = op.Seq + 1
+		}
+		if in.IsMem() && !op.WrongPath {
+			if d, ok := s.oracleAt(s.trueCursor + uint64(i)); ok {
+				op.EA = d.EA
+			}
+		}
+		ff.Ops[i] = op
+	}
+	if f.Len() > 0 {
+		s.prevFrag = f
+		s.prevLastOp = ff.Ops[f.Len()-1]
+	}
+	return ff
+}
+
+// ApplyRedirect consumes the pending redirect after the back-end resolved
+// the culprit: speculation state is rewound to the divergence point and the
+// stream resumes on the true path. It returns the redirect so the simulator
+// can squash the window (every op with Seq > CulpritSeq is wrong-path).
+func (s *Stream) ApplyRedirect() *Redirect {
+	red := s.pending
+	if red == nil {
+		return nil
+	}
+	s.pending = nil
+	s.onTrue = true
+	s.trueCursor = red.TrueSeq
+	s.specHist = red.retireHist
+	s.retireHist = red.retireHist
+	s.lastWriter = red.lastWriter
+	s.prevFrag = nil
+	s.prevLastOp = nil
+	if red.TruePC == 0 {
+		// True path ended inside the mispredicted fragment.
+		s.doneTrue = true
+	}
+	s.refill()
+	return red
+}

@@ -1,0 +1,272 @@
+// Package emu is the functional emulator for the synthetic ISA. It executes
+// a generated program instruction by instruction and produces the true
+// dynamic instruction stream — the oracle the timing simulator measures
+// itself against: the front-end's predictions are compared to this stream,
+// and divergences drive wrong-path fetch and recovery, exactly as the
+// paper's execution-driven simulator did on top of SimpleScalar's
+// instruction semantics.
+package emu
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// ErrHalted is returned by Step once the program has executed OpHalt.
+var ErrHalted = errors.New("emu: program halted")
+
+// DynInst is one executed instruction of the true dynamic stream.
+type DynInst struct {
+	Seq    uint64   // dynamic sequence number, starting at 0
+	PC     uint64   // byte address of the instruction
+	Inst   isa.Inst // the decoded instruction
+	NextPC uint64   // address of the next executed instruction
+	Taken  bool     // conditional branches: whether the branch was taken
+	EA     uint64   // memory ops: effective byte address
+}
+
+// Machine is the architectural state of one running program.
+type Machine struct {
+	prog *program.Program
+
+	pc      uint64
+	intRegs [isa.NumIntRegs]uint32
+	fpRegs  [isa.NumFPRegs]float64
+
+	data  []byte // data segment at program.DataBase
+	stack []byte // stack segment, covers [StackBase-StackSize, StackBase)
+
+	// stray holds accesses outside the mapped segments (should not occur
+	// on the correct path; kept so wrong specs fail loudly in tests
+	// rather than silently corrupting state).
+	stray map[uint64]uint32
+
+	icount uint64
+	halted bool
+}
+
+// New creates a machine ready to execute p from its entry point. The data
+// segment is copied so multiple machines can share one Program.
+func New(p *program.Program) *Machine {
+	m := &Machine{
+		prog:  p,
+		pc:    p.EntryPC,
+		data:  make([]byte, len(p.Data)),
+		stack: make([]byte, program.StackSize),
+	}
+	copy(m.data, p.Data)
+	return m
+}
+
+// PC returns the address of the next instruction to execute.
+func (m *Machine) PC() uint64 { return m.pc }
+
+// Halted reports whether the program has executed OpHalt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// ICount returns the number of instructions executed so far.
+func (m *Machine) ICount() uint64 { return m.icount }
+
+// IntReg returns the current value of integer register r. FP registers and
+// r0 read as zero, so instruction decoding never needs to special-case the
+// register bank before reading.
+func (m *Machine) IntReg(r isa.Reg) uint32 {
+	if r == isa.RegZero || r >= isa.FPBase {
+		return 0
+	}
+	return m.intRegs[r]
+}
+
+// StrayAccesses reports how many memory accesses fell outside the mapped
+// data and stack segments (always zero for generator-produced programs).
+func (m *Machine) StrayAccesses() int { return len(m.stray) }
+
+func (m *Machine) setInt(r isa.Reg, v uint32) {
+	if r != isa.RegZero {
+		m.intRegs[r] = v
+	}
+}
+
+// Step executes one instruction and returns its dynamic record.
+func (m *Machine) Step() (DynInst, error) {
+	if m.halted {
+		return DynInst{}, ErrHalted
+	}
+	in, ok := m.prog.InstAt(m.pc)
+	if !ok {
+		return DynInst{}, fmt.Errorf("emu: PC %#x outside code image", m.pc)
+	}
+	d := DynInst{Seq: m.icount, PC: m.pc, Inst: in}
+	next := m.pc + isa.InstBytes
+
+	rs1 := m.IntReg(in.Rs1)
+	rs2 := m.IntReg(in.Rs2)
+
+	switch in.Op {
+	case isa.OpAdd:
+		m.setInt(in.Rd, rs1+rs2)
+	case isa.OpSub:
+		m.setInt(in.Rd, rs1-rs2)
+	case isa.OpAnd:
+		m.setInt(in.Rd, rs1&rs2)
+	case isa.OpOr:
+		m.setInt(in.Rd, rs1|rs2)
+	case isa.OpXor:
+		m.setInt(in.Rd, rs1^rs2)
+	case isa.OpSlt:
+		m.setInt(in.Rd, boolToU32(int32(rs1) < int32(rs2)))
+	case isa.OpSll:
+		m.setInt(in.Rd, rs1<<(rs2&31))
+	case isa.OpSrl:
+		m.setInt(in.Rd, rs1>>(rs2&31))
+	case isa.OpSra:
+		m.setInt(in.Rd, uint32(int32(rs1)>>(rs2&31)))
+	case isa.OpMul:
+		m.setInt(in.Rd, rs1*rs2)
+
+	case isa.OpAddi:
+		m.setInt(in.Rd, rs1+uint32(in.Imm))
+	case isa.OpAndi:
+		m.setInt(in.Rd, rs1&uint32(in.Imm))
+	case isa.OpOri:
+		m.setInt(in.Rd, rs1|uint32(in.Imm))
+	case isa.OpXori:
+		m.setInt(in.Rd, rs1^uint32(in.Imm))
+	case isa.OpSlti:
+		m.setInt(in.Rd, boolToU32(int32(rs1) < in.Imm))
+	case isa.OpSlli:
+		m.setInt(in.Rd, rs1<<(uint32(in.Imm)&31))
+	case isa.OpSrli:
+		m.setInt(in.Rd, rs1>>(uint32(in.Imm)&31))
+	case isa.OpLui:
+		m.setInt(in.Rd, uint32(in.Imm)<<isa.LuiShift)
+
+	case isa.OpLw:
+		ea := uint64(rs1 + uint32(in.Imm))
+		d.EA = ea
+		m.setInt(in.Rd, m.loadWord(ea))
+	case isa.OpSw:
+		ea := uint64(rs1 + uint32(in.Imm))
+		d.EA = ea
+		m.storeWord(ea, rs2)
+	case isa.OpLf:
+		ea := uint64(rs1 + uint32(in.Imm))
+		d.EA = ea
+		m.fpRegs[in.Rd-isa.FPBase] = float64(m.loadWord(ea))
+	case isa.OpSf:
+		ea := uint64(rs1 + uint32(in.Imm))
+		d.EA = ea
+		m.storeWord(ea, uint32(int64(m.fpRegs[in.Rs2-isa.FPBase])))
+
+	case isa.OpFadd:
+		m.fpRegs[in.Rd-isa.FPBase] = m.fp(in.Rs1) + m.fp(in.Rs2)
+	case isa.OpFsub:
+		m.fpRegs[in.Rd-isa.FPBase] = m.fp(in.Rs1) - m.fp(in.Rs2)
+	case isa.OpFmul:
+		m.fpRegs[in.Rd-isa.FPBase] = m.fp(in.Rs1) * m.fp(in.Rs2)
+	case isa.OpFneg:
+		m.fpRegs[in.Rd-isa.FPBase] = -m.fp(in.Rs1)
+
+	case isa.OpBeq:
+		d.Taken = rs1 == rs2
+	case isa.OpBne:
+		d.Taken = rs1 != rs2
+	case isa.OpBlt:
+		d.Taken = int32(rs1) < int32(rs2)
+	case isa.OpBge:
+		d.Taken = int32(rs1) >= int32(rs2)
+
+	case isa.OpJ:
+		next = uint64(in.Imm) * isa.InstBytes
+	case isa.OpJal:
+		m.setInt(isa.RegLink, uint32(m.pc+isa.InstBytes))
+		next = uint64(in.Imm) * isa.InstBytes
+	case isa.OpJr:
+		next = uint64(rs1)
+	case isa.OpJalr:
+		m.setInt(in.Rd, uint32(m.pc+isa.InstBytes))
+		next = uint64(rs1)
+
+	case isa.OpHalt:
+		m.halted = true
+		next = m.pc
+
+	default:
+		return DynInst{}, fmt.Errorf("emu: invalid opcode at PC %#x", m.pc)
+	}
+
+	if d.Taken {
+		next = uint64(int64(m.pc) + isa.InstBytes + int64(in.Imm)*isa.InstBytes)
+	}
+	d.NextPC = next
+	m.pc = next
+	m.icount++
+	return d, nil
+}
+
+func (m *Machine) fp(r isa.Reg) float64 { return m.fpRegs[r-isa.FPBase] }
+
+func boolToU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// segment resolves an address to a backing slice and offset, or nil if the
+// address is outside the data and stack segments.
+func (m *Machine) segment(ea uint64) ([]byte, int) {
+	switch {
+	case ea >= program.DataBase && ea+4 <= program.DataBase+uint64(len(m.data)):
+		return m.data, int(ea - program.DataBase)
+	case ea >= program.StackBase-program.StackSize && ea+4 <= program.StackBase:
+		return m.stack, int(ea - (program.StackBase - program.StackSize))
+	}
+	return nil, 0
+}
+
+func (m *Machine) loadWord(ea uint64) uint32 {
+	ea &^= 3
+	if seg, off := m.segment(ea); seg != nil {
+		return uint32(seg[off]) | uint32(seg[off+1])<<8 | uint32(seg[off+2])<<16 | uint32(seg[off+3])<<24
+	}
+	if m.stray == nil {
+		return 0
+	}
+	return m.stray[ea]
+}
+
+func (m *Machine) storeWord(ea uint64, v uint32) {
+	ea &^= 3
+	if seg, off := m.segment(ea); seg != nil {
+		seg[off] = byte(v)
+		seg[off+1] = byte(v >> 8)
+		seg[off+2] = byte(v >> 16)
+		seg[off+3] = byte(v >> 24)
+		return
+	}
+	if m.stray == nil {
+		m.stray = make(map[uint64]uint32)
+	}
+	m.stray[ea] = v
+}
+
+// Run executes up to maxInsts instructions (or until halt) and returns the
+// number executed. It is the convenience used by tests and tools that do
+// not need the per-instruction stream.
+func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	var n uint64
+	for n < maxInsts && !m.halted {
+		if _, err := m.Step(); err != nil {
+			if errors.Is(err, ErrHalted) {
+				break
+			}
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,212 @@
+package emu
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// run assembles insts (with a final halt appended), runs them to
+// completion, and returns the machine for register inspection.
+func run(t *testing.T, insts []isa.Inst) *Machine {
+	t.Helper()
+	insts = append(insts, isa.Inst{Op: isa.OpHalt})
+	p, err := program.FromInsts("semantics", insts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if _, err := m.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("did not halt")
+	}
+	return m
+}
+
+// li loads a small constant into rd.
+func li(rd isa.Reg, v int32) isa.Inst {
+	return isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: isa.RegZero, Imm: v}
+}
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		prog []isa.Inst
+		reg  isa.Reg
+		want uint32
+	}{
+		{"add", []isa.Inst{li(1, 7), li(2, 5), {Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 12},
+		{"sub", []isa.Inst{li(1, 7), li(2, 5), {Op: isa.OpSub, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 2},
+		{"sub-underflow", []isa.Inst{li(1, 5), li(2, 7), {Op: isa.OpSub, Rd: 3, Rs1: 1, Rs2: 2}}, 3, ^uint32(1)},
+		{"and", []isa.Inst{li(1, 0xff), li(2, 0x0f), {Op: isa.OpAnd, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 0x0f},
+		{"or", []isa.Inst{li(1, 0xf0), li(2, 0x0f), {Op: isa.OpOr, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 0xff},
+		{"xor", []isa.Inst{li(1, 0xff), li(2, 0x0f), {Op: isa.OpXor, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 0xf0},
+		{"slt-true", []isa.Inst{li(1, -3), li(2, 2), {Op: isa.OpSlt, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 1},
+		{"slt-false", []isa.Inst{li(1, 2), li(2, -3), {Op: isa.OpSlt, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 0},
+		{"mul", []isa.Inst{li(1, 6), li(2, 7), {Op: isa.OpMul, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 42},
+		{"sll", []isa.Inst{li(1, 3), li(2, 4), {Op: isa.OpSll, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 48},
+		{"srl", []isa.Inst{li(1, 48), li(2, 4), {Op: isa.OpSrl, Rd: 3, Rs1: 1, Rs2: 2}}, 3, 3},
+		{"sra-sign", []isa.Inst{li(1, -8), li(2, 2), {Op: isa.OpSra, Rd: 3, Rs1: 1, Rs2: 2}}, 3, ^uint32(1)},
+		{"addi", []isa.Inst{li(1, 10), {Op: isa.OpAddi, Rd: 3, Rs1: 1, Imm: -4}}, 3, 6},
+		{"andi", []isa.Inst{li(1, 0x7f), {Op: isa.OpAndi, Rd: 3, Rs1: 1, Imm: 0x0f}}, 3, 0x0f},
+		{"ori", []isa.Inst{li(1, 0x70), {Op: isa.OpOri, Rd: 3, Rs1: 1, Imm: 0x07}}, 3, 0x77},
+		{"xori", []isa.Inst{li(1, 0x7f), {Op: isa.OpXori, Rd: 3, Rs1: 1, Imm: 0x0f}}, 3, 0x70},
+		{"slti", []isa.Inst{li(1, -1), {Op: isa.OpSlti, Rd: 3, Rs1: 1, Imm: 0}}, 3, 1},
+		{"slli", []isa.Inst{li(1, 5), {Op: isa.OpSlli, Rd: 3, Rs1: 1, Imm: 3}}, 3, 40},
+		{"srli", []isa.Inst{li(1, 40), {Op: isa.OpSrli, Rd: 3, Rs1: 1, Imm: 3}}, 3, 5},
+		{"lui", []isa.Inst{{Op: isa.OpLui, Rd: 3, Imm: 5}}, 3, 5 << isa.LuiShift},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := run(t, c.prog)
+			if got := m.IntReg(c.reg); got != c.want {
+				t.Errorf("%s: r%d = %#x, want %#x", c.name, c.reg, got, c.want)
+			}
+		})
+	}
+}
+
+func TestMemorySemantics(t *testing.T) {
+	// Store 0xabcd at DataBase+64, load it back.
+	prog := []isa.Inst{
+		{Op: isa.OpLui, Rd: 1, Imm: program.DataBase >> isa.LuiShift},
+		li(2, 0x1bcd),
+		{Op: isa.OpSw, Rs1: 1, Rs2: 2, Imm: 64},
+		{Op: isa.OpLw, Rd: 3, Rs1: 1, Imm: 64},
+		{Op: isa.OpLw, Rd: 4, Rs1: 1, Imm: 68}, // untouched word reads 0
+	}
+	m := run(t, prog)
+	if got := m.IntReg(3); got != 0x1bcd {
+		t.Errorf("loaded %#x", got)
+	}
+	if got := m.IntReg(4); got != 0 {
+		t.Errorf("untouched word = %#x", got)
+	}
+}
+
+func TestBranchSemantics(t *testing.T) {
+	// beq taken skips the poison write.
+	prog := []isa.Inst{
+		li(1, 5),
+		li(2, 5),
+		{Op: isa.OpBeq, Rs1: 1, Rs2: 2, Imm: 1}, // skip next
+		li(3, 99),                               // poison
+		li(4, 1),
+	}
+	m := run(t, prog)
+	if m.IntReg(3) != 0 || m.IntReg(4) != 1 {
+		t.Errorf("beq taken: r3=%d r4=%d", m.IntReg(3), m.IntReg(4))
+	}
+
+	// bne not taken executes fallthrough.
+	prog = []isa.Inst{
+		li(1, 5),
+		li(2, 5),
+		{Op: isa.OpBne, Rs1: 1, Rs2: 2, Imm: 1},
+		li(3, 42),
+	}
+	m = run(t, prog)
+	if m.IntReg(3) != 42 {
+		t.Errorf("bne not-taken: r3=%d", m.IntReg(3))
+	}
+
+	// blt/bge are signed.
+	prog = []isa.Inst{
+		li(1, -1),
+		li(2, 1),
+		{Op: isa.OpBlt, Rs1: 1, Rs2: 2, Imm: 1}, // -1 < 1: taken
+		li(3, 99),
+		{Op: isa.OpBge, Rs1: 1, Rs2: 2, Imm: 1}, // -1 >= 1: not taken
+		li(4, 7),
+	}
+	m = run(t, prog)
+	if m.IntReg(3) != 0 || m.IntReg(4) != 7 {
+		t.Errorf("signed branches: r3=%d r4=%d", m.IntReg(3), m.IntReg(4))
+	}
+}
+
+func TestJumpAndLinkSemantics(t *testing.T) {
+	// main: jal f (index 2); after return set r4. f: set r3, jr r31.
+	prog := []isa.Inst{
+		{Op: isa.OpJal, Imm: program.WordTarget(2)}, // 0: call f
+		{Op: isa.OpJ, Imm: program.WordTarget(4)},   // 1: jump to end
+		li(3, 11),                        // 2: f body
+		{Op: isa.OpJr, Rs1: isa.RegLink}, // 3: return
+		li(4, 22),                        // 4: end
+	}
+	m := run(t, prog)
+	if m.IntReg(3) != 11 || m.IntReg(4) != 22 {
+		t.Errorf("call/return: r3=%d r4=%d", m.IntReg(3), m.IntReg(4))
+	}
+}
+
+func TestJalrSemantics(t *testing.T) {
+	// Compute the target address in a register and call through it.
+	target := uint32(program.CodeBase) + 4*4
+	prog := []isa.Inst{
+		{Op: isa.OpLui, Rd: 5, Imm: int32(target >> isa.LuiShift)},
+		{Op: isa.OpOri, Rd: 5, Rs1: 5, Imm: int32(target & (1<<isa.LuiShift - 1))},
+		{Op: isa.OpJalr, Rd: isa.RegLink, Rs1: 5}, // 2: indirect call
+		{Op: isa.OpJ, Imm: program.WordTarget(6)}, // 3: to end
+		li(3, 33),                        // 4: callee
+		{Op: isa.OpJr, Rs1: isa.RegLink}, // 5: return to 3
+		li(4, 44),                        // 6: end
+	}
+	m := run(t, prog)
+	if m.IntReg(3) != 33 || m.IntReg(4) != 44 {
+		t.Errorf("jalr: r3=%d r4=%d", m.IntReg(3), m.IntReg(4))
+	}
+}
+
+func TestLoopSemantics(t *testing.T) {
+	// r1 counts 10 down to 0; r2 accumulates.
+	prog := []isa.Inst{
+		li(1, 10),
+		li(2, 0),
+		{Op: isa.OpAdd, Rd: 2, Rs1: 2, Rs2: 1},   // 2: r2 += r1
+		{Op: isa.OpAddi, Rd: 1, Rs1: 1, Imm: -1}, // 3: r1--
+		{Op: isa.OpBne, Rs1: 1, Rs2: 0, Imm: -3}, // 4: loop to 2
+	}
+	m := run(t, prog)
+	if got := m.IntReg(2); got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestFPSemanticsDoNotTrap(t *testing.T) {
+	// FP ops must execute without affecting integer state.
+	f0 := isa.FPBase
+	prog := []isa.Inst{
+		li(1, 77),
+		{Op: isa.OpFadd, Rd: f0 + 2, Rs1: f0, Rs2: f0 + 1},
+		{Op: isa.OpFsub, Rd: f0 + 3, Rs1: f0 + 2, Rs2: f0},
+		{Op: isa.OpFmul, Rd: f0 + 4, Rs1: f0 + 3, Rs2: f0 + 2},
+		{Op: isa.OpFneg, Rd: f0 + 5, Rs1: f0 + 4},
+	}
+	m := run(t, prog)
+	if m.IntReg(1) != 77 {
+		t.Errorf("integer state disturbed: r1=%d", m.IntReg(1))
+	}
+}
+
+func TestStackSemantics(t *testing.T) {
+	// Classic push/pop through the stack segment.
+	prog := []isa.Inst{
+		{Op: isa.OpLui, Rd: isa.RegSP, Imm: program.StackBase >> isa.LuiShift},
+		{Op: isa.OpAddi, Rd: isa.RegSP, Rs1: isa.RegSP, Imm: -16},
+		li(1, 123),
+		{Op: isa.OpSw, Rs1: isa.RegSP, Rs2: 1, Imm: 4},
+		li(1, 0),
+		{Op: isa.OpLw, Rd: 2, Rs1: isa.RegSP, Imm: 4},
+	}
+	m := run(t, prog)
+	if m.IntReg(2) != 123 {
+		t.Errorf("stack round-trip = %d", m.IntReg(2))
+	}
+	if m.StrayAccesses() != 0 {
+		t.Errorf("%d stray accesses", m.StrayAccesses())
+	}
+}

@@ -1,0 +1,135 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment is a named runner producing a formatted
+// table plus structured data that bench targets and tests assert against.
+// The same runners back cmd/pfe-bench and the repository's bench_test.go,
+// so the printed artifacts are identical either way.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	pfe "github.com/parallel-frontend/pfe"
+)
+
+// Options bounds experiment runs.
+type Options struct {
+	// Warmup and Measure are per-simulation instruction budgets.
+	Warmup  int64
+	Measure int64
+	// Benchmarks restricts the suite (nil = all twelve).
+	Benchmarks []string
+	// Workers caps concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Default returns the harness budgets used for the recorded results in
+// EXPERIMENTS.md.
+func Default() Options { return Options{Warmup: 100_000, Measure: 300_000} }
+
+// CI returns reduced budgets for tests.
+func CI() Options { return Options{Warmup: 20_000, Measure: 60_000} }
+
+func (o Options) benches() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return pfe.Benchmarks()
+}
+
+func (o Options) runOpts() pfe.RunOptions {
+	if o.Measure == 0 {
+		o = Default()
+	}
+	return pfe.RunOptions{WarmupInsts: o.Warmup, MeasureInsts: o.Measure}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cell identifies one simulation in a sweep.
+type cell struct {
+	bench   string
+	machine pfe.Machine
+	key     string // caller-defined config key
+}
+
+// runCells executes all cells (concurrently up to Workers) and returns
+// results keyed by (bench, key).
+func runCells(o Options, cells []cell) (map[[2]string]*pfe.Result, error) {
+	type outcome struct {
+		c   cell
+		r   *pfe.Result
+		err error
+	}
+	results := make(map[[2]string]*pfe.Result, len(cells))
+	sem := make(chan struct{}, o.workers())
+	out := make(chan outcome, len(cells))
+	var wg sync.WaitGroup
+	for _, c := range cells {
+		wg.Add(1)
+		go func(c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := pfe.Run(c.bench, c.machine, o.runOpts())
+			out <- outcome{c: c, r: r, err: err}
+		}(c)
+	}
+	wg.Wait()
+	close(out)
+	for oc := range out {
+		if oc.err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", oc.c.key, oc.c.bench, oc.err)
+		}
+		results[[2]string{oc.c.bench, oc.c.key}] = oc.r
+	}
+	return results, nil
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string // "table1", "table2", "fig4" ... "fig10", "construction"
+	Title string
+	Run   func(Options) (fmt.Stringer, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table 1: Simulation Parameters", Run: runTable1},
+		{ID: "table2", Title: "Table 2: Benchmark Characteristics", Run: runTable2},
+		{ID: "fig4", Title: "Figure 4: Fetch Slot Utilization", Run: runFig4},
+		{ID: "fig5", Title: "Figure 5: Fetch and Rename Rates", Run: runFig5},
+		{ID: "fig6", Title: "Figure 6: Parallel Rename with a Trace Cache", Run: runFig6},
+		{ID: "fig7", Title: "Figure 7: Live-Out Predictor Accuracy", Run: runFig7},
+		{ID: "fig8", Title: "Figure 8: Performance", Run: runFig8},
+		{ID: "fig9", Title: "Figure 9: Sensitivity to Cache Size", Run: runFig9},
+		{ID: "fig10", Title: "Figure 10: Sensitivity to Fragment Predictor Size", Run: runFig10},
+		{ID: "construction", Title: "§3.2/§3.3: Fragment Buffers and Construction", Run: runConstruction},
+		{ID: "delayed", Title: "Ablation: Delayed vs Live-Out Parallel Rename (§4)", Run: runDelayed},
+		{ID: "switchonmiss", Title: "Ablation: Switch-on-Miss Sequencers (§2.2)", Run: runSwitchOnMiss},
+		{ID: "fragsel", Title: "Ablation: Fragment Selection Heuristics (§6)", Run: runFragSel},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

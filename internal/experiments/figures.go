@@ -1,0 +1,434 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/stats"
+)
+
+// SweepResult is the common shape of the simulation-driven figures: one
+// float per (benchmark, config-key), plus a per-config summary mean.
+type SweepResult struct {
+	Title   string
+	Metric  string // what the values are
+	Benches []string
+	Keys    []string
+	Values  map[[2]string]float64 // (bench, key) -> metric
+	Summary map[string]float64    // key -> mean across benches
+	Note    string
+}
+
+// Value returns the metric for (bench, key).
+func (r *SweepResult) Value(bench, key string) float64 {
+	return r.Values[[2]string{bench, key}]
+}
+
+// String renders one row per benchmark, one column per config, plus the
+// summary row.
+func (r *SweepResult) String() string {
+	header := append([]string{"Benchmark"}, r.Keys...)
+	t := stats.NewTable(r.Title, header...)
+	for _, b := range r.Benches {
+		row := []string{b}
+		for _, k := range r.Keys {
+			row = append(row, fmt.Sprintf("%.2f", r.Value(b, k)))
+		}
+		t.AddRow(row...)
+	}
+	srow := []string{"MEAN"}
+	for _, k := range r.Keys {
+		srow = append(srow, fmt.Sprintf("%.2f", r.Summary[k]))
+	}
+	t.AddRow(srow...)
+	var b strings.Builder
+	b.WriteString(t.String())
+	if r.Note != "" {
+		b.WriteString(r.Note)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sweep runs benches × machines and projects a metric.
+func sweep(o Options, title, metric string, machines []pfe.Machine, keys []string,
+	project func(*pfe.Result) float64, mean func([]float64) float64) (*SweepResult, error) {
+
+	var cells []cell
+	for _, b := range o.benches() {
+		for i, m := range machines {
+			cells = append(cells, cell{bench: b, machine: m, key: keys[i]})
+		}
+	}
+	results, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	r := &SweepResult{
+		Title:   title,
+		Metric:  metric,
+		Benches: o.benches(),
+		Keys:    keys,
+		Values:  make(map[[2]string]float64),
+		Summary: make(map[string]float64),
+	}
+	for _, k := range keys {
+		var xs []float64
+		for _, b := range r.Benches {
+			v := project(results[[2]string{b, k}])
+			r.Values[[2]string{b, k}] = v
+			xs = append(xs, v)
+		}
+		r.Summary[k] = mean(xs)
+	}
+	return r, nil
+}
+
+// runFig4 reproduces Figure 4: fetch slot utilization per mechanism
+// (harmonic mean across benchmarks, as in the paper).
+func runFig4(o Options) (fmt.Stringer, error) {
+	fes := []pfe.FrontEnd{pfe.W16, pfe.TC, pfe.TC2x, pfe.PF2x8w, pfe.PF4x4w}
+	machines := make([]pfe.Machine, len(fes))
+	keys := make([]string, len(fes))
+	for i, fe := range fes {
+		machines[i] = pfe.Preset(fe)
+		keys[i] = string(fe)
+	}
+	r, err := sweep(o, "Figure 4: Fetch Slot Utilization", "slot utilization",
+		machines, keys,
+		func(res *pfe.Result) float64 { return res.FetchSlotUtilization },
+		stats.HarmonicMean)
+	if err != nil {
+		return nil, err
+	}
+	r.Note = "paper (harmonic means): W16 ~0.40, TC/TC2x ~0.60, PF-2x8w ~0.70, PF-4x4w ~0.80"
+	return r, nil
+}
+
+// Fig5Result holds Figure 5: per-mechanism fetch and rename rates.
+type Fig5Result struct {
+	Keys   []string
+	Fetch  map[string]float64
+	Rename map[string]float64
+}
+
+func runFig5(o Options) (fmt.Stringer, error) {
+	fes := []pfe.FrontEnd{pfe.W16, pfe.TC, pfe.TC2x, pfe.PF2x8w, pfe.PF4x4w, pfe.PR2x8w, pfe.PR4x4w}
+	var cells []cell
+	for _, b := range o.benches() {
+		for _, fe := range fes {
+			cells = append(cells, cell{bench: b, machine: pfe.Preset(fe), key: string(fe)})
+		}
+	}
+	results, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig5Result{Fetch: map[string]float64{}, Rename: map[string]float64{}}
+	for _, fe := range fes {
+		k := string(fe)
+		r.Keys = append(r.Keys, k)
+		var f, rn []float64
+		for _, b := range o.benches() {
+			res := results[[2]string{b, k}]
+			f = append(f, res.FetchRate)
+			rn = append(rn, res.RenameRate)
+		}
+		r.Fetch[k] = stats.ArithmeticMean(f)
+		r.Rename[k] = stats.ArithmeticMean(rn)
+	}
+	return r, nil
+}
+
+// String renders fetch and rename instructions/cycle per mechanism.
+func (r *Fig5Result) String() string {
+	t := stats.NewTable("Figure 5: Instructions Fetched and Renamed per Cycle (incl. wrong path)",
+		"Mechanism", "Fetch/cyc", "Rename/cyc")
+	for _, k := range r.Keys {
+		t.AddRow(k, fmt.Sprintf("%.2f", r.Fetch[k]), fmt.Sprintf("%.2f", r.Rename[k]))
+	}
+	return t.String() +
+		"paper: PF fetch ~7/cyc (+20% vs TC, +49% vs W16); PR rename ~= PF rename +13%\n"
+}
+
+// runFig6 reproduces Figure 6: the performance penalty of replacing a
+// monolithic renamer with a parallel renamer under a trace-cache fetch unit
+// (percent slowdown vs TC; positive = slower).
+func runFig6(o Options) (fmt.Stringer, error) {
+	machines := []pfe.Machine{pfe.Preset(pfe.TC), pfe.Preset(pfe.TCPR2x8w), pfe.Preset(pfe.TCPR4x4w)}
+	keys := []string{"TC", "TC+PR-2x8w", "TC+PR-4x4w"}
+	var cells []cell
+	for _, b := range o.benches() {
+		for i, m := range machines {
+			cells = append(cells, cell{bench: b, machine: m, key: keys[i]})
+		}
+	}
+	results, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	r := &SweepResult{
+		Title:   "Figure 6: Slowdown of Parallel Renaming under Trace-Cache Fetch (% vs TC)",
+		Metric:  "% slowdown",
+		Benches: o.benches(),
+		Keys:    keys[1:],
+		Values:  map[[2]string]float64{},
+		Summary: map[string]float64{},
+	}
+	for _, k := range r.Keys {
+		var xs []float64
+		for _, b := range r.Benches {
+			base := results[[2]string{b, "TC"}].IPC
+			v := -stats.Speedup(base, results[[2]string{b, k}].IPC)
+			r.Values[[2]string{b, k}] = v
+			xs = append(xs, v)
+		}
+		r.Summary[k] = stats.ArithmeticMean(xs)
+	}
+	r.Note = "paper: 2x8w ~1% average slowdown, 4x4w ~3.5%"
+	return r, nil
+}
+
+// runFig8 reproduces Figure 8: percent speedup over W16 for TC, TC2x,
+// PF/PR-2x8w and PF/PR-4x4w (the PR bars' lower sections are the PF
+// configurations).
+func runFig8(o Options) (fmt.Stringer, error) {
+	fes := []pfe.FrontEnd{pfe.W16, pfe.TC, pfe.TC2x, pfe.PF2x8w, pfe.PF4x4w, pfe.PR2x8w, pfe.PR4x4w}
+	var cells []cell
+	for _, b := range o.benches() {
+		for _, fe := range fes {
+			cells = append(cells, cell{bench: b, machine: pfe.Preset(fe), key: string(fe)})
+		}
+	}
+	results, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	keys := []string{"TC", "TC2x", "PF-2x8w", "PR-2x8w", "PF-4x4w", "PR-4x4w"}
+	r := &SweepResult{
+		Title:   "Figure 8: Performance (% speedup over W16)",
+		Metric:  "% speedup vs W16",
+		Benches: o.benches(),
+		Keys:    keys,
+		Values:  map[[2]string]float64{},
+		Summary: map[string]float64{},
+	}
+	for _, k := range keys {
+		var xs []float64
+		for _, b := range r.Benches {
+			base := results[[2]string{b, "W16"}].IPC
+			v := stats.Speedup(base, results[[2]string{b, k}].IPC)
+			r.Values[[2]string{b, k}] = v
+			xs = append(xs, v)
+		}
+		r.Summary[k] = stats.ArithmeticMean(xs)
+	}
+	r.Note = "paper: PR-2x8w ~= TC2x with half the storage, ~TC+5%, ~W16+10-13%;\n" +
+		"PR-4x4w ~TC+3%; on large-footprint benchmarks (crafty/gcc/perl/vortex) PR-2x8w beats TC by 10-20%"
+	return r, nil
+}
+
+// runFig9 reproduces Figure 9: speedup over W16@64KB as total L1
+// instruction storage varies from 8 to 128 KB.
+func runFig9(o Options) (fmt.Stringer, error) {
+	sizes := []int{8, 16, 32, 64, 128}
+	fes := []pfe.FrontEnd{pfe.W16, pfe.TC, pfe.PR2x8w, pfe.PR4x4w}
+	var cells []cell
+	var keys []string
+	var machines []pfe.Machine
+	for _, fe := range fes {
+		for _, kb := range sizes {
+			keys = append(keys, fmt.Sprintf("%s@%dKB", fe, kb))
+			machines = append(machines, pfe.Preset(fe).WithTotalL1I(kb))
+		}
+	}
+	for _, b := range o.benches() {
+		for i := range machines {
+			cells = append(cells, cell{bench: b, machine: machines[i], key: keys[i]})
+		}
+	}
+	results, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Fig9Result{Sizes: sizes}
+	for _, fe := range fes {
+		r.FrontEnds = append(r.FrontEnds, string(fe))
+	}
+	r.Speedup = map[[2]string]float64{}
+	for _, fe := range fes {
+		for _, kb := range sizes {
+			k := fmt.Sprintf("%s@%dKB", fe, kb)
+			var xs []float64
+			for _, b := range o.benches() {
+				base := results[[2]string{b, "W16@64KB"}].IPC
+				xs = append(xs, results[[2]string{b, k}].IPC/base)
+			}
+			r.Speedup[[2]string{string(fe), fmt.Sprintf("%d", kb)}] = stats.GeometricMean(xs)
+		}
+	}
+	return r, nil
+}
+
+// Fig9Result holds the cache-size sensitivity curves.
+type Fig9Result struct {
+	Sizes     []int
+	FrontEnds []string
+	Speedup   map[[2]string]float64 // (frontend, sizeKB) -> mean speedup vs W16@64KB
+}
+
+// At returns the mean speedup for a front-end at a total-storage point.
+func (r *Fig9Result) At(fe string, kb int) float64 {
+	return r.Speedup[[2]string{fe, fmt.Sprintf("%d", kb)}]
+}
+
+// String renders one row per front-end, one column per storage size, plus
+// an ASCII rendition of the figure's curves.
+func (r *Fig9Result) String() string {
+	header := []string{"FrontEnd"}
+	for _, kb := range r.Sizes {
+		header = append(header, fmt.Sprintf("%d KB", kb))
+	}
+	t := stats.NewTable("Figure 9: Sensitivity to Cache Size (speedup vs W16@64KB, geometric mean)", header...)
+	xs := make([]float64, len(r.Sizes))
+	for i := range r.Sizes {
+		xs[i] = float64(i) // log-spaced axis: one step per doubling
+	}
+	plot := stats.NewPlot("", xs...)
+	plot.XLabel = "total L1 instruction storage (8, 16, 32, 64, 128 KB)"
+	for _, fe := range r.FrontEnds {
+		row := []string{fe}
+		ys := make([]float64, 0, len(r.Sizes))
+		for _, kb := range r.Sizes {
+			v := r.At(fe, kb)
+			row = append(row, fmt.Sprintf("%.3f", v))
+			ys = append(ys, v)
+		}
+		t.AddRow(row...)
+		plot.AddSeries(fe, ys...)
+	}
+	return t.String() + plot.String() +
+		"paper: PR loses only ~6% from 128KB to 8KB; sequential fetch is 50-62% slower than PR at small sizes;\nTC has the steepest slope\n"
+}
+
+// runFig10 reproduces Figure 10: speedup over W16 (with the default 64K
+// predictor) as the fragment predictor's primary table varies.
+func runFig10(o Options) (fmt.Stringer, error) {
+	entries := []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10}
+	fes := []pfe.FrontEnd{pfe.TC, pfe.PR2x8w, pfe.PR4x4w}
+	var cells []cell
+	for _, b := range o.benches() {
+		cells = append(cells, cell{bench: b, machine: pfe.Preset(pfe.W16), key: "W16"})
+		for _, fe := range fes {
+			for _, e := range entries {
+				cells = append(cells, cell{
+					bench:   b,
+					machine: pfe.Preset(fe).WithPredictorEntries(e),
+					key:     fmt.Sprintf("%s@%dK", fe, e>>10),
+				})
+			}
+		}
+	}
+	results, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	r := &Fig10Result{Entries: entries}
+	for _, fe := range fes {
+		r.FrontEnds = append(r.FrontEnds, string(fe))
+	}
+	r.Speedup = map[[2]string]float64{}
+	for _, fe := range fes {
+		for _, e := range entries {
+			k := fmt.Sprintf("%s@%dK", fe, e>>10)
+			var xs []float64
+			for _, b := range o.benches() {
+				base := results[[2]string{b, "W16"}].IPC
+				xs = append(xs, results[[2]string{b, k}].IPC/base)
+			}
+			r.Speedup[[2]string{string(fe), fmt.Sprintf("%d", e>>10)}] = stats.GeometricMean(xs)
+		}
+	}
+	return r, nil
+}
+
+// Fig10Result holds the predictor-size sensitivity curves.
+type Fig10Result struct {
+	Entries   []int
+	FrontEnds []string
+	Speedup   map[[2]string]float64
+}
+
+// At returns the mean speedup for a front-end at a predictor size.
+func (r *Fig10Result) At(fe string, entries int) float64 {
+	return r.Speedup[[2]string{fe, fmt.Sprintf("%d", entries>>10)}]
+}
+
+// String renders one row per front-end, one column per predictor size, plus
+// the curves.
+func (r *Fig10Result) String() string {
+	header := []string{"FrontEnd"}
+	for _, e := range r.Entries {
+		header = append(header, fmt.Sprintf("%dK", e>>10))
+	}
+	t := stats.NewTable("Figure 10: Sensitivity to Fragment Predictor Size (speedup vs W16, geometric mean)", header...)
+	xs := make([]float64, len(r.Entries))
+	for i := range r.Entries {
+		xs[i] = float64(i)
+	}
+	plot := stats.NewPlot("", xs...)
+	plot.XLabel = "fragment predictor primary entries (16K, 32K, 64K, 128K, 256K)"
+	for _, fe := range r.FrontEnds {
+		row := []string{fe}
+		ys := make([]float64, 0, len(r.Entries))
+		for _, e := range r.Entries {
+			v := r.At(fe, e)
+			row = append(row, fmt.Sprintf("%.3f", v))
+			ys = append(ys, v)
+		}
+		t.AddRow(row...)
+		plot.AddSeries(fe, ys...)
+	}
+	return t.String() + plot.String() + "paper: ~1.25% gain per predictor doubling for all mechanisms\n"
+}
+
+// runConstruction reproduces the §3.2/§3.3 claims: fragment-buffer reuse
+// (20-70% with 16 buffers) and fragments fully constructed before rename
+// reads them (~84%, vs the trace cache's ~87% hit rate).
+func runConstruction(o Options) (fmt.Stringer, error) {
+	var cells []cell
+	for _, b := range o.benches() {
+		cells = append(cells, cell{bench: b, machine: pfe.Preset(pfe.PF2x8w), key: "PF-2x8w"})
+		cells = append(cells, cell{bench: b, machine: pfe.Preset(pfe.TC), key: "TC"})
+	}
+	results, err := runCells(o, cells)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("§3.2/§3.3: Fragment Buffer Reuse and Just-in-Time Construction",
+		"Benchmark", "Buffer reuse", "Constructed before rename", "TC hit rate")
+	var reuse, early, tchit []float64
+	for _, b := range o.benches() {
+		pf := results[[2]string{b, "PF-2x8w"}]
+		tc := results[[2]string{b, "TC"}]
+		t.AddRow(b,
+			fmt.Sprintf("%.2f", pf.BufferReuseRate),
+			fmt.Sprintf("%.2f", pf.FragsConstructedEarly),
+			fmt.Sprintf("%.2f", tc.TCHitRate))
+		reuse = append(reuse, pf.BufferReuseRate)
+		early = append(early, pf.FragsConstructedEarly)
+		tchit = append(tchit, tc.TCHitRate)
+	}
+	t.AddRow("MEAN",
+		fmt.Sprintf("%.2f", stats.ArithmeticMean(reuse)),
+		fmt.Sprintf("%.2f", stats.ArithmeticMean(early)),
+		fmt.Sprintf("%.2f", stats.ArithmeticMean(tchit)))
+	return stringerString(t.String() +
+		"paper: reuse 20-70%; 84% of fragments complete before rename; TC hit rate ~87%\n"), nil
+}
+
+type stringerString string
+
+func (s stringerString) String() string { return string(s) }

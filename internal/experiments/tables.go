@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/frag"
+	"github.com/parallel-frontend/pfe/internal/program"
+	"github.com/parallel-frontend/pfe/internal/stats"
+)
+
+// Table1Result reproduces Table 1: the simulated processor parameters.
+type Table1Result struct{}
+
+func runTable1(Options) (fmt.Stringer, error) { return Table1Result{}, nil }
+
+// String prints the machine description in the paper's Table 1 layout.
+func (Table1Result) String() string {
+	t := stats.NewTable("Table 1: Simulation Parameters", "Parameter", "Value")
+	t.AddRow("Width", "Fetch, decode and commit at most 16 instructions per cycle")
+	t.AddRow("Functional Units", "16 Int adders, 4 Int multipliers, 4 FP adders,")
+	t.AddRow("", "1 FP multiplier, 4 load/store units")
+	t.AddRow("Window", "256 entry instruction window")
+	t.AddRow("L1 Caches (I & D)", "64 KB, 2-way set-associative, 1 cycle access,")
+	t.AddRow("", "64 byte blocks (16 instructions per block)")
+	t.AddRow("L2 Cache (Unified)", "1 MB, 4-way set-associative, 10 cycle access, 128 byte blocks")
+	t.AddRow("Memory", "100 cycle access time")
+	t.AddRow("Trace & Fragment Predictor", "DOLC path-based, 64K entry primary table,")
+	t.AddRow("", "16K entry secondary table, D=9 O=4 L=7 C=9")
+	t.AddRow("Parallel Fetch and Rename", "16 fragment buffers, 16 instructions each (1 KB);")
+	t.AddRow("", "2-way 4K entry live-out predictor (84 bits per entry, 42 KB)")
+	return t.String()
+}
+
+// Table2Result reproduces Table 2: benchmark, input, average fragment size.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2Row is one benchmark's characteristics.
+type Table2Row struct {
+	Bench       string
+	Input       string
+	AvgFragSize float64
+	PaperSize   float64
+	CodeKB      float64
+}
+
+// paperFragSizes records Table 2's published values for side-by-side
+// comparison.
+var paperFragSizes = map[string]float64{
+	"bzip2": 12.79, "crafty": 11.99, "eon": 10.98, "gap": 10.69,
+	"gcc": 11.15, "gzip": 12.06, "mcf": 9.04, "parser": 10.35,
+	"perl": 11.32, "twolf": 12.16, "vortex": 11.20, "vpr": 12.33,
+}
+
+func runTable2(o Options) (fmt.Stringer, error) {
+	res := &Table2Result{}
+	budget := o.Measure
+	if budget == 0 {
+		budget = Default().Measure
+	}
+	for _, name := range o.benches() {
+		spec, err := program.SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := program.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := averageFragSize(p, budget)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table2Row{
+			Bench:       name,
+			Input:       spec.Input,
+			AvgFragSize: avg,
+			PaperSize:   paperFragSizes[name],
+			CodeKB:      float64(p.CodeBytes()) / 1024,
+		})
+	}
+	return res, nil
+}
+
+// averageFragSize splits the benchmark's true dynamic stream into fragments
+// and returns the mean length.
+func averageFragSize(p *program.Program, budget int64) (float64, error) {
+	m := emu.New(p)
+	var stream []frag.Dyn
+	var total, frags int64
+	for total < budget {
+		for len(stream) < 2*frag.MaxLen && !m.Halted() {
+			d, err := m.Step()
+			if err != nil {
+				return 0, err
+			}
+			stream = append(stream, frag.Dyn{PC: d.PC, Inst: d.Inst, Taken: d.Taken})
+		}
+		if len(stream) == 0 {
+			break
+		}
+		n, _ := frag.Split(stream)
+		stream = stream[:copy(stream, stream[n:])]
+		total += int64(n)
+		frags++
+	}
+	if frags == 0 {
+		return 0, fmt.Errorf("experiments: %s produced no fragments", p.Name)
+	}
+	return float64(total) / float64(frags), nil
+}
+
+// String renders the table with the paper's values alongside.
+func (r *Table2Result) String() string {
+	t := stats.NewTable("Table 2: Benchmark Characteristics",
+		"Benchmark", "Input", "Avg Frag Size", "Paper", "Code KB")
+	var sum float64
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, row.Input,
+			fmt.Sprintf("%.2f", row.AvgFragSize),
+			fmt.Sprintf("%.2f", row.PaperSize),
+			fmt.Sprintf("%.0f", row.CodeKB))
+		sum += row.AvgFragSize
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "mean fragment size: %.2f (paper: 11.42)\n", sum/float64(len(r.Rows)))
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package frag
+
+// Buffer is one fragment buffer (§3.2): a FIFO of instructions large enough
+// for a whole fragment, plus fetch-progress state. Contents persist after
+// release so that a re-encountered fragment can be reused without touching
+// the instruction cache — the "tiny trace cache" behaviour the paper
+// measures at 20–70% reuse with 16 buffers.
+type Buffer struct {
+	Index int // position in the pool, fixed at construction
+
+	// Contents. Frag stays valid after release for reuse detection.
+	Frag *Fragment
+
+	// Allocation state for the current use.
+	InUse    bool
+	Seq      uint64 // program-order fragment number of the current use
+	Fetched  int    // instructions available to rename (prefix length)
+	Complete bool   // Fetched == Frag.Len()
+	Reused   bool   // this use was satisfied from stale contents
+	Renamed  int    // instructions already consumed by the rename stage
+}
+
+// reset prepares the buffer for a new use with fragment f.
+func (b *Buffer) reset(f *Fragment, seq uint64, reused bool) {
+	b.Frag = f
+	b.InUse = true
+	b.Seq = seq
+	b.Reused = reused
+	b.Renamed = 0
+	if reused {
+		b.Fetched = f.Len()
+		b.Complete = true
+	} else {
+		b.Fetched = 0
+		b.Complete = false
+	}
+}
+
+// MarkFetched records that n more instructions arrived from the sequencer.
+func (b *Buffer) MarkFetched(n int) {
+	b.Fetched += n
+	if b.Fetched >= b.Frag.Len() {
+		b.Fetched = b.Frag.Len()
+		b.Complete = true
+	}
+}
+
+// Pool is the array of fragment buffers. Allocation is in predicted program
+// order; victims among free buffers are chosen round-robin, which matches
+// the paper's description of buffers being "reallocated" in turn.
+type Pool struct {
+	bufs   []*Buffer
+	victim int
+
+	allocs int64
+	reuses int64
+}
+
+// NewPool creates a pool of n buffers.
+func NewPool(n int) *Pool {
+	p := &Pool{bufs: make([]*Buffer, n)}
+	for i := range p.bufs {
+		p.bufs[i] = &Buffer{Index: i}
+	}
+	return p
+}
+
+// Size returns the number of buffers.
+func (p *Pool) Size() int { return len(p.bufs) }
+
+// Buffer returns the i-th buffer (used by the fetch and rename stages to
+// walk program order).
+func (p *Pool) Buffer(i int) *Buffer { return p.bufs[i] }
+
+// Allocate assigns a free buffer to the fragment built by build (called only
+// if no reusable copy exists). It returns nil if every buffer is in use —
+// the fetch unit stalls. If a released buffer still holds the same fragment
+// ID, that buffer is reused: its instructions are valid immediately and the
+// instruction cache is never consulted.
+func (p *Pool) Allocate(id ID, seq uint64, build func() *Fragment) (b *Buffer, reused bool) {
+	// Reuse scan: any free buffer still holding this fragment.
+	for _, cand := range p.bufs {
+		if !cand.InUse && cand.Frag != nil && cand.Frag.ID == id {
+			cand.reset(cand.Frag, seq, true)
+			p.allocs++
+			p.reuses++
+			return cand, true
+		}
+	}
+	// Round-robin victim among free buffers.
+	n := len(p.bufs)
+	for i := 0; i < n; i++ {
+		cand := p.bufs[(p.victim+i)%n]
+		if cand.InUse {
+			continue
+		}
+		p.victim = (cand.Index + 1) % n
+		cand.reset(build(), seq, false)
+		p.allocs++
+		return cand, false
+	}
+	return nil, false
+}
+
+// Release marks the buffer unused but keeps its contents for reuse.
+func (p *Pool) Release(b *Buffer) {
+	b.InUse = false
+	b.Complete = false
+	b.Fetched = 0
+	b.Renamed = 0
+}
+
+// SquashYounger releases every in-use buffer with Seq >= seq (fetch
+// redirect after a misprediction). Squashed contents are NOT kept for
+// reuse: a wrong-path fragment's instructions were fetched along a wrong
+// path, and keeping them would let mispredicted fragments shadow real ones.
+func (p *Pool) SquashYounger(seq uint64) {
+	for _, b := range p.bufs {
+		if b.InUse && b.Seq >= seq {
+			b.InUse = false
+			b.Complete = false
+			b.Fetched = 0
+			b.Renamed = 0
+			b.Frag = nil
+		}
+	}
+}
+
+// Oldest returns the in-use buffer with the smallest Seq, or nil.
+func (p *Pool) Oldest() *Buffer {
+	var best *Buffer
+	for _, b := range p.bufs {
+		if b.InUse && (best == nil || b.Seq < best.Seq) {
+			best = b
+		}
+	}
+	return best
+}
+
+// InUseCount returns how many buffers are currently allocated.
+func (p *Pool) InUseCount() int {
+	n := 0
+	for _, b := range p.bufs {
+		if b.InUse {
+			n++
+		}
+	}
+	return n
+}
+
+// Allocs and Reuses report allocation statistics; ReuseRate is the fraction
+// of allocations satisfied from stale buffer contents.
+func (p *Pool) Allocs() int64 { return p.allocs }
+func (p *Pool) Reuses() int64 { return p.reuses }
+func (p *Pool) ReuseRate() float64 {
+	if p.allocs == 0 {
+		return 0
+	}
+	return float64(p.reuses) / float64(p.allocs)
+}

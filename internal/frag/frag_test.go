@@ -1,0 +1,283 @@
+package frag
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+func straight(pc uint64, n int) []Dyn {
+	ds := make([]Dyn, n)
+	for i := range ds {
+		ds[i] = Dyn{PC: pc + uint64(i*4), Inst: isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 2}}
+	}
+	return ds
+}
+
+func TestSplitStopsAtSixteen(t *testing.T) {
+	n, id := Split(straight(0x1000, 40))
+	if n != MaxLen {
+		t.Errorf("straight-line fragment length = %d, want %d", n, MaxLen)
+	}
+	if id.StartPC != 0x1000 || id.NumBr != 0 {
+		t.Errorf("bad id %v", id)
+	}
+}
+
+func TestSplitStopsAtIndirect(t *testing.T) {
+	ds := straight(0x1000, 3)
+	ds = append(ds, Dyn{PC: 0x100c, Inst: isa.Inst{Op: isa.OpJr, Rs1: isa.RegLink}})
+	ds = append(ds, straight(0x2000, 10)...)
+	n, id := Split(ds)
+	if n != 4 {
+		t.Errorf("fragment with return at position 4: length %d, want 4", n)
+	}
+	if id.NumBr != 0 {
+		t.Errorf("return must not consume a direction bit: %v", id)
+	}
+}
+
+func TestSplitEarlyBranchContinues(t *testing.T) {
+	// A conditional branch at position 4 (<= 8) must not terminate.
+	ds := straight(0x1000, 3)
+	ds = append(ds, Dyn{PC: 0x100c, Inst: isa.Inst{Op: isa.OpBne, Rs1: 1, Rs2: 0, Imm: 10}, Taken: true})
+	ds = append(ds, straight(0x1038, 20)...)
+	n, id := Split(ds)
+	if n != MaxLen {
+		t.Errorf("length %d, want %d", n, MaxLen)
+	}
+	if id.NumBr != 1 || id.BrMask != 1 {
+		t.Errorf("expected one taken branch recorded, got %v", id)
+	}
+}
+
+func TestSplitLateBranchStops(t *testing.T) {
+	// A conditional branch at position 9 (> 8) terminates the fragment.
+	ds := straight(0x1000, 8)
+	ds = append(ds, Dyn{PC: 0x1020, Inst: isa.Inst{Op: isa.OpBeq, Rs1: 1, Rs2: 1, Imm: 5}, Taken: false})
+	ds = append(ds, straight(0x3000, 10)...)
+	n, id := Split(ds)
+	if n != 9 {
+		t.Errorf("length %d, want 9", n)
+	}
+	if id.NumBr != 1 || id.BrMask != 0 {
+		t.Errorf("expected one not-taken branch recorded, got %v", id)
+	}
+}
+
+func TestSplitBranchAtCutoffContinues(t *testing.T) {
+	// Position 8 exactly: must NOT stop ("after the eighth instruction").
+	ds := straight(0x1000, 7)
+	ds = append(ds, Dyn{PC: 0x101c, Inst: isa.Inst{Op: isa.OpBne, Rs1: 1, Rs2: 0, Imm: 4}, Taken: true})
+	ds = append(ds, straight(0x1034, 20)...)
+	n, _ := Split(ds)
+	if n != MaxLen {
+		t.Errorf("length %d, want %d (branch at position 8 continues)", n, MaxLen)
+	}
+}
+
+func TestIDKeyUniqueness(t *testing.T) {
+	seen := make(map[uint64]ID)
+	ids := []ID{
+		{StartPC: 0x1000},
+		{StartPC: 0x1004},
+		{StartPC: 0x1000, BrMask: 1, NumBr: 1},
+		{StartPC: 0x1000, BrMask: 0, NumBr: 1},
+		{StartPC: 0x1000, BrMask: 3, NumBr: 2},
+		{StartPC: 0x2000, BrMask: 3, NumBr: 2},
+	}
+	for _, id := range ids {
+		k := id.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision: %v and %v", prev, id)
+		}
+		seen[k] = id
+	}
+}
+
+// TestFromCodeMatchesSplit is the core speculative-fetch correctness
+// property: splitting the true dynamic stream yields an ID; walking the
+// static code with that ID must reproduce the exact same instruction
+// sequence. The front-end relies on this equivalence whenever a fragment
+// prediction is correct.
+func TestFromCodeMatchesSplit(t *testing.T) {
+	p := program.MustBuild(program.TestSpec())
+	m := emu.New(p)
+
+	var stream []Dyn
+	refill := func() {
+		for len(stream) < 2*MaxLen && !m.Halted() {
+			d, err := m.Step()
+			if err != nil {
+				break
+			}
+			stream = append(stream, Dyn{PC: d.PC, Inst: d.Inst, Taken: d.Taken})
+		}
+	}
+
+	frags := 0
+	for refill(); len(stream) > 0; refill() {
+		n, id := Split(stream)
+		if n == 0 {
+			break
+		}
+		f := FromCode(p, id)
+		if f.Len() != n {
+			t.Fatalf("fragment %d %v: FromCode length %d, split length %d", frags, id, f.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			if f.PCs[i] != stream[i].PC {
+				t.Fatalf("fragment %d %v: PC[%d] = %#x, stream %#x", frags, id, i, f.PCs[i], stream[i].PC)
+			}
+			if f.Insts[i] != stream[i].Inst {
+				t.Fatalf("fragment %d %v: inst[%d] mismatch", frags, id, i)
+			}
+		}
+		stream = stream[n:]
+		frags++
+	}
+	if frags < 100 {
+		t.Errorf("only %d fragments checked", frags)
+	}
+}
+
+// TestTable2FragmentSizes calibrates the suite against the paper's Table 2:
+// every benchmark's average fragment size must land in the paper's overall
+// range (roughly 9–13 instructions).
+func TestTable2FragmentSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite calibration is not short")
+	}
+	for _, spec := range program.Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			avg := averageFragmentSize(t, spec, 120_000)
+			if avg < 7.5 || avg > 14.5 {
+				t.Errorf("%s: average fragment size %.2f outside plausible range [7.5,14.5]", spec.Name, avg)
+			}
+			t.Logf("%s: avg fragment size %.2f", spec.Name, avg)
+		})
+	}
+}
+
+func averageFragmentSize(t *testing.T, spec program.Spec, maxInsts int) float64 {
+	t.Helper()
+	p, err := program.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(p)
+	var stream []Dyn
+	total, frags := 0, 0
+	for total < maxInsts {
+		for len(stream) < 2*MaxLen && !m.Halted() {
+			d, err := m.Step()
+			if err != nil {
+				break
+			}
+			stream = append(stream, Dyn{PC: d.PC, Inst: d.Inst, Taken: d.Taken})
+		}
+		if len(stream) == 0 {
+			break
+		}
+		n, _ := Split(stream)
+		stream = stream[n:]
+		total += n
+		frags++
+	}
+	if frags == 0 {
+		t.Fatal("no fragments")
+	}
+	return float64(total) / float64(frags)
+}
+
+func TestPoolReuse(t *testing.T) {
+	pool := NewPool(4)
+	f := &Fragment{ID: ID{StartPC: 0x1000}, PCs: []uint64{0x1000}, Insts: []isa.Inst{{Op: isa.OpAdd, Rd: 1}}}
+	b, reused := pool.Allocate(f.ID, 0, func() *Fragment { return f })
+	if b == nil || reused {
+		t.Fatal("first allocation must be fresh")
+	}
+	b.MarkFetched(1)
+	if !b.Complete {
+		t.Fatal("buffer should be complete")
+	}
+	pool.Release(b)
+
+	b2, reused := pool.Allocate(f.ID, 1, func() *Fragment { t.Fatal("build called on reuse"); return nil })
+	if b2 != b || !reused {
+		t.Fatal("expected reuse of the same buffer")
+	}
+	if !b2.Complete || b2.Fetched != 1 {
+		t.Error("reused buffer must be immediately complete")
+	}
+	if pool.ReuseRate() != 0.5 {
+		t.Errorf("reuse rate %.2f, want 0.5", pool.ReuseRate())
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	pool := NewPool(2)
+	mk := func(pc uint64) func() *Fragment {
+		return func() *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
+	}
+	a, _ := pool.Allocate(ID{StartPC: 0x100}, 0, mk(0x100))
+	b, _ := pool.Allocate(ID{StartPC: 0x200}, 1, mk(0x200))
+	if a == nil || b == nil {
+		t.Fatal("allocations failed")
+	}
+	if c, _ := pool.Allocate(ID{StartPC: 0x300}, 2, mk(0x300)); c != nil {
+		t.Fatal("pool should be exhausted")
+	}
+	pool.Release(a)
+	if c, _ := pool.Allocate(ID{StartPC: 0x300}, 2, mk(0x300)); c == nil {
+		t.Fatal("allocation should succeed after release")
+	}
+}
+
+func TestPoolSquashDropsContents(t *testing.T) {
+	pool := NewPool(4)
+	mk := func(pc uint64) func() *Fragment {
+		return func() *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
+	}
+	pool.Allocate(ID{StartPC: 0x100}, 10, mk(0x100))
+	pool.Allocate(ID{StartPC: 0x200}, 11, mk(0x200))
+	pool.SquashYounger(11)
+	if pool.InUseCount() != 1 {
+		t.Errorf("in use = %d, want 1", pool.InUseCount())
+	}
+	// The squashed fragment must not be reusable.
+	b, reused := pool.Allocate(ID{StartPC: 0x200}, 12, mk(0x200))
+	if b == nil || reused {
+		t.Error("squashed contents must not satisfy reuse")
+	}
+	old := pool.Oldest()
+	if old == nil || old.Seq != 10 {
+		t.Errorf("oldest = %+v, want seq 10", old)
+	}
+}
+
+func TestPoolVictimRoundRobin(t *testing.T) {
+	pool := NewPool(3)
+	mk := func(pc uint64) func() *Fragment {
+		return func() *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
+	}
+	var seq uint64
+	alloc := func(pc uint64) *Buffer {
+		b, _ := pool.Allocate(ID{StartPC: pc}, seq, mk(pc))
+		seq++
+		return b
+	}
+	a := alloc(0x100)
+	pool.Release(a)
+	b := alloc(0x200)
+	pool.Release(b)
+	c := alloc(0x300)
+	pool.Release(c)
+	if a.Index == b.Index || b.Index == c.Index || a.Index == c.Index {
+		t.Errorf("round-robin should use distinct buffers: %d %d %d", a.Index, b.Index, c.Index)
+	}
+}

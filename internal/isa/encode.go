@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format (32 bits):
+//
+//	bits 31..26  opcode
+//	bits 25..20  field A (rd, or rs2 for stores/branches)
+//	bits 19..14  field B (rs1)
+//	bits 13..0   signed 14-bit immediate
+//
+// J-format instructions (j, jal) use bits 25..0 as an unsigned absolute word
+// target instead. The format exists so the instruction cache stores a real
+// byte image; the simulator decodes through this path, which keeps the image
+// and the decoded program honest with respect to each other.
+
+const (
+	immBits = 14
+	immMask = 1<<immBits - 1
+	immMax  = 1<<(immBits-1) - 1
+	immMin  = -(1 << (immBits - 1))
+	jTarget = 1<<26 - 1
+	regMask = 0x3f
+	opShift = 26
+	aShift  = 20
+	bShift  = 14
+)
+
+// Encode packs the instruction into the 32-bit wire format. It returns an
+// error if an immediate or register does not fit, which the program
+// generator treats as a bug.
+func Encode(in Inst) (uint32, error) {
+	if in.Op == OpInvalid || int(in.Op) >= NumOps {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", in.Op)
+	}
+	if in.Rd > regMask || in.Rs1 > regMask || in.Rs2 > regMask {
+		return 0, fmt.Errorf("isa: encode %v: register out of range", in)
+	}
+	w := uint32(in.Op) << opShift
+	switch {
+	case in.Op == OpJ || in.Op == OpJal:
+		if in.Imm < 0 || in.Imm > jTarget {
+			return 0, fmt.Errorf("isa: encode %v: jump target out of range", in)
+		}
+		return w | uint32(in.Imm), nil
+	case in.IsStore() || in.IsCondBranch():
+		// A=rs2, B=rs1, imm.
+		if in.Imm < immMin || in.Imm > immMax {
+			return 0, fmt.Errorf("isa: encode %v: immediate out of range", in)
+		}
+		w |= uint32(in.Rs2) << aShift
+		w |= uint32(in.Rs1) << bShift
+		w |= uint32(in.Imm) & immMask
+		return w, nil
+	default:
+		// A=rd, B=rs1, imm or rs2 in the low bits.
+		if in.Imm < immMin || in.Imm > immMax {
+			return 0, fmt.Errorf("isa: encode %v: immediate out of range", in)
+		}
+		w |= uint32(in.Rd) << aShift
+		w |= uint32(in.Rs1) << bShift
+		if isRFormat(in.Op) {
+			w |= uint32(in.Rs2) & regMask
+		} else {
+			w |= uint32(in.Imm) & immMask
+		}
+		return w, nil
+	}
+}
+
+// Decode unpacks a 32-bit word into an instruction. Unknown opcodes decode
+// to OpInvalid rather than failing: wrong-path fetch may run off the end of
+// a function into arbitrary bytes, and the paper's machine would raise a
+// fault only if such an instruction committed, which never happens.
+func Decode(w uint32) Inst {
+	op := Op(w >> opShift)
+	if int(op) >= NumOps {
+		return Inst{Op: OpInvalid}
+	}
+	in := Inst{Op: op}
+	switch {
+	case op == OpJ || op == OpJal:
+		in.Imm = int32(w & jTarget)
+	case op == OpHalt || op == OpInvalid:
+		// no fields
+	default:
+		a := Reg(w >> aShift & regMask)
+		b := Reg(w >> bShift & regMask)
+		if in.IsStore() || in.IsCondBranch() {
+			in.Rs2, in.Rs1 = a, b
+			in.Imm = signExtend14(w)
+		} else {
+			in.Rd, in.Rs1 = a, b
+			if isRFormat(op) {
+				in.Rs2 = Reg(w & regMask)
+			} else {
+				in.Imm = signExtend14(w)
+			}
+		}
+	}
+	return in
+}
+
+func signExtend14(w uint32) int32 {
+	return int32(w<<(32-immBits)) >> (32 - immBits)
+}
+
+// isRFormat reports whether the op's low bits carry rs2 rather than an
+// immediate.
+func isRFormat(op Op) bool {
+	switch op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSlt, OpSll, OpSrl, OpSra, OpMul,
+		OpFadd, OpFsub, OpFmul, OpFneg, OpJr, OpJalr:
+		return true
+	}
+	return false
+}
+
+// EncodeAll encodes insts into a contiguous little-endian byte image.
+func EncodeAll(insts []Inst) ([]byte, error) {
+	img := make([]byte, len(insts)*InstBytes)
+	for i, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("isa: at instruction %d: %w", i, err)
+		}
+		binary.LittleEndian.PutUint32(img[i*InstBytes:], w)
+	}
+	return img, nil
+}
+
+// DecodeImage decodes a byte image produced by EncodeAll back into
+// instructions. Trailing bytes that do not fill a word are ignored.
+func DecodeImage(img []byte) []Inst {
+	n := len(img) / InstBytes
+	insts := make([]Inst, n)
+	for i := 0; i < n; i++ {
+		insts[i] = Decode(binary.LittleEndian.Uint32(img[i*InstBytes:]))
+	}
+	return insts
+}

@@ -1,0 +1,338 @@
+// Package isa defines the synthetic RISC instruction set used by the
+// reproduction. The paper's simulator borrowed Alpha instruction semantics
+// from SimpleScalar; this package plays the same role for our from-scratch
+// simulator.
+//
+// The ISA is deliberately Alpha-flavoured where it matters to the front-end:
+//
+//   - 64 logical registers (32 integer + 32 floating point), matching the
+//     84-bit live-out predictor entries in the paper's Table 1 (4-bit tag +
+//     64-bit register bitmap + 16-bit last-write bitmap).
+//   - Fixed 4-byte instructions, so a 64-byte cache block holds 16
+//     instructions exactly as in Table 1.
+//   - Direct conditional branches, direct jumps, calls, indirect jumps and
+//     returns — the control-flow classes the fragment-selection heuristics
+//     distinguish.
+//
+// Programs never contain NOPs; the paper strips NOPs before counting, so the
+// generator simply does not emit them.
+package isa
+
+import "fmt"
+
+// InstBytes is the size of one encoded instruction in bytes.
+const InstBytes = 4
+
+// LuiShift is how far OpLui shifts its immediate: rd = imm << LuiShift.
+// 13 keeps the low part of any sub-64 MB address within the unsigned range
+// of the 14-bit signed immediate, so lui+ori materializes any address the
+// program generator lays out.
+const LuiShift = 13
+
+// NumIntRegs, NumFPRegs and NumRegs describe the logical register file.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+)
+
+// Reg names a logical register. Integer registers are 0..31 and floating
+// point registers are 32..63, so a single Reg value indexes the combined
+// 64-entry rename map and the 64-bit live-out bitmaps directly.
+type Reg uint8
+
+// Well-known integer registers. R0 reads as zero and writes to it are
+// discarded, which gives the program generator a free sink/source. R30 is
+// the stack pointer and R31 the link register by software convention.
+const (
+	RegZero Reg = 0
+	RegSP   Reg = 30
+	RegLink Reg = 31
+)
+
+// FPBase is the Reg value of floating point register F0.
+const FPBase Reg = NumIntRegs
+
+// IsFP reports whether r is a floating point register.
+func (r Reg) IsFP() bool { return r >= FPBase }
+
+// String renders the conventional assembly name (r0..r31, f0..f31).
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", int(r-FPBase))
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+const (
+	// OpInvalid is the zero Op; decoding it is an error, and wrong-path
+	// fetch beyond the end of the code image produces it.
+	OpInvalid Op = iota
+
+	// Integer register-register ALU.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSlt // set rd = (rs1 < rs2)
+	OpSll // shift left logical by rs2&63
+	OpSrl // shift right logical
+	OpSra // shift right arithmetic
+	OpMul // integer multiply (separate FU pool, longer latency)
+
+	// Integer register-immediate ALU.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlti
+	OpSlli
+	OpSrli
+	OpLui // rd = imm << LuiShift
+
+	// Memory. Addresses are rs1 + imm. LW/SW move integer registers,
+	// LF/SF floating point registers.
+	OpLw
+	OpSw
+	OpLf
+	OpSf
+
+	// Floating point arithmetic.
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFneg
+
+	// Control flow. Conditional branches compare rs1 against rs2 and are
+	// PC-relative. OpJ/OpJal use absolute word targets. OpJr jumps to the
+	// address in rs1; OpJalr additionally links into rd.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpJ
+	OpJal
+	OpJr
+	OpJalr
+
+	// OpHalt terminates the program.
+	OpHalt
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSlt: "slt", OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpMul: "mul",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlti: "slti", OpSlli: "slli", OpSrli: "srli", OpLui: "lui",
+	OpLw: "lw", OpSw: "sw", OpLf: "lf", OpSf: "sf",
+	OpFadd: "fadd", OpFsub: "fsub", OpFmul: "fmul", OpFneg: "fneg",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJ: "j", OpJal: "jal", OpJr: "jr", OpJalr: "jalr",
+	OpHalt: "halt",
+}
+
+// String returns the assembly mnemonic for op.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// NumOps is the number of defined opcodes (including OpInvalid).
+const NumOps = int(numOps)
+
+// Class groups opcodes by the functional unit pool that executes them,
+// mirroring Table 1 of the paper.
+type Class uint8
+
+const (
+	ClassIntALU    Class = iota // 16 units, 1-cycle latency
+	ClassIntMul                 // 4 units, 3-cycle latency
+	ClassFPAdd                  // 4 units, 2-cycle latency
+	ClassFPMul                  // 1 unit, 4-cycle latency
+	ClassLoadStore              // 4 units, latency from the data cache
+	NumClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassIntALU:
+		return "int-alu"
+	case ClassIntMul:
+		return "int-mul"
+	case ClassFPAdd:
+		return "fp-add"
+	case ClassFPMul:
+		return "fp-mul"
+	case ClassLoadStore:
+		return "load-store"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Inst is one decoded instruction. The generator produces Inst values
+// directly and Encode/Decode round-trip them through the 32-bit wire format
+// so the code image is a real byte image for the instruction cache.
+type Inst struct {
+	Op  Op
+	Rd  Reg   // destination register (register writes only)
+	Rs1 Reg   // first source
+	Rs2 Reg   // second source
+	Imm int32 // immediate / branch offset (instructions) / absolute word target
+}
+
+// Classify returns the functional unit class for the instruction.
+func (in Inst) Classify() Class {
+	switch in.Op {
+	case OpMul:
+		return ClassIntMul
+	case OpFadd, OpFsub, OpFneg:
+		return ClassFPAdd
+	case OpFmul:
+		return ClassFPMul
+	case OpLw, OpSw, OpLf, OpSf:
+		return ClassLoadStore
+	default:
+		return ClassIntALU
+	}
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsCondBranch() bool {
+	switch in.Op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsDirectJump reports whether the instruction is an unconditional direct
+// jump or call.
+func (in Inst) IsDirectJump() bool { return in.Op == OpJ || in.Op == OpJal }
+
+// IsIndirect reports whether the instruction's target comes from a register
+// (indirect jump, indirect call, or return).
+func (in Inst) IsIndirect() bool { return in.Op == OpJr || in.Op == OpJalr }
+
+// IsCall reports whether the instruction links a return address.
+func (in Inst) IsCall() bool { return in.Op == OpJal || in.Op == OpJalr }
+
+// IsReturn reports whether the instruction is a return by convention
+// (an indirect jump through the link register).
+func (in Inst) IsReturn() bool { return in.Op == OpJr && in.Rs1 == RegLink }
+
+// ChangesFlow reports whether the instruction can redirect the PC.
+func (in Inst) ChangesFlow() bool {
+	return in.IsCondBranch() || in.IsDirectJump() || in.IsIndirect() || in.Op == OpHalt
+}
+
+// IsLoad and IsStore classify memory operations.
+func (in Inst) IsLoad() bool  { return in.Op == OpLw || in.Op == OpLf }
+func (in Inst) IsStore() bool { return in.Op == OpSw || in.Op == OpSf }
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Inst) IsMem() bool { return in.IsLoad() || in.IsStore() }
+
+// Dest returns the destination register and true if the instruction writes a
+// register. Writes to RegZero are architectural no-ops and report false so
+// the renamer never allocates for them.
+func (in Inst) Dest() (Reg, bool) {
+	var rd Reg
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSlt, OpSll, OpSrl, OpSra, OpMul,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpSlli, OpSrli, OpLui,
+		OpLw, OpLf, OpFadd, OpFsub, OpFmul, OpFneg:
+		rd = in.Rd
+	case OpJal:
+		rd = RegLink
+	case OpJalr:
+		rd = in.Rd
+	default:
+		return 0, false
+	}
+	if rd == RegZero {
+		return 0, false
+	}
+	return rd, true
+}
+
+// Sources appends the source registers of the instruction to dst and returns
+// it. RegZero sources are omitted (always ready). Stores report both the
+// address register and the data register.
+func (in Inst) Sources(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != RegZero {
+			dst = append(dst, r)
+		}
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSlt, OpSll, OpSrl, OpSra, OpMul,
+		OpFadd, OpFsub, OpFmul:
+		add(in.Rs1)
+		add(in.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpSlli, OpSrli,
+		OpLw, OpLf, OpJr, OpJalr, OpFneg:
+		add(in.Rs1)
+	case OpSw, OpSf:
+		add(in.Rs1) // address base
+		add(in.Rs2) // store data
+	case OpBeq, OpBne, OpBlt, OpBge:
+		add(in.Rs1)
+		add(in.Rs2)
+	case OpLui, OpJ, OpJal, OpHalt, OpInvalid:
+		// no register sources
+	}
+	return dst
+}
+
+// Latency returns the execution latency in cycles for non-memory
+// instructions (memory latency comes from the cache hierarchy).
+func (in Inst) Latency() int {
+	switch in.Classify() {
+	case ClassIntMul:
+		return 3
+	case ClassFPAdd:
+		return 2
+	case ClassFPMul:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch {
+	case in.Op == OpHalt || in.Op == OpInvalid:
+		return in.Op.String()
+	case in.Op == OpJ || in.Op == OpJal:
+		return fmt.Sprintf("%s 0x%x", in.Op, uint32(in.Imm)*InstBytes)
+	case in.Op == OpJr:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case in.Op == OpJalr:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	case in.IsCondBranch():
+		return fmt.Sprintf("%s %s, %s, %+d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case in.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case in.Op == OpLui:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case in.Op == OpFneg:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	case in.Op >= OpAddi && in.Op <= OpSrli:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}

@@ -1,0 +1,245 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{0, "r0"}, {31, "r31"}, {FPBase, "f0"}, {63, "f31"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reg(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+	if RegZero.IsFP() || !Reg(40).IsFP() {
+		t.Error("IsFP misclassifies registers")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op := OpInvalid; int(op) < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has empty mnemonic", op)
+		}
+	}
+	if Op(200).String() != "op(200)" {
+		t.Errorf("out-of-range op string = %q", Op(200).String())
+	}
+}
+
+func TestDestSuppressesZeroRegister(t *testing.T) {
+	in := Inst{Op: OpAdd, Rd: RegZero, Rs1: 1, Rs2: 2}
+	if _, ok := in.Dest(); ok {
+		t.Error("write to r0 must not report a destination")
+	}
+	in.Rd = 5
+	if rd, ok := in.Dest(); !ok || rd != 5 {
+		t.Errorf("Dest() = %v,%v, want r5,true", rd, ok)
+	}
+}
+
+func TestDestOfCalls(t *testing.T) {
+	if rd, ok := (Inst{Op: OpJal, Imm: 10}).Dest(); !ok || rd != RegLink {
+		t.Errorf("jal Dest() = %v,%v, want link,true", rd, ok)
+	}
+	if rd, ok := (Inst{Op: OpJalr, Rd: 7, Rs1: 3}).Dest(); !ok || rd != 7 {
+		t.Errorf("jalr Dest() = %v,%v, want r7,true", rd, ok)
+	}
+	if _, ok := (Inst{Op: OpJr, Rs1: RegLink}).Dest(); ok {
+		t.Error("jr must not write a register")
+	}
+}
+
+func TestSources(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want []Reg
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, []Reg{2, 3}},
+		{Inst{Op: OpAdd, Rd: 1, Rs1: RegZero, Rs2: 3}, []Reg{3}},
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: 5}, []Reg{2}},
+		{Inst{Op: OpSw, Rs1: 4, Rs2: 5, Imm: 8}, []Reg{4, 5}},
+		{Inst{Op: OpBeq, Rs1: 6, Rs2: 7, Imm: -4}, []Reg{6, 7}},
+		{Inst{Op: OpJ, Imm: 100}, nil},
+		{Inst{Op: OpLui, Rd: 9, Imm: 3}, nil},
+		{Inst{Op: OpJr, Rs1: RegLink}, []Reg{RegLink}},
+	}
+	for _, c := range cases {
+		got := c.in.Sources(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%v Sources = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v Sources = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		in    Inst
+		class Class
+		lat   int
+	}{
+		{Inst{Op: OpAdd}, ClassIntALU, 1},
+		{Inst{Op: OpMul}, ClassIntMul, 3},
+		{Inst{Op: OpFadd}, ClassFPAdd, 2},
+		{Inst{Op: OpFmul}, ClassFPMul, 4},
+		{Inst{Op: OpLw}, ClassLoadStore, 1},
+	}
+	for _, c := range cases {
+		if got := c.in.Classify(); got != c.class {
+			t.Errorf("%v class = %v, want %v", c.in, got, c.class)
+		}
+		if got := c.in.Latency(); got != c.lat {
+			t.Errorf("%v latency = %d, want %d", c.in, got, c.lat)
+		}
+	}
+}
+
+func TestControlFlowPredicates(t *testing.T) {
+	beq := Inst{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 8}
+	if !beq.IsCondBranch() || !beq.ChangesFlow() || beq.IsIndirect() {
+		t.Error("beq misclassified")
+	}
+	ret := Inst{Op: OpJr, Rs1: RegLink}
+	if !ret.IsReturn() || !ret.IsIndirect() {
+		t.Error("jr r31 must be a return")
+	}
+	jr := Inst{Op: OpJr, Rs1: 5}
+	if jr.IsReturn() {
+		t.Error("jr r5 must not be a return")
+	}
+	if !(Inst{Op: OpJal, Imm: 4}).IsCall() || !(Inst{Op: OpJalr, Rd: 1, Rs1: 2}).IsCall() {
+		t.Error("calls misclassified")
+	}
+	if !(Inst{Op: OpHalt}).ChangesFlow() {
+		t.Error("halt must end flow")
+	}
+}
+
+// validInst produces a random encodable instruction.
+func validInst(r *rand.Rand) Inst {
+	ops := []Op{
+		OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSlt, OpSll, OpSrl, OpSra, OpMul,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpSlli, OpSrli, OpLui,
+		OpLw, OpSw, OpLf, OpSf, OpFadd, OpFsub, OpFmul, OpFneg,
+		OpBeq, OpBne, OpBlt, OpBge, OpJ, OpJal, OpJr, OpJalr, OpHalt,
+	}
+	in := Inst{
+		Op:  ops[r.Intn(len(ops))],
+		Rd:  Reg(r.Intn(NumRegs)),
+		Rs1: Reg(r.Intn(NumRegs)),
+		Rs2: Reg(r.Intn(NumRegs)),
+	}
+	switch {
+	case in.Op == OpJ || in.Op == OpJal:
+		in.Rd, in.Rs1, in.Rs2 = 0, 0, 0
+		in.Imm = int32(r.Intn(jTarget + 1))
+	case in.Op == OpHalt:
+		in = Inst{Op: OpHalt}
+	case isRFormat(in.Op):
+		in.Imm = 0
+		if in.Op == OpJr || in.Op == OpJalr {
+			in.Rs2 = 0
+			if in.Op == OpJr {
+				in.Rd = 0
+			}
+		}
+		if in.Op == OpFneg {
+			in.Rs2 = 0
+		}
+	default:
+		in.Rs2 = 0
+		in.Imm = int32(r.Intn(immMax-immMin+1) + immMin)
+		if in.IsStore() || in.IsCondBranch() {
+			in.Rd = 0
+			in.Rs2 = Reg(r.Intn(NumRegs))
+		}
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := validInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		out := Decode(w)
+		if out != in {
+			t.Logf("round trip: %+v -> %#x -> %+v", in, w, out)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRejectsBadImmediates(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAddi, Rd: 1, Rs1: 2, Imm: immMax + 1},
+		{Op: OpAddi, Rd: 1, Rs1: 2, Imm: immMin - 1},
+		{Op: OpJ, Imm: -1},
+		{Op: OpJ, Imm: jTarget + 1},
+		{Op: OpInvalid},
+	}
+	for _, in := range cases {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v) succeeded, want error", in)
+		}
+	}
+}
+
+func TestDecodeUnknownOpcode(t *testing.T) {
+	w := uint32(NumOps+1) << opShift
+	if got := Decode(w); got.Op != OpInvalid {
+		t.Errorf("Decode unknown opcode = %v, want invalid", got)
+	}
+}
+
+func TestEncodeAllDecodeImage(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	insts := make([]Inst, 257)
+	for i := range insts {
+		insts[i] = validInst(r)
+	}
+	img, err := EncodeAll(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != len(insts)*InstBytes {
+		t.Fatalf("image size = %d, want %d", len(img), len(insts)*InstBytes)
+	}
+	back := DecodeImage(img)
+	for i := range insts {
+		if back[i] != insts[i] {
+			t.Fatalf("instruction %d: %+v != %+v", i, back[i], insts[i])
+		}
+	}
+}
+
+func TestDisassemblyIsNonEmpty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		in := validInst(r)
+		if in.String() == "" {
+			t.Fatalf("empty disassembly for %+v", in)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package mem
+
+import "testing"
+
+func TestSharedL2BetweenL1s(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// An instruction fetch warms the L2; a data access to the same L2
+	// block then hits the L2 rather than memory.
+	h.L1I.Access(0x10000, false, 0)
+	if h.Memory.Accesses != 1 {
+		t.Fatalf("memory accesses = %d", h.Memory.Accesses)
+	}
+	done := h.L1D.Access(0x10040, false, 100) // same 128B L2 block
+	if done != 111 {
+		t.Errorf("cross-L1 access done at %d, want 111 (L2 hit)", done)
+	}
+	if h.Memory.Accesses != 1 {
+		t.Errorf("memory accessed again: %d", h.Memory.Accesses)
+	}
+}
+
+func TestWritesAllocate(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.L1D.Access(0x2000, true, 0) // store miss allocates
+	if done := h.L1D.Access(0x2004, false, 50); done != 51 {
+		t.Errorf("load after store done at %d, want 51", done)
+	}
+}
+
+func TestHierarchyConfigVariants(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.L1I.SizeBytes = 8 << 10
+	cfg.IBanks = 4
+	h := NewHierarchy(cfg)
+	if h.IBanks != 4 {
+		t.Errorf("banks = %d", h.IBanks)
+	}
+	// 8KB 2-way 64B: 64 sets. Fill with 128 blocks: all still miss on
+	// second pass of a 16KB footprint (capacity).
+	for pass := 0; pass < 2; pass++ {
+		for b := 0; b < 256; b++ {
+			h.L1I.Access(uint64(b*64), false, 0)
+		}
+	}
+	if h.L1I.MissRate() < 0.99 {
+		t.Errorf("8KB cache with 16KB footprint should thrash: miss rate %.2f", h.L1I.MissRate())
+	}
+}
+
+func TestIBanksDefaultToOne(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.IBanks = 0
+	h := NewHierarchy(cfg)
+	if h.IBanks != 1 {
+		t.Errorf("banks = %d, want 1", h.IBanks)
+	}
+	if h.IBankOf(0xdeadbeef)|h.IBankOf(0) != 0 {
+		t.Error("single-bank mapping must be zero")
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.L1I.Access(0, false, 0)
+	h.L1I.Access(0, false, 1)
+	if h.L1I.Accesses() != 2 || h.L1I.Misses() != 1 {
+		t.Errorf("accesses=%d misses=%d", h.L1I.Accesses(), h.L1I.Misses())
+	}
+	if h.L1I.Name() != "l1i" || h.L2.Name() != "l2" {
+		t.Error("cache names wrong")
+	}
+	if h.L1I.BlockBytes() != 64 || h.L2.BlockBytes() != 128 {
+		t.Error("block sizes wrong")
+	}
+}

@@ -1,0 +1,137 @@
+package program
+
+import (
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/isa"
+)
+
+// asm is a tiny two-pass assembler: the generator emits instructions with
+// symbolic labels, and link() resolves branch offsets, jump targets and
+// data-segment fixups once layout is final.
+type asm struct {
+	insts  []isa.Inst
+	labels map[string]int // label -> instruction index
+	fixups []fixup
+
+	// dataFixups patch absolute code addresses into the data segment
+	// (jump tables, indirect-call tables) after layout.
+	dataFixups []dataFixup
+}
+
+type fixupKind uint8
+
+const (
+	fixBranch fixupKind = iota // PC-relative conditional branch offset
+	fixJump                    // absolute word target (j/jal)
+)
+
+type fixup struct {
+	index int    // instruction to patch
+	label string // target label
+	kind  fixupKind
+}
+
+type dataFixup struct {
+	dataOff int    // word offset within the data segment
+	label   string // code label whose byte address is stored
+}
+
+func newAsm() *asm {
+	return &asm{labels: make(map[string]int)}
+}
+
+// pc returns the index the next emitted instruction will occupy.
+func (a *asm) pc() int { return len(a.insts) }
+
+// label binds name to the current position.
+func (a *asm) label(name string) {
+	if _, dup := a.labels[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate label %q", name))
+	}
+	a.labels[name] = a.pc()
+}
+
+// emit appends a fully-formed instruction.
+func (a *asm) emit(in isa.Inst) { a.insts = append(a.insts, in) }
+
+func (a *asm) op3(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+func (a *asm) opImm(op isa.Op, rd, rs1 isa.Reg, imm int32) {
+	a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// branch emits a conditional branch to label (offset patched at link time).
+func (a *asm) branch(op isa.Op, rs1, rs2 isa.Reg, label string) {
+	a.fixups = append(a.fixups, fixup{index: a.pc(), label: label, kind: fixBranch})
+	a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+// jump emits a direct jump (OpJ) or call (OpJal) to label.
+func (a *asm) jump(op isa.Op, label string) {
+	a.fixups = append(a.fixups, fixup{index: a.pc(), label: label, kind: fixJump})
+	a.emit(isa.Inst{Op: op})
+}
+
+// loadAddr materializes a full 32-bit address into rd using lui+ori.
+func (a *asm) loadAddr(rd isa.Reg, addr uint32) {
+	if addr>>LuiShift > 8191 {
+		panic(fmt.Sprintf("asm: address %#x not materializable", addr))
+	}
+	a.opImm(isa.OpLui, rd, 0, int32(addr>>LuiShift))
+	if low := int32(addr & (1<<LuiShift - 1)); low != 0 {
+		a.opImm(isa.OpOri, rd, rd, low)
+	}
+}
+
+// loadConst materializes a small constant (|c| <= 8191) into rd.
+func (a *asm) loadConst(rd isa.Reg, c int32) {
+	a.opImm(isa.OpAddi, rd, isa.RegZero, c)
+}
+
+// tableWord reserves a jump-table slot at the given data word offset that
+// will hold the byte address of label after linking.
+func (a *asm) tableWord(dataOff int, label string) {
+	a.dataFixups = append(a.dataFixups, dataFixup{dataOff: dataOff, label: label})
+}
+
+// link resolves all fixups. Branch offsets are in instructions relative to
+// the instruction after the branch (matching isa semantics); jump targets
+// are absolute word addresses.
+func (a *asm) link(data []byte) error {
+	for _, f := range a.fixups {
+		tgt, ok := a.labels[f.label]
+		if !ok {
+			return fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		in := &a.insts[f.index]
+		switch f.kind {
+		case fixBranch:
+			off := tgt - (f.index + 1)
+			if off < -8192 || off > 8191 {
+				return fmt.Errorf("asm: branch to %q out of range (%d)", f.label, off)
+			}
+			in.Imm = int32(off)
+		case fixJump:
+			in.Imm = int32(CodeBase/isa.InstBytes + tgt)
+		}
+	}
+	for _, df := range a.dataFixups {
+		tgt, ok := a.labels[df.label]
+		if !ok {
+			return fmt.Errorf("asm: undefined table label %q", df.label)
+		}
+		addr := uint32(CodeBase + tgt*isa.InstBytes)
+		off := df.dataOff
+		if off+4 > len(data) {
+			return fmt.Errorf("asm: table fixup at %d beyond data segment", off)
+		}
+		data[off] = byte(addr)
+		data[off+1] = byte(addr >> 8)
+		data[off+2] = byte(addr >> 16)
+		data[off+3] = byte(addr >> 24)
+	}
+	return nil
+}

@@ -1,0 +1,630 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/parallel-frontend/pfe/internal/isa"
+)
+
+// Spec parameterizes one synthetic benchmark. The fields map directly onto
+// the workload characteristics the paper's evaluation depends on: BlockLen
+// controls fragment length (Table 2), Workers/constructs control static code
+// footprint (Fig 8/9 cache sensitivity), BranchBias and HammockFrac control
+// control-flow predictability, SwitchFrac/IndirectCallFrac control
+// indirect-branch density, and HeapKB controls the data working set.
+type Spec struct {
+	Name  string // benchmark name, matching the paper's Table 2
+	Input string // the input set the paper used for this benchmark
+	Seed  int64  // generator seed; everything downstream is deterministic
+
+	Workers    int    // worker functions (the bulk of the code footprint)
+	Helpers    int    // leaf helper functions callable from workers
+	Constructs [2]int // min,max constructs per worker function
+	// HelperConstructs bounds constructs per helper ({0,0} means the
+	// default of 1..3). Short helpers raise return density, the main
+	// lever for short average fragments (mcf).
+	HelperConstructs [2]int
+	BlockLen         [2]int // min,max straight-line body instructions per block
+	LoopTrip         [2]int // min,max static loop trip counts
+
+	LoopFrac    float64 // fraction of constructs that are counted loops
+	HammockFrac float64 // fraction that are if/else hammocks on entropy data
+	CallFrac    float64 // fraction that are calls to helper functions
+	// The remainder of the construct budget is straight-line blocks.
+
+	BranchBias float64 // P(common fall-through arm) for hammock branches
+	SwitchFrac float64 // probability a worker ends with a switch construct
+	SwitchWays int     // jump-table fanout (power of two)
+
+	IndirectCallFrac float64 // fraction of driver->worker calls made indirect
+
+	MemFrac float64 // fraction of body instructions that are memory ops
+	FPFrac  float64 // fraction of body instructions that are FP arithmetic
+	MulFrac float64 // fraction of body instructions that are integer multiplies
+
+	// ChaseFrac is the probability that a memory-op slot becomes a
+	// pointer-chase: a serial chain of ChaseDepth dependent loads whose
+	// addresses come from loaded (seeded-random) heap values, spanning
+	// the whole heap. This is what makes mcf memory-latency-bound the
+	// way the real benchmark is.
+	ChaseFrac  float64
+	ChaseDepth int
+
+	Phases          int // static phases in main (distinct code working sets)
+	WorkersPerPhase int // workers called per driver invocation
+	PhaseStride     int // worker-window shift between consecutive phases
+	PhaseIters      int // iterations of each phase loop (≤ 8191)
+
+	HeapKB int // data heap extent touched by body memory ops
+}
+
+// Scaled returns a copy of the spec with PhaseIters scaled by f (minimum 1).
+// Tests use small scales so whole programs run to completion quickly.
+func (s Spec) Scaled(f float64) Spec {
+	n := int(float64(s.PhaseIters) * f)
+	if n < 1 {
+		n = 1
+	}
+	s.PhaseIters = n
+	return s
+}
+
+// Reserved registers (software convention baked into the generator):
+//
+//	r26 entropy-array base, r27 entropy byte index (word aligned),
+//	r28/r29 codegen temporaries, r30 stack pointer, r31 link register.
+//
+// r1..r25 are the scratch pool for generated dataflow.
+const (
+	regEntBase = isa.Reg(26)
+	regEntIdx  = isa.Reg(27)
+	regT1      = isa.Reg(28)
+	regT2      = isa.Reg(29)
+	// regChase holds the global pointer-chase cursor: every chase link
+	// in the program extends ONE serial chain through the heap, the
+	// defining memory behaviour of pointer codes.
+	regChase = isa.Reg(25)
+
+	numScratch = 24 // r1..r24
+
+	jumpTableBase = EntropySize // data offset where jump tables start
+	heapDataOff   = 128 << 10   // data offset where the heap starts
+	entIdxMask    = EntropySize - 4
+
+	frameSize   = 32 // bytes per stack frame
+	linkSlot    = 0  // frame offset holding the saved link register
+	counterSlot = 8  // frame offset holding the innermost loop counter
+)
+
+// gen carries generator state across one Build call.
+type gen struct {
+	spec Spec
+	rng  *rand.Rand
+	a    *asm
+
+	nextTable  int // next free jump-table byte offset in the data segment
+	heapChunks int
+	labelSeq   int
+}
+
+// Build generates, links and validates the benchmark described by spec.
+func Build(spec Spec) (*Program, error) {
+	if err := checkSpec(spec); err != nil {
+		return nil, err
+	}
+	g := &gen{
+		spec:      spec,
+		rng:       rand.New(rand.NewSource(spec.Seed)),
+		a:         newAsm(),
+		nextTable: jumpTableBase,
+	}
+	g.heapChunks = spec.HeapKB * 1024 / (1 << LuiShift)
+	if g.heapChunks < 1 {
+		g.heapChunks = 1
+	}
+
+	// Layout: main, drivers, workers, helpers. main comes first so the
+	// entry PC is CodeBase.
+	g.genMain()
+	for p := 0; p < spec.Phases; p++ {
+		g.genDriver(p)
+	}
+	for w := 0; w < spec.Workers; w++ {
+		g.genWorker(w)
+	}
+	for h := 0; h < spec.Helpers; h++ {
+		g.genHelper(h)
+	}
+
+	dataSize := heapDataOff + spec.HeapKB*1024
+	data := make([]byte, dataSize)
+	fillEntropy(data[:EntropySize], spec.Seed)
+	fillHeap(data[heapDataOff:], spec.Seed)
+
+	if err := g.a.link(data); err != nil {
+		return nil, fmt.Errorf("program %s: %w", spec.Name, err)
+	}
+	img, err := isa.EncodeAll(g.a.insts)
+	if err != nil {
+		return nil, fmt.Errorf("program %s: %w", spec.Name, err)
+	}
+	p := &Program{
+		Name:     spec.Name,
+		Input:    spec.Input,
+		Code:     g.a.insts,
+		Image:    img,
+		EntryPC:  CodeBase,
+		Data:     data,
+		DataSize: dataSize,
+		Spec:     spec,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for callers with hard-coded specs (the suite, tests).
+func MustBuild(spec Spec) *Program {
+	p, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func checkSpec(s Spec) error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("program: spec needs a name")
+	case s.Workers < 1 || s.Helpers < 1:
+		return fmt.Errorf("program %s: need at least one worker and helper", s.Name)
+	case s.Phases < 1 || s.WorkersPerPhase < 1:
+		return fmt.Errorf("program %s: need at least one phase and worker per phase", s.Name)
+	case s.PhaseIters < 1 || s.PhaseIters > 8191:
+		return fmt.Errorf("program %s: PhaseIters %d out of range [1,8191]", s.Name, s.PhaseIters)
+	case s.SwitchWays != 0 && (s.SwitchWays&(s.SwitchWays-1)) != 0:
+		return fmt.Errorf("program %s: SwitchWays must be a power of two", s.Name)
+	case s.BlockLen[0] < 1 || s.BlockLen[1] < s.BlockLen[0]:
+		return fmt.Errorf("program %s: bad BlockLen range", s.Name)
+	case s.LoopTrip[0] < 1 || s.LoopTrip[1] < s.LoopTrip[0] || s.LoopTrip[1] > 8191:
+		return fmt.Errorf("program %s: bad LoopTrip range", s.Name)
+	case s.HeapKB < 8:
+		return fmt.Errorf("program %s: HeapKB must be at least 8", s.Name)
+	}
+	return nil
+}
+
+// fillEntropy fills the entropy array with seeded uniform words in [0,8192).
+// Branch sites compare these against a bias threshold with slti.
+func fillEntropy(dst []byte, seed int64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed_e27_0))
+	for off := 0; off+4 <= len(dst); off += 4 {
+		v := uint32(rng.Intn(8192))
+		dst[off] = byte(v)
+		dst[off+1] = byte(v >> 8)
+		dst[off+2] = byte(v >> 16)
+		dst[off+3] = byte(v >> 24)
+	}
+}
+
+// fillHeap seeds the heap with random words so pointer-chase loads read
+// real (deterministic) link values.
+func fillHeap(dst []byte, seed int64) {
+	rng := rand.New(rand.NewSource(seed ^ 0x4ea9_c4a5e))
+	for off := 0; off+4 <= len(dst); off += 4 {
+		v := uint32(rng.Int63())
+		dst[off] = byte(v)
+		dst[off+1] = byte(v >> 8)
+		dst[off+2] = byte(v >> 16)
+		dst[off+3] = byte(v >> 24)
+	}
+}
+
+func (g *gen) newLabel(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s_%d", prefix, g.labelSeq)
+}
+
+func (g *gen) intn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// ---- top-level program structure ----
+
+// genMain emits the entry function: establish the stack and entropy
+// registers, then run each phase loop in turn, then halt.
+func (g *gen) genMain() {
+	a := g.a
+	a.label("main")
+	a.loadAddr(isa.RegSP, StackBase)
+	a.loadAddr(regEntBase, DataBase)
+	a.loadConst(regEntIdx, 0)
+	a.loadAddr(regChase, DataBase+heapDataOff)
+	a.opImm(isa.OpAddi, isa.RegSP, isa.RegSP, -frameSize)
+	for p := 0; p < g.spec.Phases; p++ {
+		head := fmt.Sprintf("phase_%d", p)
+		a.loadConst(regT1, int32(g.spec.PhaseIters))
+		a.emit(isa.Inst{Op: isa.OpSw, Rs1: isa.RegSP, Rs2: regT1, Imm: counterSlot})
+		a.label(head)
+		a.jump(isa.OpJal, driverLabel(p))
+		g.emitCounterDecrement(head)
+	}
+	a.emit(isa.Inst{Op: isa.OpHalt})
+}
+
+// emitCounterDecrement loads the frame counter, decrements, stores it back
+// and loops to head while non-zero — the canonical loop latch shape used
+// everywhere so counters survive arbitrary callee clobbering.
+func (g *gen) emitCounterDecrement(head string) {
+	a := g.a
+	a.opImm(isa.OpLw, regT1, isa.RegSP, counterSlot)
+	a.opImm(isa.OpAddi, regT1, regT1, -1)
+	a.emit(isa.Inst{Op: isa.OpSw, Rs1: isa.RegSP, Rs2: regT1, Imm: counterSlot})
+	a.branch(isa.OpBne, regT1, isa.RegZero, head)
+}
+
+func driverLabel(p int) string { return fmt.Sprintf("driver_%d", p) }
+func workerLabel(w int) string { return fmt.Sprintf("worker_%d", w) }
+func helperLabel(h int) string { return fmt.Sprintf("helper_%d", h) }
+
+// genDriver emits the phase-p driver: it calls each worker in the phase's
+// window once, some calls optionally made through an indirect-call table
+// (function-pointer-style control flow, as in perl).
+func (g *gen) genDriver(p int) {
+	a := g.a
+	a.label(driverLabel(p))
+	g.prologue()
+
+	s := g.spec
+	window := make([]int, s.WorkersPerPhase)
+	for i := range window {
+		window[i] = (p*s.PhaseStride + i) % s.Workers
+	}
+
+	// Indirect-call table for this phase, sized to the next power of two
+	// ≥ the window, filled by repeating the window.
+	tsize := 1
+	for tsize < len(window) {
+		tsize <<= 1
+	}
+	var tableOff int
+	useIndirect := s.IndirectCallFrac > 0
+	if useIndirect {
+		tableOff = g.allocTable(tsize)
+		for i := 0; i < tsize; i++ {
+			a.tableWord(tableOff+i*4, workerLabel(window[i%len(window)]))
+		}
+	}
+
+	for _, w := range window {
+		if useIndirect && g.rng.Float64() < s.IndirectCallFrac {
+			g.emitIndirectCall(tableOff, tsize)
+		} else {
+			a.jump(isa.OpJal, workerLabel(w))
+		}
+	}
+	g.epilogue()
+}
+
+// emitIndirectCall picks a table slot from the entropy stream and calls
+// through it: the classic switch-on-function-pointer shape.
+func (g *gen) emitIndirectCall(tableOff, tsize int) {
+	a := g.a
+	g.emitEntropyLoad(regT2)
+	a.opImm(isa.OpAndi, regT2, regT2, int32(tsize-1))
+	a.opImm(isa.OpSlli, regT2, regT2, 2)
+	a.loadAddr(regT1, uint32(DataBase+tableOff))
+	a.op3(isa.OpAdd, regT1, regT1, regT2)
+	a.opImm(isa.OpLw, regT1, regT1, 0)
+	a.op3(isa.OpJalr, isa.RegLink, regT1, 0)
+}
+
+// genWorker emits one worker function: a prologue, a run of constructs
+// (loops, hammocks, straight blocks, helper calls), an optional switch, and
+// an epilogue.
+func (g *gen) genWorker(w int) {
+	a := g.a
+	a.label(workerLabel(w))
+	g.prologue()
+
+	s := g.spec
+	n := g.intn(s.Constructs[0], s.Constructs[1])
+	for i := 0; i < n; i++ {
+		g.genConstruct(true)
+	}
+	if g.rng.Float64() < s.SwitchFrac && s.SwitchWays > 1 {
+		g.genSwitch()
+	}
+	g.epilogue()
+}
+
+// genHelper emits a leaf function: shorter, no calls, no switches.
+func (g *gen) genHelper(h int) {
+	a := g.a
+	a.label(helperLabel(h))
+	g.prologue()
+	lo, hi := g.spec.HelperConstructs[0], g.spec.HelperConstructs[1]
+	if hi == 0 {
+		lo, hi = 1, 3
+	}
+	n := g.intn(lo, hi)
+	for i := 0; i < n; i++ {
+		g.genConstruct(false)
+	}
+	g.epilogue()
+}
+
+func (g *gen) prologue() {
+	a := g.a
+	a.opImm(isa.OpAddi, isa.RegSP, isa.RegSP, -frameSize)
+	a.emit(isa.Inst{Op: isa.OpSw, Rs1: isa.RegSP, Rs2: isa.RegLink, Imm: linkSlot})
+}
+
+func (g *gen) epilogue() {
+	a := g.a
+	a.opImm(isa.OpLw, isa.RegLink, isa.RegSP, linkSlot)
+	a.opImm(isa.OpAddi, isa.RegSP, isa.RegSP, frameSize)
+	a.op3(isa.OpJr, 0, isa.RegLink, 0)
+}
+
+// genConstruct emits one randomly chosen construct. Calls are only allowed
+// from workers (allowCalls) to keep the static call graph acyclic:
+// main -> drivers -> workers -> helpers.
+func (g *gen) genConstruct(allowCalls bool) {
+	s := g.spec
+	if g.rng.Float64() < s.ChaseFrac {
+		// Pointer-chase on the common path: each one extends the
+		// global serial chain through the heap, so a high ChaseFrac
+		// makes the benchmark memory-latency-bound (mcf).
+		g.emitPointerChase()
+	}
+	r := g.rng.Float64()
+	switch {
+	case r < s.LoopFrac:
+		g.genLoop(allowCalls)
+	case r < s.LoopFrac+s.HammockFrac:
+		g.genHammock()
+	case allowCalls && r < s.LoopFrac+s.HammockFrac+s.CallFrac:
+		g.a.jump(isa.OpJal, helperLabel(g.rng.Intn(s.Helpers)))
+	default:
+		g.genStraight(g.blockLen())
+	}
+}
+
+func (g *gen) blockLen() int { return g.intn(g.spec.BlockLen[0], g.spec.BlockLen[1]) }
+
+// genLoop emits a counted loop whose counter lives in the stack frame so
+// that calls inside the body cannot clobber it. The trip count is fixed at
+// generation time, making the back-edge strongly biased and learnable.
+func (g *gen) genLoop(allowCalls bool) {
+	a := g.a
+	trip := g.intn(g.spec.LoopTrip[0], g.spec.LoopTrip[1])
+	head := g.newLabel("loop")
+
+	a.loadConst(regT1, int32(trip))
+	a.emit(isa.Inst{Op: isa.OpSw, Rs1: isa.RegSP, Rs2: regT1, Imm: counterSlot})
+	a.label(head)
+
+	g.genStraight(g.blockLen())
+	if g.rng.Float64() < g.spec.HammockFrac {
+		g.genHammock()
+	}
+	// Up to two call sites per iteration: call-dense benchmarks (mcf,
+	// parser) get their short, return-terminated fragments from loop
+	// bodies, which dominate dynamic instruction counts.
+	for j := 0; j < 2; j++ {
+		if allowCalls && g.rng.Float64() < g.spec.CallFrac {
+			a.jump(isa.OpJal, helperLabel(g.rng.Intn(g.spec.Helpers)))
+		}
+	}
+	g.emitCounterDecrement(head)
+}
+
+// genHammock emits an if/else diamond whose condition is a fresh entropy
+// word. As compilers arrange real code, the common arm falls through: the
+// branch to the else arm is taken with probability 1-BranchBias, so a
+// BranchBias of 0.85 yields a branch that is 85% not-taken.
+func (g *gen) genHammock() {
+	a := g.a
+	elseL := g.newLabel("else")
+	joinL := g.newLabel("join")
+
+	g.emitEntropyBranch(elseL, 1-g.spec.BranchBias)
+	g.genStraight(g.blockLen())
+	a.jump(isa.OpJ, joinL)
+	a.label(elseL)
+	g.genStraight(g.blockLen())
+	a.label(joinL)
+}
+
+// emitEntropyLoad loads the next entropy word into rd and advances the
+// entropy index with wraparound.
+func (g *gen) emitEntropyLoad(rd isa.Reg) {
+	a := g.a
+	a.op3(isa.OpAdd, regT1, regEntBase, regEntIdx)
+	a.opImm(isa.OpLw, rd, regT1, 0)
+	a.opImm(isa.OpAddi, regEntIdx, regEntIdx, 4)
+	a.opImm(isa.OpAndi, regEntIdx, regEntIdx, entIdxMask)
+}
+
+// emitEntropyBranch branches to target with probability bias: entropy words
+// are uniform in [0,8192), so (word < bias*8192) is true with P≈bias.
+func (g *gen) emitEntropyBranch(target string, bias float64) {
+	a := g.a
+	thresh := int32(bias * 8192)
+	if thresh < 1 {
+		thresh = 1
+	}
+	if thresh > 8191 {
+		thresh = 8191
+	}
+	g.emitEntropyLoad(regT2)
+	a.opImm(isa.OpSlti, regT1, regT2, thresh)
+	a.branch(isa.OpBne, regT1, isa.RegZero, target)
+}
+
+// genSwitch emits a k-way computed jump through a data-segment jump table,
+// selected by entropy, with k small case blocks converging on a join label.
+func (g *gen) genSwitch() {
+	a := g.a
+	k := g.spec.SwitchWays
+	tableOff := g.allocTable(k)
+	joinL := g.newLabel("swjoin")
+
+	caseLabels := make([]string, k)
+	for i := range caseLabels {
+		caseLabels[i] = g.newLabel("case")
+		a.tableWord(tableOff+i*4, caseLabels[i])
+	}
+
+	g.emitEntropyLoad(regT2)
+	a.opImm(isa.OpAndi, regT2, regT2, int32(k-1))
+	a.opImm(isa.OpSlli, regT2, regT2, 2)
+	a.loadAddr(regT1, uint32(DataBase+tableOff))
+	a.op3(isa.OpAdd, regT1, regT1, regT2)
+	a.opImm(isa.OpLw, regT1, regT1, 0)
+	a.op3(isa.OpJr, 0, regT1, 0)
+
+	for _, cl := range caseLabels {
+		a.label(cl)
+		g.genStraight(g.intn(2, g.spec.BlockLen[1]))
+		a.jump(isa.OpJ, joinL)
+	}
+	a.label(joinL)
+}
+
+// allocTable reserves k word slots in the jump-table region of the data
+// segment and returns the byte offset of the first slot.
+func (g *gen) allocTable(k int) int {
+	off := g.nextTable
+	g.nextTable += k * 4
+	if g.nextTable > heapDataOff {
+		panic(fmt.Sprintf("program %s: jump-table region overflow (%d bytes)", g.spec.Name, g.nextTable))
+	}
+	return off
+}
+
+// genStraight emits n straight-line body instructions: a seeded mix of
+// integer ALU, multiplies, FP arithmetic and heap loads/stores with real
+// register dataflow (each op sources recently produced values).
+func (g *gen) genStraight(n int) {
+	a := g.a
+	s := g.spec
+	// Recent destinations feed later sources within the block. Seeded
+	// with the always-live entropy registers so the first ops have
+	// sensible inputs.
+	recent := [4]isa.Reg{regEntBase, regEntIdx, regEntBase, regEntIdx}
+	ri := 0
+	pick := func() isa.Reg { r := recent[g.rng.Intn(len(recent))]; return r }
+	scratch := func() isa.Reg { return isa.Reg(1 + g.rng.Intn(numScratch)) }
+	record := func(r isa.Reg) { recent[ri%len(recent)] = r; ri++ }
+
+	for i := 0; i < n; i++ {
+		r := g.rng.Float64()
+		switch {
+		case r < s.MemFrac:
+			g.emitHeapMemOp(pick, scratch, record)
+			i++ // heap ops cost two instructions (lui + access)
+		case r < s.MemFrac+s.FPFrac:
+			fd := isa.FPBase + isa.Reg(g.rng.Intn(isa.NumFPRegs))
+			fa := isa.FPBase + isa.Reg(g.rng.Intn(isa.NumFPRegs))
+			fb := isa.FPBase + isa.Reg(g.rng.Intn(isa.NumFPRegs))
+			ops := [...]isa.Op{isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFneg}
+			a.op3(ops[g.rng.Intn(len(ops))], fd, fa, fb)
+		case r < s.MemFrac+s.FPFrac+s.MulFrac:
+			rd := scratch()
+			a.op3(isa.OpMul, rd, pick(), pick())
+			record(rd)
+		default:
+			g.emitALUOp(pick, scratch, record)
+		}
+	}
+}
+
+func (g *gen) emitALUOp(pick func() isa.Reg, scratch func() isa.Reg, record func(isa.Reg)) {
+	a := g.a
+	rd := scratch()
+	if g.rng.Intn(2) == 0 {
+		ops := [...]isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpSlt}
+		a.op3(ops[g.rng.Intn(len(ops))], rd, pick(), pick())
+	} else {
+		ops := [...]isa.Op{isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpSlli, isa.OpSrli}
+		op := ops[g.rng.Intn(len(ops))]
+		imm := int32(g.rng.Intn(256))
+		if op == isa.OpSlli || op == isa.OpSrli {
+			imm = int32(g.rng.Intn(16))
+		}
+		a.opImm(op, rd, pick(), imm)
+	}
+	record(rd)
+}
+
+// emitPointerChase emits a serial chain of dependent loads: each loaded
+// word (seeded-random heap data) is masked, scaled and added to the heap
+// base to form the next load's address. The chain's addresses span up to
+// 2 MB of heap, so on large-heap benchmarks every link is a likely cache
+// miss that cannot overlap with the next — the memory-latency-bound
+// behaviour of pointer codes like mcf. Returns the instruction count.
+func (g *gen) emitPointerChase() int {
+	a := g.a
+	depth := g.spec.ChaseDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	span := g.spec.HeapKB * 1024
+	if span > 2<<20 {
+		span = 2 << 20
+	}
+	// Scale factor: value in [0,8192) << shift stays inside the heap.
+	shift := int32(0)
+	for (8192 << (shift + 1)) <= span {
+		shift++
+	}
+	base := uint32(DataBase + heapDataOff)
+	n := 0
+	rV := regT2
+	for d := 0; d < depth; d++ {
+		a.opImm(isa.OpLw, rV, regChase, 0)
+		// Mix in the entropy cursor so the walk does not collapse
+		// into the short cycle of a fixed functional graph (a pure
+		// val->next map on 8K nodes has an expected cycle of only
+		// ~sqrt(8K) nodes, which would fit in the L1).
+		a.op3(isa.OpAdd, rV, rV, regEntIdx)
+		a.opImm(isa.OpAndi, rV, rV, 8191)
+		if shift > 0 {
+			a.opImm(isa.OpSlli, rV, rV, shift)
+		}
+		a.opImm(isa.OpLui, regChase, 0, int32(base>>LuiShift))
+		a.op3(isa.OpAdd, regChase, regChase, rV)
+		n += 5
+	}
+	return n
+}
+
+// emitHeapMemOp emits a two-instruction heap access: lui materializes an
+// 8 KB-aligned chunk base, then a load or store with a random word offset.
+// The chunk is chosen from the benchmark's heap extent, so HeapKB directly
+// sets the data working set.
+func (g *gen) emitHeapMemOp(pick func() isa.Reg, scratch func() isa.Reg, record func(isa.Reg)) {
+	a := g.a
+	chunk := g.rng.Intn(g.heapChunks)
+	base := uint32(DataBase+heapDataOff) + uint32(chunk)<<LuiShift
+	a.opImm(isa.OpLui, regT1, 0, int32(base>>LuiShift))
+	off := int32(g.rng.Intn(2048) * 4)
+	switch g.rng.Intn(3) {
+	case 0: // load
+		rd := scratch()
+		a.opImm(isa.OpLw, rd, regT1, off)
+		record(rd)
+	case 1: // store
+		a.emit(isa.Inst{Op: isa.OpSw, Rs1: regT1, Rs2: pick(), Imm: off})
+	default: // FP load (keeps the FP side fed with memory traffic)
+		fd := isa.FPBase + isa.Reg(g.rng.Intn(isa.NumFPRegs))
+		a.opImm(isa.OpLf, fd, regT1, off)
+	}
+}

@@ -1,0 +1,51 @@
+package program
+
+import (
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/isa"
+)
+
+// FromInsts links a hand-written instruction sequence into a runnable
+// Program: the instructions are placed at CodeBase, a data segment of
+// dataKB kilobytes (minimum the entropy region) is zero-initialized, and
+// entry is the first instruction. Tests use it for exact-semantics checks;
+// tools can use it to run micro-kernels on the simulator.
+//
+// The sequence must be self-contained: direct jumps use absolute word
+// targets (CodeBase/4 + index), conditional branches instruction-relative
+// offsets, exactly as isa documents. FromInsts validates the result the
+// same way the generator does.
+func FromInsts(name string, insts []isa.Inst, dataKB int) (*Program, error) {
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("program: %s: no instructions", name)
+	}
+	img, err := isa.EncodeAll(insts)
+	if err != nil {
+		return nil, fmt.Errorf("program %s: %w", name, err)
+	}
+	if dataKB < heapDataOff/1024+8 {
+		dataKB = heapDataOff/1024 + 8
+	}
+	code := make([]isa.Inst, len(insts))
+	copy(code, insts)
+	p := &Program{
+		Name:     name,
+		Input:    "hand-written",
+		Code:     code,
+		Image:    img,
+		EntryPC:  CodeBase,
+		Data:     make([]byte, dataKB*1024),
+		DataSize: dataKB * 1024,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WordTarget converts an instruction index into the absolute word target
+// used by direct jumps and calls.
+func WordTarget(index int) int32 {
+	return int32(CodeBase/isa.InstBytes + index)
+}

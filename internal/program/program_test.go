@@ -1,0 +1,260 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/parallel-frontend/pfe/internal/isa"
+)
+
+func TestBuildDeterminism(t *testing.T) {
+	a := MustBuild(TestSpec())
+	b := MustBuild(TestSpec())
+	if a.NumInsts() != b.NumInsts() {
+		t.Fatalf("sizes differ: %d vs %d", a.NumInsts(), b.NumInsts())
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("data byte %d differs", i)
+		}
+	}
+}
+
+func TestBuildSeedSensitivity(t *testing.T) {
+	s1 := TestSpec()
+	s2 := TestSpec()
+	s2.Seed++
+	a, b := MustBuild(s1), MustBuild(s2)
+	if a.NumInsts() == b.NumInsts() {
+		same := true
+		for i := range a.Code {
+			if a.Code[i] != b.Code[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical programs")
+		}
+	}
+}
+
+func TestCheckSpecRejections(t *testing.T) {
+	base := TestSpec()
+	cases := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Workers = 0 },
+		func(s *Spec) { s.Helpers = 0 },
+		func(s *Spec) { s.Phases = 0 },
+		func(s *Spec) { s.WorkersPerPhase = 0 },
+		func(s *Spec) { s.PhaseIters = 0 },
+		func(s *Spec) { s.PhaseIters = 9000 },
+		func(s *Spec) { s.SwitchWays = 3 },
+		func(s *Spec) { s.BlockLen = [2]int{0, 4} },
+		func(s *Spec) { s.BlockLen = [2]int{5, 4} },
+		func(s *Spec) { s.LoopTrip = [2]int{0, 4} },
+		func(s *Spec) { s.LoopTrip = [2]int{4, 9000} },
+		func(s *Spec) { s.HeapKB = 4 },
+	}
+	for i, mutate := range cases {
+		s := base
+		mutate(&s)
+		if _, err := Build(s); err == nil {
+			t.Errorf("case %d: malformed spec accepted", i)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := TestSpec()
+	s.PhaseIters = 100
+	if got := s.Scaled(0.5).PhaseIters; got != 50 {
+		t.Errorf("Scaled(0.5) = %d", got)
+	}
+	if got := s.Scaled(0).PhaseIters; got != 1 {
+		t.Errorf("Scaled(0) must clamp to 1, got %d", got)
+	}
+}
+
+func TestInstAtBounds(t *testing.T) {
+	p := MustBuild(TestSpec())
+	if _, ok := p.InstAt(CodeBase); !ok {
+		t.Error("entry instruction missing")
+	}
+	if _, ok := p.InstAt(CodeBase - 4); ok {
+		t.Error("below code base must fail")
+	}
+	if _, ok := p.InstAt(CodeBase + 2); ok {
+		t.Error("unaligned PC must fail")
+	}
+	end := CodeBase + uint64(p.NumInsts()*isa.InstBytes)
+	if _, ok := p.InstAt(end); ok {
+		t.Error("past-the-end PC must fail")
+	}
+}
+
+func TestReservedRegistersRespected(t *testing.T) {
+	// The generator's contract: generated code never writes the entropy
+	// base register (r26), and writes r27 only via the entropy-advance
+	// idiom (addi/andi), never as a scratch destination.
+	p := MustBuild(TestSpec())
+	for i, in := range p.Code {
+		rd, ok := in.Dest()
+		if !ok {
+			continue
+		}
+		if rd == regEntBase && in.Op != isa.OpLui && in.Op != isa.OpOri {
+			t.Fatalf("instruction %d (%v) writes the entropy base", i, in)
+		}
+		if rd == regEntIdx && in.Op != isa.OpAddi && in.Op != isa.OpAndi {
+			t.Fatalf("instruction %d (%v) writes the entropy index", i, in)
+		}
+	}
+}
+
+func TestStaticMixMatchesSpec(t *testing.T) {
+	spec := TestSpec()
+	spec.Workers, spec.Helpers = 20, 6
+	spec.FPFrac = 0.2
+	p := MustBuild(spec)
+	mix := p.StaticMix()
+	total := 0
+	for _, n := range mix {
+		total += n
+	}
+	if total != p.NumInsts() {
+		t.Fatalf("mix total %d != %d instructions", total, p.NumInsts())
+	}
+	if mix[isa.ClassFPAdd]+mix[isa.ClassFPMul] == 0 {
+		t.Error("FPFrac 0.2 produced no FP instructions")
+	}
+	if mix[isa.ClassLoadStore] == 0 {
+		t.Error("no memory instructions generated")
+	}
+}
+
+func TestSuiteSpecsAreValid(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range Suite() {
+		if names[s.Name] {
+			t.Errorf("duplicate benchmark %s", s.Name)
+		}
+		names[s.Name] = true
+		if err := checkSpec(s); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	if len(names) != 12 {
+		t.Errorf("suite has %d benchmarks", len(names))
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("gcc")
+	if err != nil || s.Name != "gcc" {
+		t.Errorf("SpecByName(gcc) = %v, %v", s.Name, err)
+	}
+	if _, err := SpecByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestGeneratedProgramsValidate is a property over random specs: any spec
+// accepted by checkSpec must produce a structurally valid program (all
+// control transfers in range, image round-trips).
+func TestGeneratedProgramsValidate(t *testing.T) {
+	f := func(seed int64, w, h uint8) bool {
+		spec := TestSpec()
+		spec.Seed = seed
+		spec.Workers = int(w%20) + 1
+		spec.Helpers = int(h%8) + 1
+		if spec.WorkersPerPhase > spec.Workers {
+			spec.WorkersPerPhase = spec.Workers
+		}
+		p, err := Build(spec)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeFootprintScalesWithWorkers(t *testing.T) {
+	small := TestSpec()
+	small.Workers, small.Helpers = 5, 2
+	large := TestSpec()
+	large.Workers, large.Helpers = 50, 10
+	ps, pl := MustBuild(small), MustBuild(large)
+	if pl.CodeBytes() < 4*ps.CodeBytes() {
+		t.Errorf("footprint scaling: %d -> %d bytes", ps.CodeBytes(), pl.CodeBytes())
+	}
+}
+
+func TestAsmUndefinedLabel(t *testing.T) {
+	a := newAsm()
+	a.jump(isa.OpJ, "nowhere")
+	if err := a.link(nil); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestAsmDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate label must panic")
+		}
+	}()
+	a := newAsm()
+	a.label("x")
+	a.label("x")
+}
+
+func TestAsmBranchRange(t *testing.T) {
+	a := newAsm()
+	a.label("start")
+	a.branch(isa.OpBne, 1, 0, "start")
+	for i := 0; i < 9000; i++ {
+		a.op3(isa.OpAdd, 1, 1, 2)
+	}
+	a.branch(isa.OpBne, 1, 0, "start") // out of 14-bit range
+	if err := a.link(nil); err == nil {
+		t.Error("out-of-range branch accepted")
+	}
+}
+
+func TestAsmLoadAddrPanicsOnHugeAddress(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unmaterializable address must panic")
+		}
+	}()
+	a := newAsm()
+	a.loadAddr(1, 1<<27)
+}
+
+func TestEntropyFillDistribution(t *testing.T) {
+	data := make([]byte, EntropySize)
+	fillEntropy(data, 12345)
+	var sum, n float64
+	for off := 0; off+4 <= len(data); off += 4 {
+		v := uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24
+		if v >= 8192 {
+			t.Fatalf("entropy word %d out of range", v)
+		}
+		sum += float64(v)
+		n++
+	}
+	mean := sum / n
+	if mean < 3500 || mean > 4700 {
+		t.Errorf("entropy mean %v far from 4096", mean)
+	}
+}

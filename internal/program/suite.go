@@ -1,0 +1,181 @@
+package program
+
+import "fmt"
+
+// Suite returns the specs for the twelve SPEC CPU2000 integer stand-ins, in
+// the paper's Table 2 order. Each spec is calibrated toward its benchmark's
+// published characteristics:
+//
+//   - average fragment size (Table 2: 9.04 for mcf up to 12.79 for bzip2),
+//     driven mainly by BlockLen and the density of returns/switches;
+//   - instruction footprint — crafty, gcc, perl and vortex exceed 64 KB so
+//     they gain from doubling the L1 instruction storage (Fig 8/9);
+//   - control predictability (BranchBias), with mcf/parser hardest;
+//   - indirect-branch density (SwitchFrac, IndirectCallFrac), highest for
+//     gcc and perl.
+//
+// The "Input" strings record which input set the paper used; they are
+// descriptive only.
+func Suite() []Spec {
+	return []Spec{
+		{
+			Name: "bzip2", Input: "test", Seed: 1001,
+			Workers: 40, Helpers: 10,
+			Constructs: [2]int{4, 8}, BlockLen: [2]int{6, 10}, LoopTrip: [2]int{3, 10},
+			LoopFrac: 0.18, HammockFrac: 0.30, CallFrac: 0.18,
+			BranchBias: 0.90, SwitchFrac: 0.06, SwitchWays: 4,
+			MemFrac: 0.26, FPFrac: 0.0, MulFrac: 0.03,
+			Phases: 5, WorkersPerPhase: 22, PhaseStride: 5, PhaseIters: 2000,
+			HeapKB: 256,
+		},
+		{
+			Name: "crafty", Input: "test", Seed: 1002,
+			Workers: 190, Helpers: 30,
+			Constructs: [2]int{4, 8}, BlockLen: [2]int{5, 9}, LoopTrip: [2]int{2, 8},
+			LoopFrac: 0.16, HammockFrac: 0.36, CallFrac: 0.15,
+			BranchBias: 0.85, SwitchFrac: 0.15, SwitchWays: 8,
+			MemFrac: 0.25, FPFrac: 0.0, MulFrac: 0.02,
+			Phases: 10, WorkersPerPhase: 38, PhaseStride: 19, PhaseIters: 1200,
+			HeapKB: 512,
+		},
+		{
+			Name: "eon", Input: "train (cook)", Seed: 1003,
+			Workers: 110, Helpers: 24,
+			Constructs: [2]int{4, 7}, BlockLen: [2]int{4, 7}, LoopTrip: [2]int{2, 8},
+			LoopFrac: 0.18, HammockFrac: 0.30, CallFrac: 0.28,
+			BranchBias: 0.90, SwitchFrac: 0.08, SwitchWays: 4,
+			MemFrac: 0.24, FPFrac: 0.16, MulFrac: 0.04,
+			Phases: 6, WorkersPerPhase: 28, PhaseStride: 16, PhaseIters: 1500,
+			HeapKB: 256,
+		},
+		{
+			Name: "gap", Input: "test", Seed: 1004,
+			Workers: 85, Helpers: 20,
+			Constructs: [2]int{4, 7}, BlockLen: [2]int{4, 7}, LoopTrip: [2]int{2, 8},
+			LoopFrac: 0.18, HammockFrac: 0.32, CallFrac: 0.26,
+			BranchBias: 0.82, SwitchFrac: 0.12, SwitchWays: 8,
+			MemFrac: 0.27, FPFrac: 0.0, MulFrac: 0.05,
+			Phases: 6, WorkersPerPhase: 26, PhaseStride: 14, PhaseIters: 1500,
+			HeapKB: 512,
+		},
+		{
+			Name: "gcc", Input: "test", Seed: 1005,
+			Workers: 400, Helpers: 60,
+			Constructs: [2]int{4, 8}, BlockLen: [2]int{3, 7}, LoopTrip: [2]int{2, 6},
+			LoopFrac: 0.14, HammockFrac: 0.38, CallFrac: 0.20,
+			BranchBias: 0.78, SwitchFrac: 0.35, SwitchWays: 8,
+			MemFrac: 0.26, FPFrac: 0.0, MulFrac: 0.02,
+			Phases: 12, WorkersPerPhase: 45, PhaseStride: 33, PhaseIters: 800,
+			HeapKB: 1024,
+		},
+		{
+			Name: "gzip", Input: "test", Seed: 1006,
+			Workers: 35, Helpers: 8,
+			Constructs: [2]int{4, 8}, BlockLen: [2]int{6, 9}, LoopTrip: [2]int{3, 12},
+			LoopFrac: 0.20, HammockFrac: 0.28, CallFrac: 0.14,
+			BranchBias: 0.88, SwitchFrac: 0.05, SwitchWays: 4,
+			MemFrac: 0.26, FPFrac: 0.0, MulFrac: 0.02,
+			Phases: 4, WorkersPerPhase: 20, PhaseStride: 5, PhaseIters: 2500,
+			HeapKB: 192,
+		},
+		{
+			Name: "mcf", Input: "train", Seed: 1007,
+			Workers: 30, Helpers: 14,
+			Constructs: [2]int{3, 6}, HelperConstructs: [2]int{0, 1}, BlockLen: [2]int{2, 4}, LoopTrip: [2]int{2, 8},
+			LoopFrac: 0.14, HammockFrac: 0.20, CallFrac: 0.66,
+			BranchBias: 0.68, SwitchFrac: 0.60, SwitchWays: 4,
+			MemFrac: 0.34, FPFrac: 0.0, MulFrac: 0.02,
+			ChaseFrac: 0.065, ChaseDepth: 2,
+			Phases: 4, WorkersPerPhase: 16, PhaseStride: 5, PhaseIters: 2500,
+			HeapKB: 2048,
+		},
+		{
+			Name: "parser", Input: "test", Seed: 1008,
+			Workers: 70, Helpers: 16,
+			Constructs: [2]int{3, 7}, HelperConstructs: [2]int{0, 1}, BlockLen: [2]int{2, 5}, LoopTrip: [2]int{2, 8},
+			LoopFrac: 0.16, HammockFrac: 0.30, CallFrac: 0.40,
+			BranchBias: 0.72, SwitchFrac: 0.40, SwitchWays: 8,
+			MemFrac: 0.28, FPFrac: 0.0, MulFrac: 0.02,
+			Phases: 6, WorkersPerPhase: 22, PhaseStride: 12, PhaseIters: 1500,
+			HeapKB: 384,
+		},
+		{
+			Name: "perl", Input: "train (diffmail)", Seed: 1009,
+			Workers: 250, Helpers: 40,
+			Constructs: [2]int{4, 8}, BlockLen: [2]int{4, 8}, LoopTrip: [2]int{2, 6},
+			LoopFrac: 0.14, HammockFrac: 0.34, CallFrac: 0.16,
+			BranchBias: 0.80, SwitchFrac: 0.30, SwitchWays: 16,
+			IndirectCallFrac: 0.30,
+			MemFrac:          0.27, FPFrac: 0.0, MulFrac: 0.02,
+			Phases: 10, WorkersPerPhase: 35, PhaseStride: 25, PhaseIters: 1000,
+			HeapKB: 512,
+		},
+		{
+			Name: "twolf", Input: "train", Seed: 1010,
+			Workers: 80, Helpers: 18,
+			Constructs: [2]int{4, 8}, BlockLen: [2]int{6, 9}, LoopTrip: [2]int{2, 10},
+			LoopFrac: 0.18, HammockFrac: 0.32, CallFrac: 0.20,
+			BranchBias: 0.80, SwitchFrac: 0.10, SwitchWays: 4,
+			MemFrac: 0.27, FPFrac: 0.06, MulFrac: 0.04,
+			Phases: 6, WorkersPerPhase: 24, PhaseStride: 13, PhaseIters: 1500,
+			HeapKB: 384,
+		},
+		{
+			Name: "vortex", Input: "test", Seed: 1011,
+			Workers: 300, Helpers: 45,
+			Constructs: [2]int{4, 8}, BlockLen: [2]int{5, 8}, LoopTrip: [2]int{2, 8},
+			LoopFrac: 0.16, HammockFrac: 0.32, CallFrac: 0.30,
+			BranchBias: 0.93, SwitchFrac: 0.12, SwitchWays: 8,
+			MemFrac: 0.30, FPFrac: 0.0, MulFrac: 0.02,
+			Phases: 10, WorkersPerPhase: 42, PhaseStride: 30, PhaseIters: 1000,
+			HeapKB: 768,
+		},
+		{
+			Name: "vpr", Input: "train (place)", Seed: 1012,
+			Workers: 55, Helpers: 14,
+			Constructs: [2]int{4, 8}, BlockLen: [2]int{6, 9}, LoopTrip: [2]int{2, 10},
+			LoopFrac: 0.20, HammockFrac: 0.30, CallFrac: 0.14,
+			BranchBias: 0.85, SwitchFrac: 0.08, SwitchWays: 4,
+			MemFrac: 0.26, FPFrac: 0.12, MulFrac: 0.04,
+			Phases: 5, WorkersPerPhase: 26, PhaseStride: 8, PhaseIters: 1800,
+			HeapKB: 256,
+		},
+	}
+}
+
+// SuiteNames returns the benchmark names in suite order.
+func SuiteNames() []string {
+	specs := Suite()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// SpecByName returns the suite spec with the given name.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("program: no benchmark named %q", name)
+}
+
+// TestSpec returns a miniature benchmark that runs to completion in well
+// under 100 K dynamic instructions; unit tests across the repository use it
+// to exercise whole-program paths quickly.
+func TestSpec() Spec {
+	return Spec{
+		Name: "tiny", Input: "unit-test", Seed: 99,
+		Workers: 6, Helpers: 3,
+		Constructs: [2]int{2, 4}, BlockLen: [2]int{3, 6}, LoopTrip: [2]int{2, 5},
+		LoopFrac: 0.3, HammockFrac: 0.35, CallFrac: 0.15,
+		BranchBias: 0.8, SwitchFrac: 0.3, SwitchWays: 4,
+		IndirectCallFrac: 0.2,
+		MemFrac:          0.25, FPFrac: 0.05, MulFrac: 0.03,
+		Phases: 2, WorkersPerPhase: 4, PhaseStride: 2, PhaseIters: 3,
+		HeapKB: 16,
+	}
+}

@@ -1,0 +1,101 @@
+package rename
+
+import "github.com/parallel-frontend/pfe/internal/isa"
+
+// Parallel is the two-phase parallel renamer. Phase 1 runs serially in
+// program order (one fragment per cycle in the timing model); phase 2 runs
+// concurrently across fragments in the hardware, which is safe because each
+// fragment's phase 2 depends only on its own phase-1 snapshot.
+type Parallel struct {
+	fl *FreeList
+	mt MapTable // map after all phase-1 allocations so far
+}
+
+// NewParallel creates a parallel renamer drawing from fl.
+func NewParallel(fl *FreeList) *Parallel {
+	return &Parallel{fl: fl, mt: InitialMap()}
+}
+
+// Map returns the current speculative map table (after the most recent
+// phase 1).
+func (p *Parallel) Map() MapTable { return p.mt }
+
+// Restore rolls the phase-1 map back to a checkpoint (misprediction
+// recovery).
+func (p *Parallel) Restore(mt MapTable) { p.mt = mt }
+
+// FragmentRename is the per-fragment rename context produced by phase 1.
+type FragmentRename struct {
+	lo    LiveOuts
+	inMap MapTable // register map this fragment renames against
+
+	// pre holds the phase-1 allocation for each predicted live-out
+	// logical register.
+	pre [isa.NumRegs]PhysReg
+}
+
+// InMap returns the map snapshot the fragment's phase 2 renames against
+// (exported for tests and the timing model's recovery path).
+func (fr *FragmentRename) InMap() MapTable { return fr.inMap }
+
+// Phase1 performs the serial part of renaming fragment with predicted
+// live-outs lo: it snapshots the incoming map, allocates one physical
+// register per predicted live-out, and publishes the updated map for the
+// next fragment. The paper notes this is cheap — "making a copy of the
+// renaming table and allocating a group of physical registers" — which is
+// why one fragment per cycle of phase-1 serialization does not limit
+// throughput below the fragment predictor's own rate.
+func (p *Parallel) Phase1(lo LiveOuts) *FragmentRename {
+	fr := &FragmentRename{lo: lo, inMap: p.mt}
+	for r := 0; r < isa.NumRegs; r++ {
+		if lo.RegMask&(1<<uint(r)) != 0 {
+			reg := p.fl.Alloc()
+			fr.pre[r] = reg
+			p.mt[r] = reg
+		}
+	}
+	return fr
+}
+
+// Phase2 renames the fragment's instructions against the phase-1 snapshot.
+// An instruction flagged as a live-out last write binds its destination to
+// the phase-1 register (so later fragments renamed concurrently already
+// point at it); other writes allocate fresh registers. Phase2 also performs
+// the §4.3 misprediction detection inline and reports the first condition
+// it finds; the returned renames are valid up to (not including) the
+// offending instruction.
+func (p *Parallel) Phase2(fr *FragmentRename, insts Insts) ([]Renamed, MispredictKind) {
+	out := make([]Renamed, 0, len(insts))
+	mt := fr.inMap
+	seenLast := [isa.NumRegs]bool{}
+	for i, in := range insts {
+		rd, writes := in.Dest()
+		if writes {
+			if fr.lo.RegMask&(1<<rd) == 0 {
+				return out, UnpredictedWrite // condition 1
+			}
+			if seenLast[rd] {
+				return out, WriteAfterLast // condition 3
+			}
+		}
+		var pre *PhysReg
+		if writes && fr.lo.LastWrite&(1<<i) != 0 {
+			pre = &fr.pre[rd]
+			seenLast[rd] = true
+		}
+		out = append(out, renameAgainst(in, &mt, p.fl, pre))
+	}
+	// Post-rename checks: every predicted last write must have occurred
+	// (condition 4), which also covers predicted-but-unwritten registers
+	// (condition 2) for the registers covered by last-write bits; any
+	// remaining predicted live-out register that saw no write at all is
+	// condition 2.
+	actual := ComputeLiveOuts(insts)
+	if fr.lo.LastWrite&^actual.LastWrite != 0 {
+		return out, LastWriteMissing // condition 4
+	}
+	if fr.lo.RegMask&^actual.RegMask != 0 {
+		return out, MissingWrite // condition 2
+	}
+	return out, PredictionCorrect
+}

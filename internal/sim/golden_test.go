@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/backend"
+	"github.com/parallel-frontend/pfe/internal/core"
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// TestCommittedStreamMatchesOracle is the simulator's golden correctness
+// property: whatever the front-end speculates — wrong paths, buffer reuse,
+// live-out squashes, redirects — the committed instruction stream must be
+// exactly the program's functional execution, for every front-end.
+func TestCommittedStreamMatchesOracle(t *testing.T) {
+	spec := program.TestSpec()
+	spec.PhaseIters = 40
+	p, err := program.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference stream from the functional emulator.
+	m := emu.New(p)
+	var want []uint64
+	for !m.Halted() {
+		d, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d.PC)
+	}
+	t.Logf("program length: %d dynamic instructions", len(want))
+
+	cases := []struct {
+		name         string
+		fetch        core.FetchKind
+		rename       core.RenameKind
+		switchOnMiss bool
+	}{
+		{"W16", core.FetchSequential, core.RenameSequential, false},
+		{"TC", core.FetchTraceCache, core.RenameSequential, false},
+		{"PF", core.FetchParallel, core.RenameSequential, false},
+		{"PR", core.FetchParallel, core.RenameParallel, false},
+		{"TC+PR", core.FetchTraceCache, core.RenameParallel, false},
+		{"PRd", core.FetchParallel, core.RenameDelayed, false},
+		{"PF+som", core.FetchParallel, core.RenameSequential, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got []uint64
+			fe := feConfig(tc.name, tc.fetch, tc.rename)
+			fe.SwitchOnMiss = tc.switchOnMiss
+			cfg := testConfig(fe)
+			cfg.WarmupInsts = 0
+			cfg.MeasureInsts = int64(len(want)) + 1000
+			cfg.CommitHook = func(op *backend.Op) { got = append(got, op.PC) }
+			if _, err := Run(p, cfg); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("committed %d instructions, oracle has %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("commit %d: PC %#x, oracle %#x", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestNoWrongPathCommits double-checks that squashed ops never reach the
+// commit hook.
+func TestNoWrongPathCommits(t *testing.T) {
+	spec := program.TestSpec()
+	spec.PhaseIters = 100
+	p, err := program.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(feConfig("PR", core.FetchParallel, core.RenameParallel))
+	cfg.CommitHook = func(op *backend.Op) {
+		if op.WrongPath {
+			t.Fatalf("wrong-path op committed at PC %#x", op.PC)
+		}
+	}
+	if _, err := Run(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

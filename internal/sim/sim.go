@@ -1,0 +1,210 @@
+// Package sim couples a front-end (internal/core), the out-of-order
+// back-end (internal/backend) and the memory hierarchy (internal/mem) into
+// the cycle-level processor model of Table 1, and runs generated benchmarks
+// on it. One Run is one experiment cell: a (front-end config, benchmark)
+// pair producing IPC and the front-end measurements of §5.
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/parallel-frontend/pfe/internal/backend"
+	"github.com/parallel-frontend/pfe/internal/bpred"
+	"github.com/parallel-frontend/pfe/internal/core"
+	"github.com/parallel-frontend/pfe/internal/mem"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// Config is one simulation's complete machine description plus run bounds.
+type Config struct {
+	FrontEnd core.Config
+	Backend  backend.Config
+	Mem      mem.HierarchyConfig
+
+	// WarmupInsts commit before measurement starts (caches and
+	// predictors stay warm; counters reset). MeasureInsts commit during
+	// measurement. MaxCycles bounds runaway simulations.
+	WarmupInsts  int64
+	MeasureInsts int64
+	MaxCycles    uint64
+
+	// CommitHook, if set, observes every committed instruction in
+	// program order (correctness tests compare this stream against the
+	// functional emulator).
+	CommitHook func(*backend.Op)
+
+	// Trace, if non-nil, receives a per-cycle pipeline trace for the
+	// first TraceCycles cycles: fetch/rename/commit counts, window and
+	// buffer occupancy, and redirect events.
+	Trace       io.Writer
+	TraceCycles uint64
+}
+
+// Result is one simulation's measurements (post-warmup).
+type Result struct {
+	Bench     string
+	Config    string
+	Cycles    uint64
+	Committed int64
+	IPC       float64
+
+	FrontEnd core.Stats
+
+	// Fragment predictor behaviour over the whole run (the predictor is
+	// shared machinery, warm by measurement time).
+	FragPredAccuracy float64
+
+	// Cache behaviour (whole run).
+	L1IMissRate float64
+	L1DMissRate float64
+	TCHitRate   float64 // trace-cache front-ends only
+
+	// Fragment-buffer behaviour (parallel fetch only).
+	BufferReuseRate float64
+}
+
+// Run executes the benchmark p under cfg.
+func Run(p *program.Program, cfg Config) (*Result, error) {
+	if cfg.MeasureInsts <= 0 {
+		return nil, fmt.Errorf("sim: MeasureInsts must be positive")
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = uint64(cfg.WarmupInsts+cfg.MeasureInsts)*40 + 1_000_000
+	}
+
+	hier := mem.NewHierarchy(cfg.Mem)
+	pred := bpred.New(cfg.FrontEnd.Predictor)
+	stream := core.NewStream(p, pred, cfg.FrontEnd.FragHeuristics)
+	be := backend.New(cfg.Backend, hier.L1D)
+	be.CommitHook = cfg.CommitHook
+	ic := &core.ICache{L1I: hier.L1I, Banks: hier.IBanks}
+	fe, err := core.NewUnit(cfg.FrontEnd, stream, ic, be)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		baseStats    core.Stats
+		baseCommit   int64
+		baseCycle    uint64
+		measuring    = cfg.WarmupInsts == 0
+		lastProgress uint64
+	)
+	target := cfg.WarmupInsts + cfg.MeasureInsts
+
+	var prevFetched, prevRenamed int64
+	now := uint64(0)
+	for ; now < cfg.MaxCycles; now++ {
+		fe.Cycle(now)
+		n, res := be.Cycle(now)
+		if n > 0 {
+			lastProgress = now
+		}
+
+		if cfg.Trace != nil && now < cfg.TraceCycles {
+			st := fe.Stats()
+			mark := ""
+			if res != nil {
+				mark = fmt.Sprintf("  RESOLVE seq=%d pc=%#x", res.Op.Seq, res.Op.PC)
+			}
+			bufs := 0
+			if pool := fe.Pool(); pool != nil {
+				bufs = pool.InUseCount()
+			}
+			fmt.Fprintf(cfg.Trace, "cycle %6d | fetch %2d rename %2d commit %2d | window %3d bufs %2d%s\n",
+				now, st.Fetched-prevFetched, st.Renamed-prevRenamed, n, be.InFlight(), bufs, mark)
+			prevFetched, prevRenamed = st.Fetched, st.Renamed
+		}
+
+		if res != nil {
+			pend := stream.Pending()
+			if pend != nil && res.Op.Seq == pend.CulpritSeq {
+				red := stream.ApplyRedirect()
+				be.SquashFrom(red.CulpritSeq + 1)
+				be.ClearMispredictPoint(res.Op)
+				fe.Redirect(now, red.CulpritSeq)
+			} else {
+				// The culprit became stale (live-out squash
+				// re-renamed past it in an unexpected order) —
+				// unblock commit; the stream redirect will be
+				// resolved by the re-executed instance.
+				be.ClearMispredictPoint(res.Op)
+			}
+		}
+
+		committed := be.Committed()
+		if !measuring && committed >= cfg.WarmupInsts {
+			baseStats = *fe.Stats()
+			baseCommit = committed
+			baseCycle = now
+			measuring = true
+			target = baseCommit + cfg.MeasureInsts
+		}
+		if measuring && committed >= target {
+			break
+		}
+		if stream.Done() && fe.Drained() && be.InFlight() == 0 {
+			break
+		}
+		if now-lastProgress > 200_000 {
+			pendDesc := "no pending redirect"
+			if pend := stream.Pending(); pend != nil {
+				pendDesc = fmt.Sprintf("pending redirect culprit=%d", pend.CulpritSeq)
+			}
+			return nil, fmt.Errorf("sim: %s/%s deadlocked at cycle %d (committed %d; %s; %s; drained=%v)",
+				cfg.FrontEnd.Name, p.Name, now, committed, be.DebugHead(), pendDesc, fe.Drained())
+		}
+	}
+	if now >= cfg.MaxCycles {
+		return nil, fmt.Errorf("sim: %s/%s exceeded MaxCycles=%d", cfg.FrontEnd.Name, p.Name, cfg.MaxCycles)
+	}
+	if !measuring {
+		return nil, fmt.Errorf("sim: %s/%s finished before warmup completed", cfg.FrontEnd.Name, p.Name)
+	}
+
+	res := &Result{
+		Bench:     p.Name,
+		Config:    cfg.FrontEnd.Name,
+		Cycles:    now - baseCycle,
+		Committed: be.Committed() - baseCommit,
+		FrontEnd:  subStats(*fe.Stats(), baseStats),
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Committed) / float64(res.Cycles)
+	}
+	if gen, correct := stream.Accuracy(); gen > 0 {
+		res.FragPredAccuracy = float64(correct) / float64(gen)
+	}
+	res.L1IMissRate = hier.L1I.MissRate()
+	res.L1DMissRate = hier.L1D.MissRate()
+	if tc := fe.TraceCache(); tc != nil {
+		res.TCHitRate = tc.HitRate()
+	}
+	if pool := fe.Pool(); pool != nil {
+		res.BufferReuseRate = pool.ReuseRate()
+	}
+	return res, nil
+}
+
+// subStats subtracts warmup-period counters field by field.
+func subStats(a, b core.Stats) core.Stats {
+	a.Cycles -= b.Cycles
+	a.FetchSlots -= b.FetchSlots
+	a.FetchedFromCache -= b.FetchedFromCache
+	a.Fetched -= b.Fetched
+	a.Renamed -= b.Renamed
+	a.FragAllocs -= b.FragAllocs
+	a.FragReuses -= b.FragReuses
+	a.FragCompleteAtRename -= b.FragCompleteAtRename
+	a.FragReadByRename -= b.FragReadByRename
+	a.LiveOutPredicted -= b.LiveOutPredicted
+	a.LiveOutMispredict -= b.LiveOutMispredict
+	a.LiveOutMisses -= b.LiveOutMisses
+	a.BankConflicts -= b.BankConflicts
+	a.ConflictTrunc -= b.ConflictTrunc
+	a.Redirects -= b.Redirects
+	a.DelayedForMapping -= b.DelayedForMapping
+	a.InstrsRenamedBeforeSource -= b.InstrsRenamedBeforeSource
+	return a
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/backend"
+	"github.com/parallel-frontend/pfe/internal/bpred"
+	"github.com/parallel-frontend/pfe/internal/core"
+	"github.com/parallel-frontend/pfe/internal/mem"
+	"github.com/parallel-frontend/pfe/internal/program"
+	"github.com/parallel-frontend/pfe/internal/rename"
+)
+
+// feConfig builds a front-end config for tests.
+func feConfig(name string, fetch core.FetchKind, ren core.RenameKind) core.Config {
+	cfg := core.Config{
+		Name:           name,
+		Fetch:          fetch,
+		Rename:         ren,
+		FetchWidth:     16,
+		RenameWidth:    16,
+		FragBuffers:    16,
+		Predictor:      bpred.DefaultConfig(),
+		LiveOut:        rename.DefaultLiveOutConfig(),
+		RedirectBubble: 3,
+	}
+	switch fetch {
+	case core.FetchTraceCache:
+		cfg.TraceCache = 32 << 10
+	case core.FetchParallel:
+		cfg.Sequencers, cfg.SeqWidth = 2, 8
+	}
+	if ren == core.RenameParallel || ren == core.RenameDelayed {
+		cfg.Renamers, cfg.RenWidth = 2, 8
+	}
+	return cfg
+}
+
+func testConfig(fe core.Config) Config {
+	return Config{
+		FrontEnd:     fe,
+		Backend:      backend.DefaultConfig(),
+		Mem:          mem.DefaultHierarchyConfig(),
+		WarmupInsts:  5_000,
+		MeasureInsts: 30_000,
+	}
+}
+
+func runTiny(t *testing.T, fe core.Config) *Result {
+	t.Helper()
+	spec := program.TestSpec()
+	spec.PhaseIters = 2000 // long enough for the budget
+	p, err := program.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(p, testConfig(fe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestW16Smoke(t *testing.T) {
+	r := runTiny(t, feConfig("W16", core.FetchSequential, core.RenameSequential))
+	t.Logf("W16: IPC=%.2f fetch=%.2f rename=%.2f util=%.2f redirects=%d",
+		r.IPC, r.FrontEnd.FetchRate(), r.FrontEnd.RenameRate(),
+		r.FrontEnd.SlotUtilization(), r.FrontEnd.Redirects)
+	if r.IPC < 0.5 || r.IPC > 16 {
+		t.Errorf("implausible IPC %.2f", r.IPC)
+	}
+	if r.Committed < 30_000 {
+		t.Errorf("committed %d < budget", r.Committed)
+	}
+	if r.FrontEnd.Redirects == 0 {
+		t.Error("expected some redirects")
+	}
+}
+
+func TestTCSmoke(t *testing.T) {
+	r := runTiny(t, feConfig("TC", core.FetchTraceCache, core.RenameSequential))
+	t.Logf("TC: IPC=%.2f fetch=%.2f rename=%.2f util=%.2f tcHit=%.2f",
+		r.IPC, r.FrontEnd.FetchRate(), r.FrontEnd.RenameRate(),
+		r.FrontEnd.SlotUtilization(), r.TCHitRate)
+	if r.IPC < 0.5 || r.IPC > 16 {
+		t.Errorf("implausible IPC %.2f", r.IPC)
+	}
+	if r.TCHitRate == 0 {
+		t.Error("trace cache never hit")
+	}
+}
+
+func TestPFSmoke(t *testing.T) {
+	r := runTiny(t, feConfig("PF", core.FetchParallel, core.RenameSequential))
+	t.Logf("PF: IPC=%.2f fetch=%.2f rename=%.2f util=%.2f reuse=%.2f early=%.2f",
+		r.IPC, r.FrontEnd.FetchRate(), r.FrontEnd.RenameRate(),
+		r.FrontEnd.SlotUtilization(), r.BufferReuseRate, r.FrontEnd.ConstructedBeforeRename())
+	if r.IPC < 0.5 || r.IPC > 16 {
+		t.Errorf("implausible IPC %.2f", r.IPC)
+	}
+	if r.BufferReuseRate == 0 {
+		t.Error("no buffer reuse on a loopy program")
+	}
+}
+
+func TestPRSmoke(t *testing.T) {
+	r := runTiny(t, feConfig("PR", core.FetchParallel, core.RenameParallel))
+	t.Logf("PR: IPC=%.2f fetch=%.2f rename=%.2f util=%.2f loMiss=%d loMis=%d beforeSrc=%.3f",
+		r.IPC, r.FrontEnd.FetchRate(), r.FrontEnd.RenameRate(),
+		r.FrontEnd.SlotUtilization(), r.FrontEnd.LiveOutMisses,
+		r.FrontEnd.LiveOutMispredict,
+		float64(r.FrontEnd.InstrsRenamedBeforeSource)/float64(r.FrontEnd.Renamed+1))
+	if r.IPC < 0.5 || r.IPC > 16 {
+		t.Errorf("implausible IPC %.2f", r.IPC)
+	}
+}
+
+func TestTCPRSmoke(t *testing.T) {
+	r := runTiny(t, feConfig("TC+PR", core.FetchTraceCache, core.RenameParallel))
+	t.Logf("TC+PR: IPC=%.2f", r.IPC)
+	if r.IPC < 0.5 || r.IPC > 16 {
+		t.Errorf("implausible IPC %.2f", r.IPC)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a := runTiny(t, feConfig("PR", core.FetchParallel, core.RenameParallel))
+	b := runTiny(t, feConfig("PR", core.FetchParallel, core.RenameParallel))
+	if a.IPC != b.IPC || a.Cycles != b.Cycles || a.Committed != b.Committed {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestProgramRunsToHalt(t *testing.T) {
+	// A very small program that halts before the measurement budget:
+	// the simulator must drain and finish without error.
+	spec := program.TestSpec()
+	p, err := program.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(feConfig("W16", core.FetchSequential, core.RenameSequential))
+	cfg.WarmupInsts = 0
+	cfg.MeasureInsts = 100_000_000 // far beyond program length
+	r, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed < 1000 {
+		t.Errorf("committed only %d", r.Committed)
+	}
+	t.Logf("tiny program committed %d instructions in %d cycles (IPC %.2f)", r.Committed, r.Cycles, r.IPC)
+}

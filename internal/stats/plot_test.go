@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := NewPlot("demo", 0, 1, 2, 3)
+	p.XLabel = "x axis"
+	p.AddSeries("up", 1, 2, 3, 4)
+	p.AddSeries("down", 4, 3, 2, 1)
+	out := p.String()
+	for _, want := range []string{"demo", "legend:", "* up", "+ down", "x axis"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers must appear in the plot area.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("markers missing")
+	}
+}
+
+func TestPlotMonotoneSeriesShape(t *testing.T) {
+	p := NewPlot("", 0, 1, 2)
+	p.AddSeries("rise", 0, 5, 10)
+	out := p.String()
+	lines := strings.Split(out, "\n")
+	// The first data row (top, max y) must contain the marker for the
+	// final point; the last data row (min y) the first point.
+	var top, bottom string
+	for _, ln := range lines {
+		if strings.Contains(ln, "|") && strings.Contains(ln, "*") {
+			if top == "" {
+				top = ln
+			}
+			bottom = ln
+		}
+	}
+	if top == "" || bottom == "" || top == bottom {
+		t.Fatalf("rising series should span rows:\n%s", out)
+	}
+	ti, bi := strings.LastIndex(top, "*"), strings.Index(bottom, "*")
+	if ti <= bi {
+		t.Errorf("rising series should put later points to the right: top %d, bottom %d", ti, bi)
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	if out := NewPlot("x").String(); !strings.Contains(out, "empty") {
+		t.Errorf("no-data plot: %q", out)
+	}
+	p := NewPlot("flat", 1, 2)
+	p.AddSeries("c", 3, 3)
+	if out := p.String(); out == "" {
+		t.Error("flat series must still render")
+	}
+}

@@ -1,0 +1,147 @@
+package tcache
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/frag"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+func mkFrag(pc uint64, mask uint32, nbr uint8) *frag.Fragment {
+	return &frag.Fragment{ID: frag.ID{StartPC: pc, BrMask: mask, NumBr: nbr}}
+}
+
+func TestSizing(t *testing.T) {
+	c := New(Config{SizeBytes: 32 << 10, Ways: 2})
+	if got := c.Entries(); got != 512 {
+		t.Errorf("32KB cache entries = %d, want 512", got)
+	}
+	c = New(Config{SizeBytes: 64 << 10, Ways: 2})
+	if got := c.Entries(); got != 1024 {
+		t.Errorf("64KB cache entries = %d, want 1024", got)
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 2})
+	f := mkFrag(0x2000, 1, 1)
+	if _, hit := c.Lookup(f.ID); hit {
+		t.Fatal("cold lookup must miss")
+	}
+	c.Fill(f)
+	got, hit := c.Lookup(f.ID)
+	if !hit || got != f {
+		t.Fatal("lookup after fill must hit")
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate %.2f, want 0.5", c.HitRate())
+	}
+}
+
+func TestDirectionVariantsAreDistinct(t *testing.T) {
+	c := New(Config{SizeBytes: 4096, Ways: 2})
+	a := mkFrag(0x2000, 0, 1) // not-taken variant
+	b := mkFrag(0x2000, 1, 1) // taken variant
+	c.Fill(a)
+	if _, hit := c.Lookup(b.ID); hit {
+		t.Fatal("different direction mask must miss")
+	}
+	c.Fill(b)
+	if _, hit := c.Lookup(a.ID); !hit {
+		t.Fatal("both variants should coexist in a 2-way set")
+	}
+	if _, hit := c.Lookup(b.ID); !hit {
+		t.Fatal("second variant missing")
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	c := New(Config{SizeBytes: LineBytes * 2, Ways: 2}) // single set
+	a, b, d := mkFrag(0x1000, 0, 0), mkFrag(0x2000, 0, 0), mkFrag(0x3000, 0, 0)
+	c.Fill(a)
+	c.Fill(b)
+	c.Lookup(a.ID) // touch a
+	c.Fill(d)      // evicts b
+	if _, hit := c.Lookup(a.ID); !hit {
+		t.Error("a should survive")
+	}
+	if _, hit := c.Lookup(b.ID); hit {
+		t.Error("b should have been evicted")
+	}
+	if _, hit := c.Lookup(d.ID); !hit {
+		t.Error("d should be resident")
+	}
+}
+
+func TestRefillSameIDRefreshes(t *testing.T) {
+	c := New(Config{SizeBytes: LineBytes * 2, Ways: 2})
+	a := mkFrag(0x1000, 0, 0)
+	c.Fill(a)
+	a2 := mkFrag(0x1000, 0, 0)
+	c.Fill(a2)
+	got, hit := c.Lookup(a.ID)
+	if !hit || got != a2 {
+		t.Error("refill must replace contents in place")
+	}
+	// Only one way should be consumed; another fragment must still fit.
+	b := mkFrag(0x2000, 0, 0)
+	c.Fill(b)
+	if _, hit := c.Lookup(a.ID); !hit {
+		t.Error("duplicate fill consumed both ways")
+	}
+}
+
+// TestSuiteHitRates calibrates the trace cache against the paper: a 32 KB
+// trace cache filled from the committed stream should land in the vicinity
+// of the paper's reported ~87% average hit rate, with large-footprint
+// benchmarks (gcc, perl, vortex, crafty) markedly lower than small ones.
+func TestSuiteHitRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration test")
+	}
+	rates := make(map[string]float64)
+	for _, spec := range program.Suite() {
+		p, err := program.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := emu.New(p)
+		c := New(DefaultConfig())
+		var stream []frag.Dyn
+		total := 0
+		for total < 300_000 {
+			for len(stream) < 2*frag.MaxLen && !m.Halted() {
+				d, err := m.Step()
+				if err != nil {
+					break
+				}
+				stream = append(stream, frag.Dyn{PC: d.PC, Inst: d.Inst, Taken: d.Taken})
+			}
+			if len(stream) == 0 {
+				break
+			}
+			n, id := frag.Split(stream)
+			if _, hit := c.Lookup(id); !hit {
+				f := frag.FromCode(p, id)
+				c.Fill(f)
+			}
+			stream = stream[n:]
+			total += n
+		}
+		rates[spec.Name] = c.HitRate()
+		t.Logf("%s: trace cache hit rate %.3f", spec.Name, c.HitRate())
+	}
+	// Shape checks rather than absolute numbers.
+	if rates["gzip"] < rates["gcc"] {
+		t.Errorf("small-footprint gzip (%.3f) should out-hit gcc (%.3f)", rates["gzip"], rates["gcc"])
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	avg := sum / float64(len(rates))
+	if avg < 0.6 || avg > 0.99 {
+		t.Errorf("average hit rate %.3f outside plausible band", avg)
+	}
+}

@@ -1,0 +1,69 @@
+package pfe
+
+import (
+	"testing"
+)
+
+func TestPresetsConstruct(t *testing.T) {
+	for _, fe := range AllFrontEnds() {
+		m := Preset(fe)
+		if m.Name() != string(fe) {
+			t.Errorf("preset %s has name %s", fe, m.Name())
+		}
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(names))
+	}
+	if names[0] != "bzip2" || names[11] != "vpr" {
+		t.Errorf("unexpected order: %v", names)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if _, err := Run("nonesuch", Preset(W16), Quick()); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+// TestFrontEndShapeOnGzip checks the paper's core ordering on one small
+// benchmark: slot utilization must rank W16 < TC < PF-2x8w < PF-4x4w
+// (Fig 4), and every mechanism must beat W16 on IPC (Fig 8's premise).
+func TestFrontEndShapeOnGzip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline calibration")
+	}
+	res := map[FrontEnd]*Result{}
+	for _, fe := range []FrontEnd{W16, TC, PF2x8w, PF4x4w, PR2x8w} {
+		r, err := Run("gzip", Preset(fe), Quick())
+		if err != nil {
+			t.Fatalf("%s: %v", fe, err)
+		}
+		res[fe] = r
+		t.Logf("%s", r)
+	}
+	if !(res[W16].FetchSlotUtilization < res[TC].FetchSlotUtilization) {
+		t.Errorf("utilization W16 (%.2f) !< TC (%.2f)",
+			res[W16].FetchSlotUtilization, res[TC].FetchSlotUtilization)
+	}
+	if !(res[TC].FetchSlotUtilization < res[PF2x8w].FetchSlotUtilization) {
+		t.Errorf("utilization TC (%.2f) !< PF-2x8w (%.2f)",
+			res[TC].FetchSlotUtilization, res[PF2x8w].FetchSlotUtilization)
+	}
+	if !(res[PF2x8w].FetchSlotUtilization < res[PF4x4w].FetchSlotUtilization) {
+		t.Errorf("utilization PF-2x8w (%.2f) !< PF-4x4w (%.2f)",
+			res[PF2x8w].FetchSlotUtilization, res[PF4x4w].FetchSlotUtilization)
+	}
+	for _, fe := range []FrontEnd{TC, PR2x8w} {
+		if res[fe].IPC <= res[W16].IPC {
+			t.Errorf("%s IPC %.2f does not beat W16 %.2f", fe, res[fe].IPC, res[W16].IPC)
+		}
+	}
+	if res[PR2x8w].RenameRate <= res[PF2x8w].RenameRate {
+		t.Errorf("parallel rename rate %.2f does not beat sequential %.2f",
+			res[PR2x8w].RenameRate, res[PF2x8w].RenameRate)
+	}
+}

@@ -1,0 +1,84 @@
+package pfe
+
+import (
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/sim"
+)
+
+// Result is one simulation's measurements (after warmup).
+type Result struct {
+	Bench  string
+	Config string
+
+	Cycles    uint64
+	Committed int64
+	IPC       float64
+
+	// Fetch-slot utilization (Fig 4): instructions delivered through the
+	// cache path divided by the slots of active sequencer cycles.
+	FetchSlotUtilization float64
+
+	// FetchRate and RenameRate are instructions per cycle through fetch
+	// and rename, wrong-path included (Fig 5).
+	FetchRate  float64
+	RenameRate float64
+
+	// Predictor and cache behaviour.
+	FragPredAccuracy float64
+	L1IMissRate      float64
+	L1DMissRate      float64
+	TCHitRate        float64
+
+	// Parallel-fetch structures (§3.2/§3.3).
+	BufferReuseRate       float64
+	FragsConstructedEarly float64 // fraction complete when rename first read them
+
+	// Parallel-rename behaviour (§4/§5.2).
+	LiveOutMispredicts      int64
+	LiveOutMisses           int64
+	RenamedBeforeSourceFrac float64
+
+	// Redirects is the number of front-end redirects taken (resolved
+	// control mispredictions).
+	Redirects int64
+}
+
+func newResult(r *sim.Result) *Result {
+	fe := &r.FrontEnd
+	res := &Result{
+		Bench:     r.Bench,
+		Config:    r.Config,
+		Cycles:    r.Cycles,
+		Committed: r.Committed,
+		IPC:       r.IPC,
+
+		FetchSlotUtilization: fe.SlotUtilization(),
+		FetchRate:            fe.FetchRate(),
+		RenameRate:           fe.RenameRate(),
+
+		FragPredAccuracy: r.FragPredAccuracy,
+		L1IMissRate:      r.L1IMissRate,
+		L1DMissRate:      r.L1DMissRate,
+		TCHitRate:        r.TCHitRate,
+
+		BufferReuseRate:       r.BufferReuseRate,
+		FragsConstructedEarly: fe.ConstructedBeforeRename(),
+
+		LiveOutMispredicts: fe.LiveOutMispredict,
+		LiveOutMisses:      fe.LiveOutMisses,
+
+		Redirects: fe.Redirects,
+	}
+	if fe.Renamed > 0 {
+		res.RenamedBeforeSourceFrac = float64(fe.InstrsRenamedBeforeSource) / float64(fe.Renamed)
+	}
+	return res
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: IPC %.2f (%d instructions, %d cycles; fetch %.2f/cyc, rename %.2f/cyc, util %.0f%%)",
+		r.Config, r.Bench, r.IPC, r.Committed, r.Cycles,
+		r.FetchRate, r.RenameRate, 100*r.FetchSlotUtilization)
+}

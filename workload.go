@@ -1,0 +1,111 @@
+package pfe
+
+import (
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// Workload describes a custom synthetic benchmark for the simulator: a
+// generated program with the control-flow statistics you choose. The twelve
+// built-in benchmarks (Benchmarks()) are Workloads with parameters
+// calibrated to the paper's Table 2; use this type to explore beyond them —
+// e.g. pathological indirect-branch densities, huge footprints, or perfectly
+// predictable streams.
+//
+// All fields mirror the generator's knobs; zero values are invalid except
+// where noted. See DESIGN.md §"program" for how each knob maps onto workload
+// characteristics.
+type Workload struct {
+	Name string // required
+	Seed int64  // generator seed; all behaviour is deterministic in it
+
+	Workers int // worker functions (code footprint: roughly Workers × ~500 bytes)
+	Helpers int // leaf helpers callable from workers
+
+	Constructs       [2]int // min,max constructs per worker
+	HelperConstructs [2]int // min,max constructs per helper ({0,0} = default 1..3)
+	BlockLen         [2]int // min,max straight-line instructions per block
+	LoopTrip         [2]int // min,max loop trip counts (each ≤ 8191)
+
+	LoopFrac    float64 // fraction of constructs that are counted loops
+	HammockFrac float64 // fraction that are data-dependent if/else diamonds
+	CallFrac    float64 // fraction that are helper calls
+
+	BranchBias float64 // P(common fall-through arm) of hammock branches
+	SwitchFrac float64 // probability a worker ends in a computed jump
+	SwitchWays int     // jump-table fanout (power of two; 0 disables)
+
+	IndirectCallFrac float64 // fraction of driver calls made through tables
+
+	MemFrac float64 // fraction of body instructions that touch memory
+	FPFrac  float64 // fraction that are FP arithmetic
+	MulFrac float64 // fraction that are integer multiplies
+
+	Phases          int // distinct instruction-working-set phases
+	WorkersPerPhase int // workers exercised per phase
+	PhaseStride     int // working-set shift between phases
+	PhaseIters      int // phase loop iterations (1..8191)
+
+	HeapKB int // data working set (≥ 8)
+}
+
+func (w Workload) spec() program.Spec {
+	return program.Spec{
+		Name:             w.Name,
+		Input:            "custom",
+		Seed:             w.Seed,
+		Workers:          w.Workers,
+		Helpers:          w.Helpers,
+		Constructs:       w.Constructs,
+		HelperConstructs: w.HelperConstructs,
+		BlockLen:         w.BlockLen,
+		LoopTrip:         w.LoopTrip,
+		LoopFrac:         w.LoopFrac,
+		HammockFrac:      w.HammockFrac,
+		CallFrac:         w.CallFrac,
+		BranchBias:       w.BranchBias,
+		SwitchFrac:       w.SwitchFrac,
+		SwitchWays:       w.SwitchWays,
+		IndirectCallFrac: w.IndirectCallFrac,
+		MemFrac:          w.MemFrac,
+		FPFrac:           w.FPFrac,
+		MulFrac:          w.MulFrac,
+		Phases:           w.Phases,
+		WorkersPerPhase:  w.WorkersPerPhase,
+		PhaseStride:      w.PhaseStride,
+		PhaseIters:       w.PhaseIters,
+		HeapKB:           w.HeapKB,
+	}
+}
+
+// Validate builds the workload's program once, reporting generator errors
+// without running a simulation.
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("pfe: workload needs a name")
+	}
+	_, err := program.Build(w.spec())
+	return err
+}
+
+// RunWorkload simulates a custom workload on machine m.
+func RunWorkload(w Workload, m Machine, opts RunOptions) (*Result, error) {
+	return runSpec(w.spec(), m, opts)
+}
+
+// ExampleWorkload returns a ready-to-run custom workload: a mid-sized,
+// moderately predictable program. Use it as a starting point and perturb
+// single knobs.
+func ExampleWorkload() Workload {
+	return Workload{
+		Name: "example", Seed: 42,
+		Workers: 60, Helpers: 15,
+		Constructs: [2]int{4, 7}, BlockLen: [2]int{4, 8}, LoopTrip: [2]int{8, 24},
+		LoopFrac: 0.3, HammockFrac: 0.33, CallFrac: 0.2,
+		BranchBias: 0.85, SwitchFrac: 0.1, SwitchWays: 8,
+		MemFrac: 0.26, FPFrac: 0.04, MulFrac: 0.03,
+		Phases: 4, WorkersPerPhase: 25, PhaseStride: 9, PhaseIters: 1500,
+		HeapKB: 256,
+	}
+}
