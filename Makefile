@@ -1,0 +1,35 @@
+# Tiered checks for the parallel front-end reproduction.
+#
+#   make test       tier 1: build + full test suite (what CI gates on)
+#   make race       tier 2: vet + race detector over the short suite
+#   make fuzz       tier 3: short-budget fuzz smokes (differential targets)
+#   make bench      front-end comparison benchmarks (no -race)
+#   make all        tiers 1-3 in order
+
+GO      ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all test race fuzz bench fmt
+
+all: test race fuzz
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# Fuzz smokes: -fuzzminimizetime caps the minimizer, which otherwise spends
+# up to 60s per newly-interesting input and makes short budgets useless.
+fuzz:
+	$(GO) test ./internal/emu/ -run='^$$' -fuzz=FuzzEmuVsInterp -fuzztime=$(FUZZTIME) -fuzzminimizetime=10x
+	$(GO) test ./internal/program/ -run='^$$' -fuzz=FuzzProgramAsm -fuzztime=$(FUZZTIME) -fuzzminimizetime=10x
+	$(GO) test ./internal/sim/ -run='^$$' -fuzz=FuzzFrontEndsAgree -fuzztime=$(FUZZTIME) -fuzzminimizetime=10x
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+fmt:
+	gofmt -l -w .

@@ -1,11 +1,14 @@
-// pfe-trace inspects the synthetic benchmarks: static properties,
-// disassembly, dynamic fragment statistics and control-flow predictability.
+// pfe-trace inspects the synthetic benchmarks — static properties,
+// disassembly, dynamic fragment statistics, control-flow predictability —
+// and records pipeline event traces from full simulations.
 //
 // Usage:
 //
 //	pfe-trace -bench gcc                  # summary
 //	pfe-trace -bench gcc -disasm 40       # first 40 instructions
 //	pfe-trace -bench gcc -frags 10        # first 10 dynamic fragments
+//	pfe-trace -bench gcc -fe PR-2x8w -chrome out.json   # Chrome trace
+//	pfe-trace -bench gcc -fe W16 -jsonl out.jsonl -hist # JSONL + histograms
 package main
 
 import (
@@ -13,11 +16,13 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/parallel-frontend/pfe"
 	"github.com/parallel-frontend/pfe/internal/bpred"
 	"github.com/parallel-frontend/pfe/internal/emu"
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/isa"
 	"github.com/parallel-frontend/pfe/internal/program"
+	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
 func main() {
@@ -26,6 +31,14 @@ func main() {
 		disasm = flag.Int("disasm", 0, "disassemble the first N instructions")
 		frags  = flag.Int("frags", 0, "print the first N dynamic fragments")
 		budget = flag.Int64("budget", 300_000, "dynamic instructions to analyze")
+
+		fe       = flag.String("fe", "", "simulate this front-end (e.g. W16, PR-2x8w) and record pipeline events")
+		chrome   = flag.String("chrome", "", "write the recorded events as a Chrome trace_event JSON file (open in chrome://tracing or Perfetto)")
+		jsonl    = flag.String("jsonl", "", "write the recorded events as JSON Lines")
+		events   = flag.Int("events", 1<<16, "ring capacity: how many of the most recent events to retain")
+		histFlag = flag.Bool("hist", false, "print the pipeline histograms after simulating")
+		warm     = flag.Int64("warmup", 20_000, "warmup instructions before measurement (simulation mode)")
+		meas     = flag.Int64("measure", 60_000, "measured instructions (simulation mode)")
 	)
 	flag.Parse()
 
@@ -37,6 +50,15 @@ func main() {
 	p, err := program.Build(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *fe != "" {
+		simulate(*bench, *fe, *chrome, *jsonl, *events, *histFlag, *warm, *meas)
+		return
+	}
+	if *chrome != "" || *jsonl != "" || *histFlag {
+		fmt.Fprintln(os.Stderr, "pfe-trace: -chrome/-jsonl/-hist require -fe (which front-end to simulate)")
 		os.Exit(1)
 	}
 
@@ -115,4 +137,71 @@ func main() {
 			fmt.Printf("      %2d: %5.1f%%\n", l, 100*float64(c)/float64(nfrags))
 		}
 	}
+}
+
+// simulate runs one front-end on the benchmark with an event ring attached
+// and exports the recorded events and histograms.
+func simulate(bench, feName, chrome, jsonl string, capacity int, hist bool, warm, meas int64) {
+	var machine pfe.Machine
+	found := false
+	for _, fe := range pfe.AllFrontEnds() {
+		if string(fe) == feName {
+			machine = pfe.Preset(fe)
+			found = true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "pfe-trace: unknown front-end %q (choose from %v)\n", feName, pfe.AllFrontEnds())
+		os.Exit(1)
+	}
+
+	ring := trace.NewRingSink(capacity)
+	res, err := pfe.Run(bench, machine, pfe.RunOptions{
+		WarmupInsts:  warm,
+		MeasureInsts: meas,
+		Events:       ring,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Println(res)
+	fmt.Printf("  events: %d recorded (%d emitted, %d overwritten; ring capacity %d)\n",
+		len(ring.Events()), ring.Total(), ring.Dropped(), ring.Cap())
+
+	if chrome != "" {
+		if err := writeFile(chrome, func(f *os.File) error {
+			return trace.WriteChromeTrace(f, ring.Events())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote Chrome trace to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", chrome)
+	}
+	if jsonl != "" {
+		if err := writeFile(jsonl, func(f *os.File) error {
+			return trace.WriteJSONL(f, ring.Events())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  wrote JSONL events to %s\n", jsonl)
+	}
+	if hist {
+		fmt.Print(res.Histograms())
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

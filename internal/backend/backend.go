@@ -14,6 +14,7 @@ import (
 
 	"github.com/parallel-frontend/pfe/internal/isa"
 	"github.com/parallel-frontend/pfe/internal/mem"
+	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
 // Config sizes the back-end.
@@ -92,6 +93,13 @@ type Backend struct {
 	// CommitHook, if set, observes every committed op in program order —
 	// instrumentation for correctness tests and tracing tools.
 	CommitHook func(*Op)
+
+	// Sink, if non-nil, receives a dispatch event for every op entering
+	// the window and a commit event for every op retiring. Events carry
+	// the cycle last passed to StartCycle.
+	Sink trace.Sink
+
+	now uint64 // current cycle (StartCycle), for Insert-time events
 }
 
 // New creates a back-end over the given data cache.
@@ -107,6 +115,11 @@ func New(cfg Config, dcache *mem.Cache) *Backend {
 	}
 }
 
+// StartCycle tells the back-end the current cycle before the front-end runs,
+// so dispatch events emitted from Insert carry the right timestamp (Insert
+// has no cycle parameter of its own).
+func (b *Backend) StartCycle(now uint64) { b.now = now }
+
 // SetCommitBarrier tells the back-end the lowest sequence number the rename
 // stage has not yet delivered; commit never passes it. ^uint64(0) means no
 // barrier (everything in flight has been delivered).
@@ -120,6 +133,15 @@ func (b *Backend) FreeSlots() int { return b.cfg.WindowSize - len(b.order) }
 // but fragments renamed in parallel may interleave; the window keeps seq
 // order internally so commit stays program-ordered.
 func (b *Backend) Insert(op *Op) {
+	if b.Sink != nil {
+		b.Sink.Emit(trace.Event{
+			Cycle: b.now,
+			Kind:  trace.KindDispatch,
+			Seq:   op.Seq,
+			PC:    op.PC,
+			N:     1,
+		})
+	}
 	b.window[op.Seq] = op
 	// Common case: append (mostly ordered input); otherwise insert into
 	// position to maintain seq order.
@@ -208,6 +230,15 @@ func (b *Backend) Cycle(now uint64) (int, *Resolution) {
 		delete(b.window, head.Seq)
 		committed++
 		b.committed++
+		if b.Sink != nil {
+			b.Sink.Emit(trace.Event{
+				Cycle: now,
+				Kind:  trace.KindCommit,
+				Seq:   head.Seq,
+				PC:    head.PC,
+				N:     1,
+			})
+		}
 		if b.CommitHook != nil {
 			b.CommitHook(head)
 		}

@@ -28,7 +28,9 @@ import (
 	"github.com/parallel-frontend/pfe/internal/bpred"
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/mem"
+	"github.com/parallel-frontend/pfe/internal/metrics"
 	"github.com/parallel-frontend/pfe/internal/rename"
+	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
 // FetchKind selects the fetch engine.
@@ -126,6 +128,17 @@ type Config struct {
 	// misprediction and the first new prediction (front-end pipeline
 	// refill).
 	RedirectBubble int
+
+	// Sink, if non-nil, receives a typed trace event for every pipeline
+	// occurrence in this front-end (fetch deliveries, rename phases,
+	// live-out squashes; see internal/trace). A nil sink costs one
+	// pointer check per emit site.
+	Sink trace.Sink
+
+	// Metrics, if non-nil, accumulates the pipeline histograms observed
+	// at fragment granularity (buffer residency, squash depth). sim.Run
+	// always attaches one.
+	Metrics *metrics.Pipeline
 }
 
 // Validate checks internal consistency.

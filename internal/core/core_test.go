@@ -219,13 +219,13 @@ func mkFrag(seq uint64, n int) *fragState {
 func TestSequentialRenameOneFragmentPerCycle(t *testing.T) {
 	be := &fakeBackend{slots: 256}
 	var stats Stats
-	sr := newSequentialRename(16, be, &stats)
+	sr := newSequentialRename(16, be, &stats, &observer{})
 	var q fragQueue
 	a, b := mkFrag(1, 4), mkFrag(5, 4)
 	a.markFetched(4)
 	b.markFetched(4)
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	sr.cycle(0, &q)
 	if len(be.inserted) != 4 {
@@ -243,12 +243,12 @@ func TestSequentialRenameOneFragmentPerCycle(t *testing.T) {
 func TestSequentialRenameHeadOfLineBlocking(t *testing.T) {
 	be := &fakeBackend{slots: 256}
 	var stats Stats
-	sr := newSequentialRename(16, be, &stats)
+	sr := newSequentialRename(16, be, &stats, &observer{})
 	var q fragQueue
 	a, b := mkFrag(1, 4), mkFrag(5, 4)
 	b.markFetched(4) // younger complete, older empty
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	sr.cycle(0, &q)
 	if len(be.inserted) != 0 {
@@ -264,11 +264,11 @@ func TestSequentialRenameHeadOfLineBlocking(t *testing.T) {
 func TestSequentialRenameRespectsWindowSpace(t *testing.T) {
 	be := &fakeBackend{slots: 3}
 	var stats Stats
-	sr := newSequentialRename(16, be, &stats)
+	sr := newSequentialRename(16, be, &stats, &observer{})
 	var q fragQueue
 	a := mkFrag(1, 8)
 	a.markFetched(8)
-	q.push(a)
+	q.push(a, 0)
 	sr.cycle(0, &q)
 	if len(be.inserted) != 3 {
 		t.Fatalf("inserted %d, want 3 (window limit)", len(be.inserted))
@@ -277,7 +277,7 @@ func TestSequentialRenameRespectsWindowSpace(t *testing.T) {
 
 func newTestParallelRename(n, w int, be Backend, stats *Stats) *parallelRename {
 	lo := rename.NewLiveOutPredictor(rename.LiveOutPredictorConfig{Entries: 256, Ways: 2})
-	return newParallelRename(n, w, lo, be, stats)
+	return newParallelRename(n, w, lo, be, stats, &observer{})
 }
 
 func TestParallelRenameConcurrentFragments(t *testing.T) {
@@ -291,8 +291,8 @@ func TestParallelRenameConcurrentFragments(t *testing.T) {
 	// Train the live-out predictor so phase 1 hits.
 	pr.lo.Train(a.ff.Frag.ID, rename.ComputeLiveOuts(a.ff.Frag.Insts))
 	pr.lo.Train(b.ff.Frag.ID, rename.ComputeLiveOuts(b.ff.Frag.Insts))
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	pr.cycle(0, &q) // phase1 a; phase2 a (8 ops)
 	if len(be.inserted) != 8 {
@@ -313,8 +313,8 @@ func TestParallelRenameNotBlockedByIncompleteOldest(t *testing.T) {
 	b.markFetched(8) // older fragment has nothing fetched yet
 	pr.lo.Train(a.ff.Frag.ID, rename.ComputeLiveOuts(a.ff.Frag.Insts))
 	pr.lo.Train(b.ff.Frag.ID, rename.ComputeLiveOuts(b.ff.Frag.Insts))
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	pr.cycle(0, &q) // phase1 a (no instructions), nothing renames from a
 	pr.cycle(1, &q) // phase1 b; phase2 renames b despite a being empty
@@ -337,8 +337,8 @@ func TestParallelRenameLiveOutMissSerializes(t *testing.T) {
 	a.markFetched(4)
 	b.markFetched(4)
 	// No training: both fragments miss in the live-out predictor.
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	pr.cycle(0, &q)
 	// Fragment a is the oldest with renamed==0, so it serializes with
@@ -367,8 +367,8 @@ func TestParallelRenameMispredictSquash(t *testing.T) {
 	// phase 2 detects condition 1.
 	pr.lo.Train(a.ff.Frag.ID, rename.LiveOuts{})
 	pr.lo.Train(b.ff.Frag.ID, rename.ComputeLiveOuts(b.ff.Frag.Insts))
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	pr.cycle(0, &q)
 	pr.cycle(1, &q)
@@ -388,8 +388,8 @@ func TestParallelRenameMispredictSquash(t *testing.T) {
 func TestFragQueueAccounting(t *testing.T) {
 	var q fragQueue
 	a, b := mkFrag(1, 4), mkFrag(5, 6)
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 	if q.unrenamedOps() != 10 {
 		t.Errorf("unrenamed = %d", q.unrenamedOps())
 	}

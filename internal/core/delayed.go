@@ -16,12 +16,13 @@ type delayedRename struct {
 	width int
 	be    Backend
 	stats *Stats
+	obs   *observer
 
 	reserved int // window slots reserved for eligible fragments
 }
 
-func newDelayedRename(n, width int, be Backend, stats *Stats) *delayedRename {
-	return &delayedRename{n: n, width: width, be: be, stats: stats}
+func newDelayedRename(n, width int, be Backend, stats *Stats, obs *observer) *delayedRename {
+	return &delayedRename{n: n, width: width, be: be, stats: stats, obs: obs}
 }
 
 func (dr *delayedRename) redirect() { dr.reserved = 0 }
@@ -40,6 +41,7 @@ func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
 		}
 		fs.phase1Done = true
 		dr.reserved += fs.len()
+		dr.obs.phase1(now, fs)
 		break
 	}
 
@@ -80,7 +82,7 @@ func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
 	}
 
 	var done []*fragState
-	for _, fs := range assigned {
+	for lane, fs := range assigned {
 		if !fs.firstRead {
 			fs.firstRead = true
 			dr.stats.FragReadByRename++
@@ -93,6 +95,7 @@ func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
 		if n > dr.width {
 			n = dr.width
 		}
+		start := fs.renamed
 		for i := 0; i < n; i++ {
 			op := fs.ff.Ops[fs.renamed]
 			blocked := false
@@ -118,6 +121,7 @@ func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
 			dr.reserved--
 			dr.stats.Renamed++
 		}
+		dr.obs.phase2(now, fs, start, fs.renamed-start, lane)
 		if fs.renamed == fs.len() {
 			done = append(done, fs)
 		}

@@ -22,14 +22,14 @@ func mkDepFrags() (*fragState, *fragState) {
 func TestDelayedRenameWaitsForMapping(t *testing.T) {
 	be := &fakeBackend{slots: 256}
 	var stats Stats
-	dr := newDelayedRename(2, 8, be, &stats)
+	dr := newDelayedRename(2, 8, be, &stats, &observer{})
 	var q fragQueue
 	a, b := mkDepFrags()
 	// Only b's instructions have been fetched; a is empty, so a's last
 	// op (the producer) cannot have renamed.
 	b.markFetched(4)
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	dr.cycle(0, &q) // a eligible; nothing to rename from a; b not yet eligible
 	dr.cycle(1, &q) // b eligible; its first op is blocked on a's unrenamed op
@@ -56,12 +56,12 @@ func TestDelayedRenameWaitsForMapping(t *testing.T) {
 func TestDelayedRenameIndependentFragmentsProceed(t *testing.T) {
 	be := &fakeBackend{slots: 256}
 	var stats Stats
-	dr := newDelayedRename(2, 8, be, &stats)
+	dr := newDelayedRename(2, 8, be, &stats, &observer{})
 	var q fragQueue
 	a, b := mkFrag(1, 4), mkFrag(5, 4) // no cross-fragment deps
 	b.markFetched(4)
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	dr.cycle(0, &q)
 	dr.cycle(1, &q)
@@ -74,13 +74,13 @@ func TestDelayedRenameIndependentFragmentsProceed(t *testing.T) {
 func TestDelayedRenameRespectsWindowReservation(t *testing.T) {
 	be := &fakeBackend{slots: 6}
 	var stats Stats
-	dr := newDelayedRename(2, 8, be, &stats)
+	dr := newDelayedRename(2, 8, be, &stats, &observer{})
 	var q fragQueue
 	a, b := mkFrag(1, 4), mkFrag(5, 4)
 	a.markFetched(4)
 	b.markFetched(4)
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	dr.cycle(0, &q) // a eligible (4 <= 6), renames
 	dr.cycle(1, &q) // b needs 4 slots; 6-4reserved... a inserted 4, free=2: b not eligible
@@ -96,13 +96,13 @@ func TestDelayedRenameSameCycleMappingInvisible(t *testing.T) {
 	// SAME cycle (renamer-to-renamer communication takes a cycle).
 	be := &fakeBackend{slots: 256}
 	var stats Stats
-	dr := newDelayedRename(2, 8, be, &stats)
+	dr := newDelayedRename(2, 8, be, &stats, &observer{})
 	var q fragQueue
 	a, b := mkDepFrags()
 	a.markFetched(4)
 	b.markFetched(4)
-	q.push(a)
-	q.push(b)
+	q.push(a, 0)
+	q.push(b, 0)
 
 	dr.cycle(0, &q) // a eligible + renames fully; b not eligible yet
 	if len(be.inserted) != 4 {
@@ -117,13 +117,13 @@ func TestDelayedRenameSameCycleMappingInvisible(t *testing.T) {
 func TestDelayedRenameProducerOutsideQueueIsReady(t *testing.T) {
 	be := &fakeBackend{slots: 256}
 	var stats Stats
-	dr := newDelayedRename(1, 8, be, &stats)
+	dr := newDelayedRename(1, 8, be, &stats, &observer{})
 	var q fragQueue
 	b := mkFrag(100, 4)
 	b.ff.Ops[0].Producers[0] = 7 // long-retired producer
 	b.ff.Ops[0].NProd = 1
 	b.markFetched(4)
-	q.push(b)
+	q.push(b, 0)
 	dr.cycle(0, &q)
 	if len(be.inserted) != 4 {
 		t.Fatalf("retired producer blocked rename: %d", len(be.inserted))

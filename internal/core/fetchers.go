@@ -18,6 +18,24 @@ type fetchEngine interface {
 // lineWords is the number of instructions per cache line (64-byte blocks).
 const lineWords = 16
 
+// deliver marks n instructions of fs as fetched, charges the delivery
+// statistics shared by every fetch path, and emits the fetch event.
+// fromCache distinguishes the instruction-cache/trace-cache path (counted
+// against fetch slots in Fig 4) from buffer reuse, which spends no cache
+// bandwidth. lane is the delivering sequencer (0 for monolithic engines).
+func deliver(st *Stats, obs *observer, now uint64, fs *fragState, n, lane int, fromCache bool) {
+	if n == 0 {
+		return
+	}
+	start := fs.fetched
+	fs.markFetched(n)
+	st.Fetched += int64(n)
+	if fromCache {
+		st.FetchedFromCache += int64(n)
+	}
+	obs.fetched(now, fs, start, n, lane)
+}
+
 // lineOf returns the line-aligned address containing pc.
 func lineOf(pc uint64) uint64 { return pc &^ (lineWords*isa.InstBytes - 1) }
 
@@ -54,6 +72,7 @@ type seqFetch struct {
 	ic     *ICache
 	stream *Stream
 	stats  *Stats
+	obs    *observer
 	width  int
 	qcap   int // max unrenamed instructions buffered ahead of rename
 
@@ -62,8 +81,8 @@ type seqFetch struct {
 	pendingN   []int
 }
 
-func newSeqFetch(ic *ICache, stream *Stream, stats *Stats, width int) *seqFetch {
-	return &seqFetch{ic: ic, stream: stream, stats: stats, width: width, qcap: 3 * width}
+func newSeqFetch(ic *ICache, stream *Stream, stats *Stats, obs *observer, width int) *seqFetch {
+	return &seqFetch{ic: ic, stream: stream, stats: stats, obs: obs, width: width, qcap: 3 * width}
 }
 
 func (sf *seqFetch) redirect() {
@@ -74,13 +93,13 @@ func (sf *seqFetch) redirect() {
 
 // topUp generates fragments until the queue has instructions to fetch or
 // the cap is reached.
-func (sf *seqFetch) topUp(q *fragQueue) {
+func (sf *seqFetch) topUp(q *fragQueue, now uint64) {
 	for q.unrenamedOps() < sf.qcap {
 		ff, err := sf.stream.Next()
 		if err != nil {
 			return
 		}
-		q.push(&fragState{ff: ff, effLen: len(ff.Ops)})
+		q.push(&fragState{ff: ff, effLen: len(ff.Ops)}, now)
 	}
 }
 
@@ -105,16 +124,14 @@ func (sf *seqFetch) cycle(now uint64, q *fragQueue) {
 		}
 		sf.stats.FetchSlots += int64(sf.width)
 		for i, fs := range sf.pending {
-			fs.markFetched(sf.pendingN[i])
-			sf.stats.Fetched += int64(sf.pendingN[i])
-			sf.stats.FetchedFromCache += int64(sf.pendingN[i])
+			deliver(sf.stats, sf.obs, now, fs, sf.pendingN[i], 0, true)
 		}
 		sf.stallUntil = 0
 		sf.pending, sf.pendingN = nil, nil
 		return
 	}
 
-	sf.topUp(q)
+	sf.topUp(q, now)
 	fs := firstUnfetched(q)
 	if fs == nil {
 		return // nothing to fetch: not active
@@ -175,9 +192,7 @@ walk:
 
 	if done <= now+1 {
 		for i, t := range taken {
-			t.markFetched(takenN[i])
-			sf.stats.Fetched += int64(takenN[i])
-			sf.stats.FetchedFromCache += int64(takenN[i])
+			deliver(sf.stats, sf.obs, now, t, takenN[i], 0, true)
 		}
 		return
 	}
@@ -205,6 +220,7 @@ type tcFetch struct {
 	tc     *tcache.Cache
 	stream *Stream
 	stats  *Stats
+	obs    *observer
 	width  int
 	qcap   int
 
@@ -213,8 +229,8 @@ type tcFetch struct {
 	pendingN   int
 }
 
-func newTCFetch(ic *ICache, tc *tcache.Cache, stream *Stream, stats *Stats, width int) *tcFetch {
-	return &tcFetch{ic: ic, tc: tc, stream: stream, stats: stats, width: width, qcap: 3 * width}
+func newTCFetch(ic *ICache, tc *tcache.Cache, stream *Stream, stats *Stats, obs *observer, width int) *tcFetch {
+	return &tcFetch{ic: ic, tc: tc, stream: stream, stats: stats, obs: obs, width: width, qcap: 3 * width}
 }
 
 func (tf *tcFetch) redirect() {
@@ -237,11 +253,9 @@ func (tf *tcFetch) cycle(now uint64, q *fragQueue) {
 	}
 	tf.stats.FetchSlots += int64(tf.width)
 	fs := &fragState{ff: ff, effLen: len(ff.Ops)}
-	q.push(fs)
+	q.push(fs, now)
 	if _, hit := tf.tc.Lookup(ff.Frag.ID); hit {
-		fs.markFetched(fs.len())
-		tf.stats.Fetched += int64(fs.len())
-		tf.stats.FetchedFromCache += int64(fs.len())
+		deliver(tf.stats, tf.obs, now, fs, fs.len(), 0, true)
 		return
 	}
 	tf.fallback = fs
@@ -256,9 +270,7 @@ func (tf *tcFetch) fallbackCycle(now uint64) {
 			return // miss wait: no fetch potential, no slots
 		}
 		tf.stats.FetchSlots += int64(tf.width)
-		fs.markFetched(tf.pendingN)
-		tf.stats.Fetched += int64(tf.pendingN)
-		tf.stats.FetchedFromCache += int64(tf.pendingN)
+		deliver(tf.stats, tf.obs, now, fs, tf.pendingN, 0, true)
 		tf.stallUntil = 0
 		tf.pendingN = 0
 		tf.finishIfDone()
@@ -273,9 +285,7 @@ func (tf *tcFetch) fallbackCycle(now uint64) {
 	line := lineOf(fs.ff.Frag.PCs[fs.fetched])
 	done := tf.ic.L1I.Access(line, false, now)
 	if done <= now+1 {
-		fs.markFetched(n)
-		tf.stats.Fetched += int64(n)
-		tf.stats.FetchedFromCache += int64(n)
+		deliver(tf.stats, tf.obs, now, fs, n, 0, true)
 		tf.finishIfDone()
 		return
 	}
@@ -303,6 +313,7 @@ type pfFetch struct {
 	ic     *ICache
 	stream *Stream
 	stats  *Stats
+	obs    *observer
 	pool   *frag.Pool
 	width  int // per-sequencer width
 
@@ -320,6 +331,7 @@ type pfFetch struct {
 type parkedMiss struct {
 	fs   *fragState
 	n    int
+	lane int // sequencer that initiated the fill
 	done uint64
 }
 
@@ -329,9 +341,9 @@ type sequencer struct {
 	pendingN   int
 }
 
-func newPFFetch(ic *ICache, stream *Stream, stats *Stats, pool *frag.Pool, nseq, width int, switchOnMiss bool) *pfFetch {
+func newPFFetch(ic *ICache, stream *Stream, stats *Stats, obs *observer, pool *frag.Pool, nseq, width int, switchOnMiss bool) *pfFetch {
 	return &pfFetch{
-		ic: ic, stream: stream, stats: stats, pool: pool,
+		ic: ic, stream: stream, stats: stats, obs: obs, pool: pool,
 		width: width, seqs: make([]sequencer, nseq),
 		switchOnMiss: switchOnMiss,
 	}
@@ -356,9 +368,7 @@ func (pf *pfFetch) deliverParked(now uint64) {
 			continue
 		}
 		pk.fs.missPending = false
-		pk.fs.markFetched(pk.n)
-		pf.stats.Fetched += int64(pk.n)
-		pf.stats.FetchedFromCache += int64(pk.n)
+		deliver(pf.stats, pf.obs, now, pk.fs, pk.n, pk.lane, true)
 	}
 	pf.parked = kept
 }
@@ -373,14 +383,13 @@ func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
 		buf, reused := pf.pool.Allocate(ff.Frag.ID, ff.Ops[0].Seq, func() *frag.Fragment { return ff.Frag })
 		fs.buf = buf
 		pf.stats.FragAllocs++
+		q.push(fs, now)
 		if reused {
 			// Buffer reuse: the instructions are already on chip;
 			// no sequencer or cache bandwidth is spent.
-			fs.markFetched(fs.len())
 			pf.stats.FragReuses++
-			pf.stats.Fetched += int64(fs.len())
+			deliver(pf.stats, pf.obs, now, fs, fs.len(), 0, false)
 		}
-		q.push(fs)
 	}
 
 	// Sequencers: assign idle ones to the oldest unassigned incomplete
@@ -407,9 +416,7 @@ func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
 		case sq.stallUntil != 0:
 			// Line arrived: deliver.
 			pf.stats.FetchSlots += int64(pf.width)
-			sq.fs.markFetched(sq.pendingN)
-			pf.stats.Fetched += int64(sq.pendingN)
-			pf.stats.FetchedFromCache += int64(sq.pendingN)
+			deliver(pf.stats, pf.obs, now, sq.fs, sq.pendingN, i, true)
 			sq.stallUntil = 0
 			sq.pendingN = 0
 		default:
@@ -455,15 +462,13 @@ func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
 				pf.stats.ConflictTrunc++
 			}
 			if done <= now+1 {
-				fs.markFetched(n)
-				pf.stats.Fetched += int64(n)
-				pf.stats.FetchedFromCache += int64(n)
+				deliver(pf.stats, pf.obs, now, fs, n, i, true)
 			} else if pf.switchOnMiss {
 				// Park the miss; the fill completes in the
 				// background and the sequencer is free to take a
-				// different fragment next cycle (Â§2.2).
+				// different fragment next cycle (§2.2).
 				fs.missPending = true
-				pf.parked = append(pf.parked, parkedMiss{fs: fs, n: n, done: done})
+				pf.parked = append(pf.parked, parkedMiss{fs: fs, n: n, lane: i, done: done})
 				sq.fs = nil
 			} else {
 				sq.stallUntil = done

@@ -7,6 +7,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/rename"
 	"github.com/parallel-frontend/pfe/internal/tcache"
+	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
 // ExecBackend is the back-end contract the front-ends drive.
@@ -32,6 +33,7 @@ type Unit struct {
 	tc     *tcache.Cache
 	be     ExecBackend
 	stats  Stats
+	obs    observer
 
 	fetchAllowedAt uint64
 	pr             *parallelRename // non-nil when rename is parallel
@@ -44,29 +46,31 @@ func NewUnit(cfg Config, stream *Stream, ic *ICache, be ExecBackend) (*Unit, err
 		return nil, err
 	}
 	u := &Unit{cfg: cfg, stream: stream, be: be}
+	u.obs = observer{sink: cfg.Sink, met: cfg.Metrics}
+	stream.Attach(cfg.Sink, cfg.Metrics)
 
 	switch cfg.Fetch {
 	case FetchSequential:
-		u.engine = newSeqFetch(ic, stream, &u.stats, cfg.FetchWidth)
+		u.engine = newSeqFetch(ic, stream, &u.stats, &u.obs, cfg.FetchWidth)
 	case FetchTraceCache:
 		u.tc = tcache.New(tcache.Config{SizeBytes: cfg.TraceCache, Ways: 2})
-		u.engine = newTCFetch(ic, u.tc, stream, &u.stats, cfg.FetchWidth)
+		u.engine = newTCFetch(ic, u.tc, stream, &u.stats, &u.obs, cfg.FetchWidth)
 	case FetchParallel:
 		u.pool = frag.NewPool(cfg.FragBuffers)
-		u.engine = newPFFetch(ic, stream, &u.stats, u.pool, cfg.Sequencers, cfg.SeqWidth, cfg.SwitchOnMiss)
+		u.engine = newPFFetch(ic, stream, &u.stats, &u.obs, u.pool, cfg.Sequencers, cfg.SeqWidth, cfg.SwitchOnMiss)
 	default:
 		return nil, fmt.Errorf("core: unknown fetch kind %v", cfg.Fetch)
 	}
 
 	switch cfg.Rename {
 	case RenameSequential:
-		u.stage = newSequentialRename(cfg.RenameWidth, be, &u.stats)
+		u.stage = newSequentialRename(cfg.RenameWidth, be, &u.stats, &u.obs)
 	case RenameParallel:
 		lo := rename.NewLiveOutPredictor(cfg.LiveOut)
-		u.pr = newParallelRename(cfg.Renamers, cfg.RenWidth, lo, be, &u.stats)
+		u.pr = newParallelRename(cfg.Renamers, cfg.RenWidth, lo, be, &u.stats, &u.obs)
 		u.stage = u.pr
 	case RenameDelayed:
-		u.stage = newDelayedRename(cfg.Renamers, cfg.RenWidth, be, &u.stats)
+		u.stage = newDelayedRename(cfg.Renamers, cfg.RenWidth, be, &u.stats, &u.obs)
 	default:
 		return nil, fmt.Errorf("core: unknown rename kind %v", cfg.Rename)
 	}
@@ -85,6 +89,7 @@ func (u *Unit) Pool() *frag.Pool { return u.pool }
 // Cycle advances fetch then rename by one cycle.
 func (u *Unit) Cycle(now uint64) {
 	u.stats.Cycles++
+	u.stream.Tick(now)
 	if now >= u.fetchAllowedAt {
 		u.engine.cycle(now, &u.queue)
 	}
@@ -95,6 +100,7 @@ func (u *Unit) Cycle(now uint64) {
 		u.be.SetCommitBarrier(^uint64(0))
 	}
 	for _, fs := range u.queue.drainPopped() {
+		u.obs.retired(now, fs)
 		if fs.buf != nil {
 			u.pool.Release(fs.buf)
 		}
@@ -105,7 +111,8 @@ func (u *Unit) Cycle(now uint64) {
 	// window and rebuild the reservation counter.
 	if u.pr != nil {
 		if seq, ok := u.pr.takeSquash(); ok {
-			u.be.SquashFrom(seq)
+			n := u.be.SquashFrom(seq)
+			u.obs.squash(now, seq, n, trace.CauseLiveOutMispredict)
 			u.pr.recomputeReserved(&u.queue)
 		}
 	}

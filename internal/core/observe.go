@@ -1,0 +1,100 @@
+package core
+
+import (
+	"github.com/parallel-frontend/pfe/internal/metrics"
+	"github.com/parallel-frontend/pfe/internal/trace"
+)
+
+// observer bundles the optional event sink and pipeline metrics every fetch
+// engine and rename stage shares. All methods are safe on the zero value
+// (no sink, no metrics) and compile down to a nil check on the hot path.
+type observer struct {
+	sink trace.Sink
+	met  *metrics.Pipeline
+}
+
+// fetched emits one fetch-delivery event: n instructions of fs became
+// available to rename this cycle, starting at op index start, delivered by
+// sequencer lane.
+func (o *observer) fetched(now uint64, fs *fragState, start, n, lane int) {
+	if o.sink == nil || n == 0 {
+		return
+	}
+	ops := fs.ff.Ops
+	if start >= len(ops) {
+		start = len(ops) - 1
+	}
+	o.sink.Emit(trace.Event{
+		Cycle: now,
+		Kind:  trace.KindFetch,
+		Seq:   ops[start].Seq,
+		Frag:  fs.firstSeq(),
+		PC:    ops[start].PC,
+		Lane:  int16(lane),
+		N:     int32(n),
+	})
+}
+
+// phase1 emits a fragment's rename phase-1 event: the in-order allocation
+// step (live-out prediction and window reservation for the parallel
+// renamer; first admission for the monolithic and delayed renamers).
+func (o *observer) phase1(now uint64, fs *fragState) {
+	if o.sink == nil {
+		return
+	}
+	o.sink.Emit(trace.Event{
+		Cycle: now,
+		Kind:  trace.KindRenamePhase1,
+		Seq:   fs.firstSeq(),
+		Frag:  fs.firstSeq(),
+		PC:    fs.ff.Ops[0].PC,
+		N:     int32(fs.len()),
+	})
+}
+
+// phase2 emits one renamer's work this cycle: n instructions of fs renamed
+// starting at op index start, by renamer lane.
+func (o *observer) phase2(now uint64, fs *fragState, start, n, lane int) {
+	if o.sink == nil || n == 0 {
+		return
+	}
+	ops := fs.ff.Ops
+	if start >= len(ops) {
+		start = len(ops) - 1
+	}
+	o.sink.Emit(trace.Event{
+		Cycle: now,
+		Kind:  trace.KindRenamePhase2,
+		Seq:   ops[start].Seq,
+		Frag:  fs.firstSeq(),
+		PC:    ops[start].PC,
+		Lane:  int16(lane),
+		N:     int32(n),
+	})
+}
+
+// squash emits a squash event and feeds the squash-depth histogram; n is
+// the number of window entries removed from seq upward.
+func (o *observer) squash(now uint64, seq uint64, n int, cause trace.SquashCause) {
+	if o.met != nil {
+		o.met.SquashDepth.Observe(int64(n))
+	}
+	if o.sink == nil {
+		return
+	}
+	o.sink.Emit(trace.Event{
+		Cycle: now,
+		Kind:  trace.KindSquash,
+		Seq:   seq,
+		Cause: cause,
+		N:     int32(n),
+	})
+}
+
+// retired feeds the buffer-residency histogram when a fragment finishes
+// rename and leaves the queue.
+func (o *observer) retired(now uint64, fs *fragState) {
+	if o.met != nil {
+		o.met.BufResidency.Observe(int64(now - fs.enteredAt))
+	}
+}

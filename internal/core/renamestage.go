@@ -24,6 +24,10 @@ type fragState struct {
 	// fill delivers.
 	missPending bool
 
+	// enteredAt is the cycle the fragment entered the queue (buffer
+	// residency measurement).
+	enteredAt uint64
+
 	renamed   int
 	firstRead bool // rename has touched this fragment (for §3.3 stats)
 
@@ -69,7 +73,10 @@ type fragQueue struct {
 	popped []*fragState
 }
 
-func (q *fragQueue) push(fs *fragState)  { q.frags = append(q.frags, fs) }
+func (q *fragQueue) push(fs *fragState, now uint64) {
+	fs.enteredAt = now
+	q.frags = append(q.frags, fs)
+}
 func (q *fragQueue) empty() bool         { return len(q.frags) == 0 }
 func (q *fragQueue) at(i int) *fragState { return q.frags[i] }
 func (q *fragQueue) size() int           { return len(q.frags) }
@@ -124,10 +131,11 @@ type sequentialRename struct {
 	width int
 	be    Backend
 	stats *Stats
+	obs   *observer
 }
 
-func newSequentialRename(width int, be Backend, stats *Stats) *sequentialRename {
-	return &sequentialRename{width: width, be: be, stats: stats}
+func newSequentialRename(width int, be Backend, stats *Stats, obs *observer) *sequentialRename {
+	return &sequentialRename{width: width, be: be, stats: stats, obs: obs}
 }
 
 func (sr *sequentialRename) redirect() {}
@@ -146,6 +154,9 @@ func (sr *sequentialRename) cycle(now uint64, q *fragQueue) []*fragState {
 		if fs.complete {
 			sr.stats.FragCompleteAtRename++
 		}
+		// Monolithic rename has no allocation phase; admission to the
+		// renamer is its phase 1.
+		sr.obs.phase1(now, fs)
 	}
 	// Rename consumes the oldest fragment's instructions as they arrive
 	// (it is a FIFO), but never reads past it into younger fragments: an
@@ -160,11 +171,13 @@ func (sr *sequentialRename) cycle(now uint64, q *fragQueue) []*fragState {
 	if free := sr.be.FreeSlots(); n > free {
 		n = free
 	}
+	start := fs.renamed
 	for i := 0; i < n; i++ {
 		sr.be.Insert(fs.ff.Ops[fs.renamed])
 		fs.renamed++
 		sr.stats.Renamed++
 	}
+	sr.obs.phase2(now, fs, start, n, 0)
 	if fs.renamed == fs.len() {
 		q.removeRenamed()
 		return []*fragState{fs}
@@ -181,6 +194,7 @@ type parallelRename struct {
 	width int
 	be    Backend
 	stats *Stats
+	obs   *observer
 	lo    *rename.LiveOutPredictor
 
 	reserved int // window slots reserved by phase 1, not yet inserted
@@ -191,8 +205,8 @@ type parallelRename struct {
 	havePending bool
 }
 
-func newParallelRename(n, width int, lo *rename.LiveOutPredictor, be Backend, stats *Stats) *parallelRename {
-	return &parallelRename{n: n, width: width, be: be, stats: stats, lo: lo}
+func newParallelRename(n, width int, lo *rename.LiveOutPredictor, be Backend, stats *Stats, obs *observer) *parallelRename {
+	return &parallelRename{n: n, width: width, be: be, stats: stats, obs: obs, lo: lo}
 }
 
 func (pr *parallelRename) redirect() {
@@ -239,6 +253,7 @@ func (pr *parallelRename) cycle(now uint64, q *fragQueue) []*fragState {
 		fs.phase1Done = true
 		pr.reserved += fs.len()
 		pr.stats.LiveOutPredicted++
+		pr.obs.phase1(now, fs)
 		break // one fragment per cycle
 	}
 
@@ -257,7 +272,7 @@ phase2:
 
 	oldestUnrenamed, haveOldest := q.oldestUnrenamedSeq()
 	var done []*fragState
-	for _, fs := range assigned {
+	for lane, fs := range assigned {
 		if !fs.firstRead {
 			fs.firstRead = true
 			pr.stats.FragReadByRename++
@@ -269,6 +284,7 @@ phase2:
 		if n > pr.width {
 			n = pr.width
 		}
+		start := fs.renamed
 		for i := 0; i < n; i++ {
 			op := fs.ff.Ops[fs.renamed]
 			if haveOldest {
@@ -284,6 +300,7 @@ phase2:
 			pr.reserved--
 			pr.stats.Renamed++
 		}
+		pr.obs.phase2(now, fs, start, n, lane)
 		if fs.renamed == fs.len() {
 			done = append(done, fs)
 			pr.finishFragment(fs, q)

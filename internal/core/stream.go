@@ -9,7 +9,9 @@ import (
 	"github.com/parallel-frontend/pfe/internal/emu"
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/metrics"
 	"github.com/parallel-frontend/pfe/internal/program"
+	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
 // Stream generates the speculative fetch stream every front-end consumes:
@@ -52,6 +54,13 @@ type Stream struct {
 	fragsGenerated int64
 	fragsCorrect   int64
 	doneTrue       bool // true path fully generated (halt fragment emitted)
+
+	// Observability: attached by the owning Unit; now is the current
+	// cycle, advanced by Unit.Cycle via Tick so prediction events carry
+	// the cycle they were made in.
+	sink trace.Sink
+	met  *metrics.Pipeline
+	now  uint64
 }
 
 // Redirect is the recovery checkpoint for the single outstanding divergence.
@@ -128,6 +137,16 @@ func (s *Stream) oracleAt(seq uint64) (emu.DynInst, bool) {
 	}
 	return s.oracle[i], true
 }
+
+// Attach wires the optional event sink and pipeline metrics into the
+// stream. Called once by NewUnit; nil values are fine.
+func (s *Stream) Attach(sink trace.Sink, met *metrics.Pipeline) {
+	s.sink = sink
+	s.met = met
+}
+
+// Tick tells the stream the current cycle (for event timestamps).
+func (s *Stream) Tick(now uint64) { s.now = now }
 
 // Done reports whether the true path has been fully generated (the fragment
 // containing halt was produced) and no redirect is pending.
@@ -354,6 +373,20 @@ func (s *Stream) materialize(f *frag.Fragment, wrongFrom int) *FetchedFrag {
 	if f.Len() > 0 {
 		s.prevFrag = f
 		s.prevLastOp = ff.Ops[f.Len()-1]
+	}
+	if s.met != nil {
+		s.met.FragLen.Observe(int64(f.Len()))
+	}
+	if s.sink != nil {
+		s.sink.Emit(trace.Event{
+			Cycle: s.now,
+			Kind:  trace.KindFragPredict,
+			Seq:   ff.Ops[0].Seq,
+			Frag:  ff.Ops[0].Seq,
+			PC:    f.PCs[0],
+			N:     int32(f.Len()),
+			Arg:   uint64(ff.WrongFrom),
+		})
 	}
 	return ff
 }

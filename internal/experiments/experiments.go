@@ -47,10 +47,17 @@ func (o Options) runOpts() pfe.RunOptions {
 }
 
 func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+	n := o.Workers
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if n < 1 {
+		// Negative caps (e.g. from a bad flag) mean "serial", not
+		// "unbounded": clamp instead of handing make(chan) a negative
+		// capacity.
+		n = 1
+	}
+	return n
 }
 
 // cell identifies one simulation in a sweep.

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	pfe "github.com/parallel-frontend/pfe"
+)
+
+func TestWorkersClamped(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+	}{
+		{0, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{4, 4},
+		{-1, 1},
+		{-100, 1},
+	}
+	for _, tc := range cases {
+		if got := (Options{Workers: tc.in}).workers(); got != tc.want {
+			t.Errorf("Workers=%d: workers() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRunCellsDeterministicAcrossWorkerCounts runs the same small sweep with
+// serial, parallel and (formerly panicking) negative worker caps and
+// requires identical results: the worker pool must only change scheduling,
+// never outcomes or which cells run.
+func TestRunCellsDeterministicAcrossWorkerCounts(t *testing.T) {
+	cells := []cell{
+		{bench: "gzip", machine: pfe.Preset(pfe.W16), key: "W16"},
+		{bench: "gzip", machine: pfe.Preset(pfe.PR2x8w), key: "PR-2x8w"},
+		{bench: "mcf", machine: pfe.Preset(pfe.W16), key: "W16"},
+		{bench: "mcf", machine: pfe.Preset(pfe.PR2x8w), key: "PR-2x8w"},
+	}
+	opts := Options{Warmup: 2_000, Measure: 8_000}
+
+	var base map[[2]string]*pfe.Result
+	for _, workers := range []int{1, 4, -2} {
+		o := opts
+		o.Workers = workers
+		got, err := runCells(o, cells)
+		if err != nil {
+			t.Fatalf("Workers=%d: %v", workers, err)
+		}
+		if len(got) != len(cells) {
+			t.Fatalf("Workers=%d: %d results for %d cells", workers, len(got), len(cells))
+		}
+		if base == nil {
+			base = got
+			continue
+		}
+		for k, r := range got {
+			want, ok := base[k]
+			if !ok {
+				t.Fatalf("Workers=%d: unexpected result key %v", workers, k)
+			}
+			if r.Cycles != want.Cycles || r.Committed != want.Committed || r.IPC != want.IPC {
+				t.Errorf("Workers=%d: %v diverged: IPC %.4f vs %.4f, cycles %d vs %d",
+					workers, k, r.IPC, want.IPC, r.Cycles, want.Cycles)
+			}
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import "testing"
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("redirects")
+	if c.Name() != "redirects" || c.Value() != 0 {
+		t.Fatalf("fresh counter: name %q value %d", c.Name(), c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("value = %d, want 42", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset left %d", c.Value())
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram("h", 4, 8) // buckets [0,8) [8,16) [16,24) [24,32) + overflow
+	h.Observe(0)
+	h.Observe(7)  // last value of bucket 0
+	h.Observe(8)  // first value of bucket 1
+	h.Observe(31) // last value of bucket 3
+	h.Observe(32) // first overflow value
+	h.Observe(1000)
+
+	wantCounts := []int64{2, 1, 0, 1, 2}
+	for i, want := range wantCounts {
+		lo, hi, c := h.Bucket(i)
+		if c != want {
+			t.Errorf("bucket %d [%d,%d): count %d, want %d", i, lo, hi, c, want)
+		}
+		if wantLo := int64(i) * 8; lo != wantLo {
+			t.Errorf("bucket %d lo = %d, want %d", i, lo, wantLo)
+		}
+	}
+	if _, hi, _ := h.Bucket(4); hi != -1 {
+		t.Errorf("overflow bucket hi = %d, want -1", hi)
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("Overflow() = %d, want 2", h.Overflow())
+	}
+	if h.Count() != 6 || h.Max() != 1000 || h.Sum() != 0+7+8+31+32+1000 {
+		t.Errorf("count %d max %d sum %d", h.Count(), h.Max(), h.Sum())
+	}
+}
+
+func TestHistogramNegativeClampsToZeroBucket(t *testing.T) {
+	h := NewHistogram("h", 4, 8)
+	h.Observe(-100)
+	if _, _, c := h.Bucket(0); c != 1 {
+		t.Fatalf("negative observation landed elsewhere (bucket0 = %d)", c)
+	}
+	if h.Sum() != -100 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+}
+
+func TestHistogramDegenerateConstruction(t *testing.T) {
+	h := NewHistogram("h", 0, 0) // forced up to 1 bucket of width 1
+	if h.NumBuckets() != 1 || h.BucketWidth() != 1 {
+		t.Fatalf("got %d buckets width %d", h.NumBuckets(), h.BucketWidth())
+	}
+	h.Observe(0)
+	h.Observe(5)
+	if _, _, c := h.Bucket(0); c != 1 {
+		t.Errorf("bucket0 = %d", c)
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("overflow = %d", h.Overflow())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("h", 10, 1)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	for v := int64(0); v < 10; v++ {
+		h.Observe(v)
+	}
+	// The q-th observation's bucket upper edge: p50 of 0..9 is the 5th
+	// observation (value 4), upper edge 5.
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := h.Quantile(1.0); got != 10 {
+		t.Errorf("p100 = %d, want 10", got)
+	}
+	h.Observe(500) // overflow: quantile falls back to max
+	if got := h.Quantile(1.0); got != 500 {
+		t.Errorf("p100 with overflow = %d, want 500", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram("h", 4, 8)
+	h.Observe(3)
+	h.Observe(90)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Overflow() != 0 {
+		t.Fatalf("reset left count=%d sum=%d max=%d overflow=%d",
+			h.Count(), h.Sum(), h.Max(), h.Overflow())
+	}
+	for i := 0; i <= h.NumBuckets(); i++ {
+		if _, _, c := h.Bucket(i); c != 0 {
+			t.Fatalf("bucket %d nonzero after reset", i)
+		}
+	}
+}
+
+func TestPipelineBundle(t *testing.T) {
+	p := NewPipeline()
+	all := p.All()
+	if len(all) != 3 {
+		t.Fatalf("All() returned %d histograms", len(all))
+	}
+	names := map[string]bool{}
+	for _, h := range all {
+		names[h.Name()] = true
+	}
+	for _, want := range []string{"fragment-length", "buffer-residency-cycles", "squash-depth-ops"} {
+		if !names[want] {
+			t.Errorf("missing histogram %q", want)
+		}
+	}
+	p.FragLen.Observe(12)
+	p.BufResidency.Observe(40)
+	p.SquashDepth.Observe(100)
+	p.Reset()
+	for _, h := range all {
+		if h.Count() != 0 {
+			t.Errorf("%s not reset", h.Name())
+		}
+	}
+}

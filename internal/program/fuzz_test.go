@@ -1,0 +1,113 @@
+package program
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/isa"
+)
+
+// clampSpec maps arbitrary fuzz-chosen parameters into a Spec that satisfies
+// checkSpec, preserving as much of the fuzzer's choice as possible.
+func clampSpec(seed int64, workers, helpers, blockLo, blockSpan, tripLo, tripSpan,
+	switchLog2, phases, wpp, iters, heapKB int,
+	loopFrac, hammockFrac, callFrac, branchBias, switchFrac, memFrac, fpFrac float64) Spec {
+
+	clampInt := func(v, lo, hi int) int {
+		if v < lo {
+			v = lo + (lo-v)%(hi-lo+1)
+		}
+		if v > hi {
+			v = lo + (v-lo)%(hi-lo+1)
+		}
+		return v
+	}
+	clampFrac := func(v float64) float64 {
+		if v != v || v < 0 { // NaN or negative
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+
+	blockLo = clampInt(blockLo, 1, 8)
+	tripLo = clampInt(tripLo, 1, 16)
+	return Spec{
+		Name: "fuzz", Input: "fuzz", Seed: seed,
+		Workers:  clampInt(workers, 1, 8),
+		Helpers:  clampInt(helpers, 1, 4),
+		BlockLen: [2]int{blockLo, blockLo + clampInt(blockSpan, 0, 8)},
+		LoopTrip: [2]int{tripLo, tripLo + clampInt(tripSpan, 0, 16)},
+
+		LoopFrac:    clampFrac(loopFrac),
+		HammockFrac: clampFrac(hammockFrac),
+		CallFrac:    clampFrac(callFrac),
+		BranchBias:  clampFrac(branchBias),
+		SwitchFrac:  clampFrac(switchFrac),
+		SwitchWays:  1 << clampInt(switchLog2, 1, 4),
+		MemFrac:     clampFrac(memFrac),
+		FPFrac:      clampFrac(fpFrac),
+
+		Phases:          clampInt(phases, 1, 3),
+		WorkersPerPhase: clampInt(wpp, 1, 6),
+		PhaseIters:      clampInt(iters, 1, 8),
+		HeapKB:          clampInt(heapKB, 8, 64),
+	}
+}
+
+// FuzzProgramAsm drives the program generator with fuzz-chosen parameters
+// and checks the structural contract of every generated program: Validate
+// passes, the code image round-trips through the encoder, and every direct
+// control transfer lands inside the image.
+func FuzzProgramAsm(f *testing.F) {
+	// Seed with the miniature test benchmark and a few variants of it.
+	ts := TestSpec()
+	f.Add(ts.Seed, ts.Workers, ts.Helpers, ts.BlockLen[0], ts.BlockLen[1]-ts.BlockLen[0],
+		ts.LoopTrip[0], ts.LoopTrip[1]-ts.LoopTrip[0], 2, ts.Phases, ts.WorkersPerPhase,
+		ts.PhaseIters, ts.HeapKB,
+		ts.LoopFrac, ts.HammockFrac, ts.CallFrac, ts.BranchBias, ts.SwitchFrac,
+		ts.MemFrac, ts.FPFrac)
+	f.Add(int64(7), 2, 1, 1, 2, 1, 3, 1, 1, 2, 2, 8,
+		0.5, 0.5, 0.0, 1.0, 0.0, 0.0, 0.0)
+	f.Add(int64(-3), 8, 4, 6, 0, 4, 0, 4, 3, 6, 4, 32,
+		0.0, 0.0, 0.9, 0.2, 1.0, 0.6, 0.4)
+
+	f.Fuzz(func(t *testing.T, seed int64, workers, helpers, blockLo, blockSpan,
+		tripLo, tripSpan, switchLog2, phases, wpp, iters, heapKB int,
+		loopFrac, hammockFrac, callFrac, branchBias, switchFrac, memFrac, fpFrac float64) {
+
+		spec := clampSpec(seed, workers, helpers, blockLo, blockSpan, tripLo, tripSpan,
+			switchLog2, phases, wpp, iters, heapKB,
+			loopFrac, hammockFrac, callFrac, branchBias, switchFrac, memFrac, fpFrac)
+		p, err := Build(spec)
+		if err != nil {
+			t.Fatalf("Build rejected clamped spec %+v: %v", spec, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generated program fails Validate: %v", err)
+		}
+
+		// Round-trip: re-encode the decoded instructions and compare
+		// against the linked image byte for byte, then decode the image
+		// and compare instruction for instruction.
+		img, err := isa.EncodeAll(p.Code)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if len(img) != len(p.Image) {
+			t.Fatalf("re-encoded image %d bytes, original %d", len(img), len(p.Image))
+		}
+		for i := range img {
+			if img[i] != p.Image[i] {
+				t.Fatalf("image byte %d differs after round-trip: %#x vs %#x", i, img[i], p.Image[i])
+			}
+		}
+		back := isa.DecodeImage(p.Image)
+		for i := range back {
+			if back[i] != p.Code[i] {
+				t.Fatalf("instruction %d differs after round-trip: %v vs %v", i, back[i], p.Code[i])
+			}
+		}
+	})
+}

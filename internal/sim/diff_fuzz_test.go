@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/backend"
+	"github.com/parallel-frontend/pfe/internal/core"
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// FuzzFrontEndsAgree is the differential form of the golden-stream test:
+// for fuzz-chosen generator parameters, every front-end mechanism must
+// commit exactly the architectural instruction stream the functional
+// emulator produces. Any divergence — an extra commit, a wrong PC, a lost
+// instruction after a squash — is a simulator bug by construction.
+func FuzzFrontEndsAgree(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(128), uint8(200), uint8(60))
+	f.Add(int64(-44), uint8(7), uint8(0), uint8(30), uint8(255))
+
+	cases := []struct {
+		name         string
+		fetch        core.FetchKind
+		rename       core.RenameKind
+		switchOnMiss bool
+	}{
+		{"W16", core.FetchSequential, core.RenameSequential, false},
+		{"TC", core.FetchTraceCache, core.RenameSequential, false},
+		{"PF", core.FetchParallel, core.RenameSequential, false},
+		{"PR", core.FetchParallel, core.RenameParallel, false},
+		{"TC+PR", core.FetchTraceCache, core.RenameParallel, false},
+		{"PRd", core.FetchParallel, core.RenameDelayed, false},
+		{"PF+som", core.FetchParallel, core.RenameSequential, true},
+	}
+
+	f.Fuzz(func(t *testing.T, seed int64, iters, memFrac, bias, loopFrac uint8) {
+		spec := program.TestSpec()
+		spec.Name = "diff-fuzz"
+		spec.Seed = seed
+		spec.PhaseIters = 1 + int(iters%8)
+		spec.MemFrac = float64(memFrac) / 255
+		spec.BranchBias = float64(bias) / 255
+		spec.LoopFrac = float64(loopFrac) / 255
+		p, err := program.Build(spec)
+		if err != nil {
+			t.Fatalf("Build rejected spec: %v", err)
+		}
+
+		// Architectural oracle: the functional emulator's PC stream.
+		m := emu.New(p)
+		var want []uint64
+		for !m.Halted() {
+			d, err := m.Step()
+			if err != nil {
+				t.Fatalf("emulator error: %v", err)
+			}
+			want = append(want, d.PC)
+			if len(want) > 200_000 {
+				t.Skip("program too long for a differential run")
+			}
+		}
+
+		for _, tc := range cases {
+			var got []uint64
+			fe := feConfig(tc.name, tc.fetch, tc.rename)
+			fe.SwitchOnMiss = tc.switchOnMiss
+			cfg := testConfig(fe)
+			cfg.WarmupInsts = 0
+			cfg.MeasureInsts = int64(len(want)) + 1000
+			cfg.CommitHook = func(op *backend.Op) { got = append(got, op.PC) }
+			if _, err := Run(p, cfg); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: committed %d instructions, oracle has %d (seed %d)",
+					tc.name, len(got), len(want), seed)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: commit %d is PC %#x, oracle %#x (seed %d)",
+						tc.name, i, got[i], want[i], seed)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/core"
+	"github.com/parallel-frontend/pfe/internal/program"
+	"github.com/parallel-frontend/pfe/internal/trace"
+)
+
+// eventCases are the front-end shapes whose event streams we check. They
+// cover every fetch mechanism and every rename mechanism.
+var eventCases = []struct {
+	name   string
+	fetch  core.FetchKind
+	rename core.RenameKind
+}{
+	{"W16", core.FetchSequential, core.RenameSequential},
+	{"TC", core.FetchTraceCache, core.RenameSequential},
+	{"PF", core.FetchParallel, core.RenameSequential},
+	{"PR", core.FetchParallel, core.RenameParallel},
+	{"PRd", core.FetchParallel, core.RenameDelayed},
+}
+
+// runWithEvents simulates one front-end with both a collecting and a
+// counting sink attached and no warmup, so the event stream covers the
+// whole measured run.
+func runWithEvents(t *testing.T, fe core.Config) (*trace.CollectSink, *trace.CountSink, *Result) {
+	t.Helper()
+	spec := program.TestSpec()
+	spec.PhaseIters = 500
+	p, err := program.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := &trace.CollectSink{}
+	count := &trace.CountSink{}
+	cfg := testConfig(fe)
+	cfg.WarmupInsts = 0
+	cfg.MeasureInsts = 20_000
+	cfg.Events = trace.TeeSink{collect, count}
+	res, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(collect.Events) == 0 {
+		t.Fatal("no events emitted")
+	}
+	return collect, count, res
+}
+
+// TestEventOrderInvariants checks the causal ordering the pipeline
+// guarantees: rename phase 1 precedes phase 2 for each fragment, no
+// instruction commits without having been dispatched, commits retire in
+// sequence order, and every squash carries a valid non-empty cause.
+func TestEventOrderInvariants(t *testing.T) {
+	for _, tc := range eventCases {
+		t.Run(tc.name, func(t *testing.T) {
+			collect, _, _ := runWithEvents(t, feConfig(tc.name, tc.fetch, tc.rename))
+
+			phase1Seen := map[uint64]bool{}
+			dispatched := map[uint64]bool{}
+			lastCommit := uint64(0)
+			haveCommit := false
+			for i, ev := range collect.Events {
+				if !ev.Kind.Valid() {
+					t.Fatalf("event %d: invalid kind %d", i, ev.Kind)
+				}
+				switch ev.Kind {
+				case trace.KindRenamePhase1:
+					phase1Seen[ev.Frag] = true
+				case trace.KindRenamePhase2:
+					if !phase1Seen[ev.Frag] {
+						t.Fatalf("event %d: phase 2 for fragment %d before its phase 1", i, ev.Frag)
+					}
+				case trace.KindDispatch:
+					for s := ev.Seq; s < ev.Seq+uint64(ev.N); s++ {
+						dispatched[s] = true
+					}
+				case trace.KindCommit:
+					for s := ev.Seq; s < ev.Seq+uint64(ev.N); s++ {
+						if !dispatched[s] {
+							t.Fatalf("event %d: commit of seq %d without a dispatch", i, s)
+						}
+					}
+					if haveCommit && ev.Seq <= lastCommit {
+						t.Fatalf("event %d: commit seq %d not after previous commit %d", i, ev.Seq, lastCommit)
+					}
+					lastCommit, haveCommit = ev.Seq+uint64(ev.N)-1, true
+				case trace.KindSquash:
+					if !ev.Cause.Valid() || ev.Cause == trace.CauseNone {
+						t.Fatalf("event %d: squash with cause %v", i, ev.Cause)
+					}
+				}
+			}
+			if !haveCommit {
+				t.Fatal("no commit events recorded")
+			}
+		})
+	}
+}
+
+// TestEventCountsMatchStats cross-checks the event stream against the
+// counters the simulator reports: the ops covered by fetch events equal
+// Stats.Fetched, rename phase-2 coverage equals Stats.Renamed, commit
+// events equal Result.Committed, and the pipeline funnel narrows
+// monotonically (fetched >= renamed >= committed).
+func TestEventCountsMatchStats(t *testing.T) {
+	for _, tc := range eventCases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, count, res := runWithEvents(t, feConfig(tc.name, tc.fetch, tc.rename))
+
+			fetched := count.Ops[trace.KindFetch]
+			renamed := count.Ops[trace.KindRenamePhase2]
+			committed := count.Ops[trace.KindCommit]
+			if fetched != res.FrontEnd.Fetched {
+				t.Errorf("fetch events cover %d ops, stats say %d", fetched, res.FrontEnd.Fetched)
+			}
+			if renamed != res.FrontEnd.Renamed {
+				t.Errorf("phase-2 events cover %d ops, stats say %d", renamed, res.FrontEnd.Renamed)
+			}
+			if committed != res.Committed {
+				t.Errorf("commit events cover %d ops, result says %d", committed, res.Committed)
+			}
+			if fetched < renamed || renamed < committed {
+				t.Errorf("pipeline funnel widened: fetched %d, renamed %d, committed %d",
+					fetched, renamed, committed)
+			}
+			if count.Events[trace.KindFragPredict] == 0 {
+				t.Error("no fragment-prediction events recorded")
+			}
+		})
+	}
+}
+
+// TestHistogramsPopulated checks that the always-on metrics bundle actually
+// observes the distributions during a run.
+func TestHistogramsPopulated(t *testing.T) {
+	_, _, res := runWithEvents(t, feConfig("PR", core.FetchParallel, core.RenameParallel))
+	if res.Pipeline == nil {
+		t.Fatal("Result.Pipeline is nil")
+	}
+	if n := res.Pipeline.FragLen.Count(); n == 0 {
+		t.Error("fragment-length histogram is empty")
+	}
+	if n := res.Pipeline.BufResidency.Count(); n == 0 {
+		t.Error("buffer-residency histogram is empty")
+	}
+	if res.Pipeline.FragLen.Max() > 32 {
+		t.Errorf("implausible max fragment length %d", res.Pipeline.FragLen.Max())
+	}
+}

@@ -13,7 +13,9 @@ import (
 	"github.com/parallel-frontend/pfe/internal/bpred"
 	"github.com/parallel-frontend/pfe/internal/core"
 	"github.com/parallel-frontend/pfe/internal/mem"
+	"github.com/parallel-frontend/pfe/internal/metrics"
 	"github.com/parallel-frontend/pfe/internal/program"
+	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
 // Config is one simulation's complete machine description plus run bounds.
@@ -39,6 +41,18 @@ type Config struct {
 	// buffer occupancy, and redirect events.
 	Trace       io.Writer
 	TraceCycles uint64
+
+	// Events, if non-nil, receives a typed trace.Event for every pipeline
+	// occurrence — fetch deliveries, fragment predictions, rename phases,
+	// dispatches, commits, squashes (see internal/trace). A nil sink costs
+	// one pointer check per emit site.
+	Events trace.Sink
+
+	// Metrics, if non-nil, accumulates the pipeline histograms (fragment
+	// length, buffer residency, squash depth). Run resets it when
+	// measurement starts so warmup observations are excluded; when nil,
+	// Run attaches a fresh one so Result.Pipeline is always populated.
+	Metrics *metrics.Pipeline
 }
 
 // Result is one simulation's measurements (post-warmup).
@@ -62,6 +76,10 @@ type Result struct {
 
 	// Fragment-buffer behaviour (parallel fetch only).
 	BufferReuseRate float64
+
+	// Pipeline holds the measurement-period histograms (fragment length,
+	// buffer residency, squash depth). Always non-nil after Run.
+	Pipeline *metrics.Pipeline
 }
 
 // Run executes the benchmark p under cfg.
@@ -73,11 +91,19 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 		cfg.MaxCycles = uint64(cfg.WarmupInsts+cfg.MeasureInsts)*40 + 1_000_000
 	}
 
+	met := cfg.Metrics
+	if met == nil {
+		met = metrics.NewPipeline()
+	}
+	cfg.FrontEnd.Sink = cfg.Events
+	cfg.FrontEnd.Metrics = met
+
 	hier := mem.NewHierarchy(cfg.Mem)
 	pred := bpred.New(cfg.FrontEnd.Predictor)
 	stream := core.NewStream(p, pred, cfg.FrontEnd.FragHeuristics)
 	be := backend.New(cfg.Backend, hier.L1D)
 	be.CommitHook = cfg.CommitHook
+	be.Sink = cfg.Events
 	ic := &core.ICache{L1I: hier.L1I, Banks: hier.IBanks}
 	fe, err := core.NewUnit(cfg.FrontEnd, stream, ic, be)
 	if err != nil {
@@ -96,6 +122,7 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	var prevFetched, prevRenamed int64
 	now := uint64(0)
 	for ; now < cfg.MaxCycles; now++ {
+		be.StartCycle(now)
 		fe.Cycle(now)
 		n, res := be.Cycle(now)
 		if n > 0 {
@@ -121,7 +148,18 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 			pend := stream.Pending()
 			if pend != nil && res.Op.Seq == pend.CulpritSeq {
 				red := stream.ApplyRedirect()
-				be.SquashFrom(red.CulpritSeq + 1)
+				nsq := be.SquashFrom(red.CulpritSeq + 1)
+				met.SquashDepth.Observe(int64(nsq))
+				if cfg.Events != nil {
+					cfg.Events.Emit(trace.Event{
+						Cycle: now,
+						Kind:  trace.KindSquash,
+						Seq:   red.CulpritSeq + 1,
+						PC:    red.TruePC,
+						Cause: trace.CauseBranchMispredict,
+						N:     int32(nsq),
+					})
+				}
 				be.ClearMispredictPoint(res.Op)
 				fe.Redirect(now, red.CulpritSeq)
 			} else {
@@ -140,6 +178,7 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 			baseCycle = now
 			measuring = true
 			target = baseCommit + cfg.MeasureInsts
+			met.Reset() // histograms cover the measurement period only
 		}
 		if measuring && committed >= target {
 			break
@@ -184,6 +223,7 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	if pool := fe.Pool(); pool != nil {
 		res.BufferReuseRate = pool.ReuseRate()
 	}
+	res.Pipeline = met
 	return res, nil
 }
 

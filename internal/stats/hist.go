@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/metrics"
+)
+
+// HistogramTable renders a fixed-bucket histogram as a stats.Table: one row
+// per non-empty bucket with its range, count, share of observations and a
+// proportional bar, plus a summary row. It is how cmd tools and Result
+// surface the internal/metrics distributions.
+func HistogramTable(h *metrics.Histogram) *Table {
+	title := fmt.Sprintf("%s (n=%d, mean=%.2f, max=%d)", h.Name(), h.Count(), h.Mean(), h.Max())
+	t := NewTable(title, "range", "count", "%", "")
+	if h.Count() == 0 {
+		return t
+	}
+	var peak int64
+	for i := 0; i <= h.NumBuckets(); i++ {
+		if _, _, c := h.Bucket(i); c > peak {
+			peak = c
+		}
+	}
+	for i := 0; i <= h.NumBuckets(); i++ {
+		lo, hi, c := h.Bucket(i)
+		if c == 0 {
+			continue
+		}
+		var rng string
+		switch {
+		case hi == -1:
+			rng = fmt.Sprintf("%d+", lo)
+		case hi == lo+1:
+			rng = fmt.Sprintf("%d", lo)
+		default:
+			rng = fmt.Sprintf("%d-%d", lo, hi-1)
+		}
+		bar := ""
+		if peak > 0 {
+			n := int(40 * c / peak)
+			for j := 0; j < n; j++ {
+				bar += "#"
+			}
+		}
+		t.AddRow(rng, fmt.Sprintf("%d", c),
+			fmt.Sprintf("%.1f", 100*float64(c)/float64(h.Count())), bar)
+	}
+	return t
+}

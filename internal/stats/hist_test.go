@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/metrics"
+)
+
+func TestHistogramTable(t *testing.T) {
+	h := metrics.NewHistogram("frag-len", 4, 8)
+	for i := 0; i < 30; i++ {
+		h.Observe(3) // bucket 0
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(12) // bucket 1
+	}
+	h.Observe(100) // overflow
+
+	s := HistogramTable(h).String()
+	for _, want := range []string{
+		"frag-len (n=41, mean=",
+		"max=100",
+		"0-7", "8-15", "32+", // bucket ranges (empty 16-23/24-31 omitted)
+		"73.2", // 30/41 share
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "16-23") || strings.Contains(s, "24-31") {
+		t.Errorf("table shows empty buckets:\n%s", s)
+	}
+	// The modal bucket gets the full-width bar.
+	if !strings.Contains(s, strings.Repeat("#", 40)) {
+		t.Errorf("no full-width bar for the peak bucket:\n%s", s)
+	}
+}
+
+func TestHistogramTableSingleWidthAndEmpty(t *testing.T) {
+	empty := metrics.NewHistogram("none", 4, 8)
+	s := HistogramTable(empty).String()
+	if !strings.Contains(s, "none (n=0") {
+		t.Errorf("empty histogram title missing:\n%s", s)
+	}
+
+	h := metrics.NewHistogram("unit", 4, 1)
+	h.Observe(2)
+	s = HistogramTable(h).String()
+	if !strings.Contains(s, "2") || strings.Contains(s, "2-2") {
+		t.Errorf("width-1 bucket should render as a single value:\n%s", s)
+	}
+}

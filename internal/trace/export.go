@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonlRecord is the JSONL wire form of one event.
+type jsonlRecord struct {
+	Cycle uint64 `json:"cycle"`
+	Kind  string `json:"kind"`
+	Seq   uint64 `json:"seq"`
+	N     int32  `json:"n"`
+	PC    string `json:"pc,omitempty"`
+	Frag  uint64 `json:"frag,omitempty"`
+	Lane  int16  `json:"lane,omitempty"`
+	Cause string `json:"cause,omitempty"`
+	Arg   uint64 `json:"arg,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per line per event — the grep-friendly
+// export for ad-hoc analysis (jq, awk, pandas).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		rec := jsonlRecord{
+			Cycle: ev.Cycle,
+			Kind:  ev.Kind.String(),
+			Seq:   ev.Seq,
+			N:     ev.N,
+			Frag:  ev.Frag,
+			Lane:  ev.Lane,
+			Arg:   ev.Arg,
+		}
+		if ev.PC != 0 {
+			rec.PC = fmt.Sprintf("%#x", ev.PC)
+		}
+		if ev.Kind == KindSquash {
+			rec.Cause = ev.Cause.String()
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Chrome trace_event format (the JSON Array/Object format consumed by
+// chrome://tracing and https://ui.perfetto.dev). Each pipeline stage gets
+// one "thread" per lane; events become "X" (complete) slices one cycle wide
+// by default, N cycles of work shown in args. Squashes become "i" (instant)
+// events spanning the whole track group.
+//
+// Spec: "Trace Event Format" (Google, catapult project).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   uint64         `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTID maps a (kind, lane) pair onto a stable thread id so each
+// pipeline stage renders as its own named track, parallel lanes stacked.
+func chromeTID(k Kind, lane int16) int {
+	l := int(lane)
+	if l < 0 {
+		l = 0
+	}
+	return int(k)*64 + l + 1
+}
+
+// WriteChromeTrace writes the events as a Chrome trace_event JSON object
+// (load it in chrome://tracing or Perfetto). Cycles are presented as
+// microseconds — one cycle = 1 µs — which keeps the UI's zoom arithmetic
+// exact.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+16)}
+
+	// Thread-name metadata for every (kind, lane) track present, emitted
+	// in sorted tid order so output is deterministic.
+	tids := map[int]string{}
+	for _, ev := range events {
+		tid := chromeTID(ev.Kind, ev.Lane)
+		if _, ok := tids[tid]; !ok {
+			name := ev.Kind.String()
+			if ev.Lane > 0 || ev.Kind == KindFetch || ev.Kind == KindRenamePhase2 {
+				name = fmt.Sprintf("%s[%d]", ev.Kind, ev.Lane)
+			}
+			tids[tid] = name
+		}
+	}
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Cat: "__metadata", Phase: "M", PID: 0, TID: tid,
+			Args: map[string]any{"name": tids[tid]},
+		})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Cat: "pipeline",
+			TS:  ev.Cycle,
+			PID: 0,
+			TID: chromeTID(ev.Kind, ev.Lane),
+			Args: map[string]any{
+				"seq": ev.Seq,
+				"n":   ev.N,
+			},
+		}
+		if ev.PC != 0 {
+			ce.Args["pc"] = fmt.Sprintf("%#x", ev.PC)
+		}
+		if ev.Frag != 0 {
+			ce.Args["frag"] = ev.Frag
+		}
+		switch ev.Kind {
+		case KindSquash:
+			ce.Phase = "i"
+			ce.Scope = "p"
+			ce.Name = "squash:" + ev.Cause.String()
+			ce.Args["cause"] = ev.Cause.String()
+		default:
+			ce.Phase = "X"
+			ce.Dur = 1
+			ce.Name = fmt.Sprintf("%s seq=%d+%d", ev.Kind, ev.Seq, ev.N)
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

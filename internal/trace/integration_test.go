@@ -1,0 +1,106 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/trace"
+)
+
+// TestChromeTraceFromSimulation is the end-to-end export check: simulate
+// the parser benchmark with a ring sink attached at the quick budgets, then
+// assert the Chrome trace_event JSON a user would load into Perfetto has
+// the documented shape.
+func TestChromeTraceFromSimulation(t *testing.T) {
+	ring := trace.NewRingSink(1 << 14)
+	opts := pfe.Quick()
+	opts.Events = ring
+	res, err := pfe.Run("parser", pfe.Preset(pfe.PR2x8w), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if ring.Total() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if ring.Total() > uint64(ring.Cap()) && ring.Dropped() == 0 {
+		t.Error("ring overflowed but reports no drops")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, ring.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", out.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	for _, e := range out.TraceEvents {
+		phases[e.Phase]++
+		switch e.Phase {
+		case "M":
+			if e.Cat != "__metadata" || e.Name != "thread_name" {
+				t.Fatalf("bad metadata event: %+v", e)
+			}
+		case "X", "i":
+			if e.Cat != "pipeline" || e.TID < 1 {
+				t.Fatalf("bad pipeline event: %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	// A real run exercises every track type: named threads, duration
+	// slices for the pipeline stages, and instants for squashes (the
+	// quick budget sees hundreds of redirects).
+	for _, ph := range []string{"M", "X", "i"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in exported trace (phases: %v)", ph, phases)
+		}
+	}
+
+	// JSONL export of the same run decodes line by line.
+	buf.Reset()
+	if err := trace.WriteJSONL(&buf, ring.Events()); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	lines := 0
+	for dec.More() {
+		var rec struct {
+			Kind string `json:"kind"`
+			N    int32  `json:"n"`
+		}
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("JSONL line %d: %v", lines, err)
+		}
+		if rec.Kind == "" {
+			t.Fatalf("JSONL line %d has no kind", lines)
+		}
+		lines++
+	}
+	if lines != len(ring.Events()) {
+		t.Errorf("JSONL has %d lines for %d events", lines, len(ring.Events()))
+	}
+}

@@ -1,0 +1,236 @@
+// Package trace is the pipeline observability layer: every stage of the
+// simulated front-end and back-end can emit typed events (fragment
+// prediction, fetch, the two rename phases, dispatch, commit, squash) into a
+// Sink attached to the run. The paper's claims are microarchitectural —
+// fragment occupancy, rename-phase overlap, squash causes — and aggregate
+// end-of-run counters cannot distinguish *why* a configuration is fast or
+// wrong; the event stream can, and the simulator's invariant tests assert
+// directly against it (e.g. "phase-2 rename of a fragment never precedes its
+// phase-1 allocation").
+//
+// The hot path is allocation-free: Event is a small value struct, emit sites
+// compile to a nil-check when no sink is attached, and RingSink writes into
+// a preallocated power-of-two ring. Exporters (Chrome trace_event JSON and
+// JSONL) live in export.go.
+package trace
+
+import "fmt"
+
+// Kind enumerates the pipeline event types.
+type Kind uint8
+
+const (
+	// KindFragPredict is one fragment prediction leaving the stream: Seq
+	// and Frag are the first op's sequence number, PC the fragment start,
+	// N the fragment length, Arg the index of its first wrong-path
+	// instruction (== N when fully correct-path).
+	KindFragPredict Kind = iota
+
+	// KindFetch is a group of instructions delivered by the fetch unit
+	// (cache path, trace-cache hit or buffer reuse): Seq the first
+	// delivered op, N the count, Lane the sequencer that fetched it.
+	KindFetch
+
+	// KindRenamePhase1 is a fragment's in-order rename allocation: the
+	// live-out prediction and reorder-buffer reservation of the parallel
+	// scheme (§4.2), or the moment a monolithic/delayed renamer first
+	// admits the fragment. Seq/Frag identify the fragment, N its length.
+	KindRenamePhase1
+
+	// KindRenamePhase2 is a group of instructions renamed by one renamer
+	// in one cycle: Seq the first op renamed, N the count, Lane the
+	// renamer index.
+	KindRenamePhase2
+
+	// KindDispatch is one renamed op entering the out-of-order window.
+	KindDispatch
+
+	// KindCommit is one op retiring in program order.
+	KindCommit
+
+	// KindSquash is a pipeline squash: Seq the first squashed sequence
+	// number, N the number of window entries removed, Cause the reason.
+	KindSquash
+
+	numKinds
+)
+
+// NumKinds is the number of defined event kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{
+	KindFragPredict:  "frag-predict",
+	KindFetch:        "fetch",
+	KindRenamePhase1: "rename-phase1",
+	KindRenamePhase2: "rename-phase2",
+	KindDispatch:     "dispatch",
+	KindCommit:       "commit",
+	KindSquash:       "squash",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the enumerated kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// SquashCause enumerates why a squash happened. Every KindSquash event must
+// carry one of these; other kinds carry CauseNone.
+type SquashCause uint8
+
+const (
+	CauseNone SquashCause = iota
+
+	// CauseBranchMispredict: a control misprediction resolved in the
+	// back-end and the wrong path was flushed.
+	CauseBranchMispredict
+
+	// CauseLiveOutMispredict: the parallel renamer detected a wrong
+	// live-out prediction at fragment completion (§4.3) and reset every
+	// younger fragment.
+	CauseLiveOutMispredict
+
+	numCauses
+)
+
+var causeNames = [...]string{
+	CauseNone:              "none",
+	CauseBranchMispredict:  "branch-mispredict",
+	CauseLiveOutMispredict: "liveout-mispredict",
+}
+
+// String names the cause.
+func (c SquashCause) String() string {
+	if int(c) < len(causeNames) {
+		return causeNames[c]
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// Valid reports whether c is one of the enumerated causes.
+func (c SquashCause) Valid() bool { return c < numCauses }
+
+// Event is one pipeline occurrence. It is a pure value — emitting one
+// allocates nothing.
+type Event struct {
+	Cycle uint64 // simulation cycle the event happened on
+	Seq   uint64 // first op sequence number the event covers
+	Frag  uint64 // first sequence number of the owning fragment (0 if n/a)
+	PC    uint64 // instruction address (first op's PC where applicable)
+	Arg   uint64 // kind-specific extra (frag-predict: wrong-path index)
+	Kind  Kind
+	Cause SquashCause // KindSquash only
+	Lane  int16       // sequencer / renamer index (0 for monolithic units)
+	N     int32       // ops covered: [Seq, Seq+N)
+}
+
+// String renders the event for debugging output.
+func (e Event) String() string {
+	s := fmt.Sprintf("cycle %d %s seq=%d n=%d pc=%#x lane=%d", e.Cycle, e.Kind, e.Seq, e.N, e.PC, e.Lane)
+	if e.Kind == KindSquash {
+		s += " cause=" + e.Cause.String()
+	}
+	return s
+}
+
+// Sink receives pipeline events. Implementations must not retain pointers
+// into the simulator; the event is a self-contained value. Emit is called on
+// the simulator's hot path — keep it cheap.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// RingSink keeps the most recent events in a fixed ring: emission never
+// allocates and never grows, so it is safe to attach to arbitrarily long
+// runs. Capacity is rounded up to a power of two.
+type RingSink struct {
+	buf []Event
+	n   uint64 // total events ever emitted
+}
+
+// NewRingSink creates a ring holding at least capacity events.
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &RingSink{buf: make([]Event, c)}
+}
+
+// Emit stores the event, overwriting the oldest once the ring is full.
+func (r *RingSink) Emit(ev Event) {
+	r.buf[r.n&uint64(len(r.buf)-1)] = ev
+	r.n++
+}
+
+// Cap returns the ring capacity.
+func (r *RingSink) Cap() int { return len(r.buf) }
+
+// Total returns how many events were emitted over the ring's lifetime.
+func (r *RingSink) Total() uint64 { return r.n }
+
+// Dropped returns how many events were overwritten.
+func (r *RingSink) Dropped() uint64 {
+	if r.n <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.n - uint64(len(r.buf))
+}
+
+// Events returns the retained events oldest-first (a copy).
+func (r *RingSink) Events() []Event {
+	size := uint64(len(r.buf))
+	if r.n < size {
+		out := make([]Event, r.n)
+		copy(out, r.buf[:r.n])
+		return out
+	}
+	out := make([]Event, size)
+	start := r.n & (size - 1)
+	n := copy(out, r.buf[start:])
+	copy(out[n:], r.buf[:start])
+	return out
+}
+
+// CollectSink retains every emitted event. Meant for tests and short runs;
+// it grows without bound.
+type CollectSink struct {
+	Events []Event
+}
+
+// Emit appends the event.
+func (c *CollectSink) Emit(ev Event) { c.Events = append(c.Events, ev) }
+
+// TeeSink fans one event stream out to several sinks.
+type TeeSink []Sink
+
+// Emit forwards the event to every sink.
+func (t TeeSink) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}
+
+// CountSink tallies events and covered ops by kind without retaining them —
+// the cheapest way to answer "how many instructions did fetch deliver".
+type CountSink struct {
+	Events [NumKinds]uint64 // events per kind
+	Ops    [NumKinds]int64  // sum of N per kind
+}
+
+// Emit tallies the event.
+func (c *CountSink) Emit(ev Event) {
+	if !ev.Kind.Valid() {
+		return
+	}
+	c.Events[ev.Kind]++
+	c.Ops[ev.Kind] += int64(ev.N)
+}

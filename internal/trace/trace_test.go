@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func ev(cycle, seq uint64, k Kind, n int32) Event {
+	return Event{Cycle: cycle, Seq: seq, Kind: k, N: n}
+}
+
+func TestRingSinkBelowCapacity(t *testing.T) {
+	r := NewRingSink(8)
+	for i := uint64(0); i < 5; i++ {
+		r.Emit(ev(i, i, KindFetch, 1))
+	}
+	if r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("total %d dropped %d", r.Total(), r.Dropped())
+	}
+	got := r.Events()
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, e := range got {
+		if e.Cycle != uint64(i) {
+			t.Fatalf("event %d has cycle %d", i, e.Cycle)
+		}
+	}
+}
+
+func TestRingSinkWraparound(t *testing.T) {
+	r := NewRingSink(8)
+	const total = 21
+	for i := uint64(0); i < total; i++ {
+		r.Emit(ev(i, i, KindCommit, 1))
+	}
+	if r.Cap() < 8 {
+		t.Fatalf("capacity %d < requested 8", r.Cap())
+	}
+	if r.Total() != total {
+		t.Fatalf("total %d", r.Total())
+	}
+	if want := uint64(total - r.Cap()); r.Dropped() != want {
+		t.Fatalf("dropped %d, want %d", r.Dropped(), want)
+	}
+	got := r.Events()
+	if len(got) != r.Cap() {
+		t.Fatalf("retained %d, cap %d", len(got), r.Cap())
+	}
+	// Oldest-first, ending with the most recent emit.
+	for i := 1; i < len(got); i++ {
+		if got[i].Cycle != got[i-1].Cycle+1 {
+			t.Fatalf("events out of order at %d: %d then %d", i, got[i-1].Cycle, got[i].Cycle)
+		}
+	}
+	if last := got[len(got)-1]; last.Cycle != total-1 {
+		t.Fatalf("last retained cycle %d, want %d", last.Cycle, total-1)
+	}
+}
+
+func TestRingSinkRoundsCapacityUp(t *testing.T) {
+	r := NewRingSink(5)
+	if c := r.Cap(); c&(c-1) != 0 || c < 5 {
+		t.Fatalf("cap %d is not a power of two >= 5", c)
+	}
+	if NewRingSink(0).Cap() < 1 {
+		t.Fatal("zero capacity ring")
+	}
+}
+
+func TestTeeAndCountSinks(t *testing.T) {
+	var a, b CollectSink
+	cnt := &CountSink{}
+	tee := TeeSink{&a, &b, cnt}
+	tee.Emit(ev(1, 10, KindFetch, 8))
+	tee.Emit(ev(2, 10, KindRenamePhase2, 8))
+	tee.Emit(ev(3, 18, KindFetch, 4))
+	if len(a.Events) != 3 || len(b.Events) != 3 {
+		t.Fatalf("tee fanout: %d and %d events", len(a.Events), len(b.Events))
+	}
+	if cnt.Events[KindFetch] != 2 || cnt.Ops[KindFetch] != 12 {
+		t.Fatalf("fetch tally: %d events %d ops", cnt.Events[KindFetch], cnt.Ops[KindFetch])
+	}
+	if cnt.Events[KindRenamePhase2] != 1 || cnt.Ops[KindRenamePhase2] != 8 {
+		t.Fatalf("phase2 tally: %d events %d ops", cnt.Events[KindRenamePhase2], cnt.Ops[KindRenamePhase2])
+	}
+}
+
+func TestKindAndCauseStrings(t *testing.T) {
+	for k := Kind(0); k.Valid(); k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("kind %d has no name: %q", k, s)
+		}
+	}
+	if Kind(200).Valid() {
+		t.Error("out-of-range kind is Valid")
+	}
+	for c := SquashCause(0); c.Valid(); c++ {
+		if s := c.String(); s == "" {
+			t.Errorf("cause %d has no name", c)
+		}
+	}
+	if SquashCause(200).Valid() {
+		t.Error("out-of-range cause is Valid")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	events := []Event{
+		{Cycle: 5, Seq: 100, Kind: KindFetch, N: 8, PC: 0x10000, Frag: 100, Lane: 1},
+		{Cycle: 9, Seq: 100, Kind: KindSquash, N: 32, Cause: CauseBranchMispredict},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["kind"] != "fetch" || rec["cycle"] != float64(5) || rec["pc"] != "0x10000" {
+		t.Errorf("first record: %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["kind"] != "squash" || rec["cause"] != "branch-mispredict" {
+		t.Errorf("squash record: %v", rec)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	events := []Event{
+		{Cycle: 1, Seq: 0, Kind: KindFragPredict, N: 12, PC: 0x10000},
+		{Cycle: 2, Seq: 0, Kind: KindFetch, N: 8, Lane: 0, PC: 0x10000},
+		{Cycle: 2, Seq: 8, Kind: KindFetch, N: 4, Lane: 1, PC: 0x10020},
+		{Cycle: 4, Seq: 0, Kind: KindRenamePhase2, N: 8},
+		{Cycle: 7, Seq: 3, Kind: KindSquash, N: 20, Cause: CauseLiveOutMispredict},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    uint64         `json:"ts"`
+			TID   int            `json:"tid"`
+			Scope string         `json:"s"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", out.DisplayTimeUnit)
+	}
+
+	var meta, slices, instants int
+	tids := map[int]bool{}
+	for _, e := range out.TraceEvents {
+		switch e.Phase {
+		case "M":
+			meta++
+			if e.Args["name"] == "" {
+				t.Errorf("metadata event with no thread name: %+v", e)
+			}
+		case "X":
+			slices++
+			tids[e.TID] = true
+		case "i":
+			instants++
+			if e.Scope != "p" {
+				t.Errorf("instant scope %q, want p", e.Scope)
+			}
+			if e.Args["cause"] != "liveout-mispredict" {
+				t.Errorf("squash args: %v", e.Args)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Phase)
+		}
+	}
+	if slices != 4 || instants != 1 {
+		t.Errorf("phases: %d slices, %d instants", slices, instants)
+	}
+	// One named track per (kind, lane) present: fragpredict, fetch lane 0
+	// and 1, phase2 lane 0, squash.
+	if meta != 5 {
+		t.Errorf("%d metadata events, want 5", meta)
+	}
+	// The two fetch lanes must land on distinct tracks.
+	if chromeTID(KindFetch, 0) == chromeTID(KindFetch, 1) {
+		t.Error("fetch lanes share a tid")
+	}
+	if len(tids) != 4 {
+		t.Errorf("slice events spread over %d tids, want 4", len(tids))
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/program"
 	"github.com/parallel-frontend/pfe/internal/rename"
 	"github.com/parallel-frontend/pfe/internal/sim"
+	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
 // FrontEnd names one of the paper's front-end configurations.
@@ -192,6 +193,14 @@ type RunOptions struct {
 	// counts, window and buffer occupancy, resolution events).
 	Trace       io.Writer
 	TraceCycles uint64
+
+	// Events, if non-nil, receives a typed trace.Event for every
+	// pipeline occurrence (fetch deliveries, fragment predictions,
+	// rename phases, dispatches, commits, squashes). Use
+	// trace.NewRingSink to capture the most recent events without
+	// unbounded memory, then trace.WriteChromeTrace / trace.WriteJSONL
+	// to export them. A nil sink costs one pointer check per emit site.
+	Events trace.Sink
 }
 
 // DefaultRunOptions returns the harness defaults: 100 K instructions of
@@ -228,7 +237,11 @@ func runSpec(spec program.Spec, m Machine, opts RunOptions) (*Result, error) {
 
 func runProgram(p *program.Program, m Machine, opts RunOptions) (*Result, error) {
 	if opts.MeasureInsts == 0 {
-		opts = DefaultRunOptions()
+		// Fill in only the budgets, preserving any tracing fields the
+		// caller set.
+		def := DefaultRunOptions()
+		opts.WarmupInsts = def.WarmupInsts
+		opts.MeasureInsts = def.MeasureInsts
 	}
 	cfg := sim.Config{
 		FrontEnd:     m.frontEnd,
@@ -238,6 +251,7 @@ func runProgram(p *program.Program, m Machine, opts RunOptions) (*Result, error)
 		MeasureInsts: opts.MeasureInsts,
 		Trace:        opts.Trace,
 		TraceCycles:  opts.TraceCycles,
+		Events:       opts.Events,
 	}
 	r, err := sim.Run(p, cfg)
 	if err != nil {

@@ -3,7 +3,9 @@ package pfe
 import (
 	"fmt"
 
+	"github.com/parallel-frontend/pfe/internal/metrics"
 	"github.com/parallel-frontend/pfe/internal/sim"
+	"github.com/parallel-frontend/pfe/internal/stats"
 )
 
 // Result is one simulation's measurements (after warmup).
@@ -42,6 +44,22 @@ type Result struct {
 	// Redirects is the number of front-end redirects taken (resolved
 	// control mispredictions).
 	Redirects int64
+
+	// Pipeline holds the measurement-period distribution histograms:
+	// fragment length, fragment-buffer residency (cycles between a
+	// fragment entering the queue and finishing rename) and squash depth
+	// (window entries removed per squash). Always non-nil.
+	Pipeline *metrics.Pipeline
+}
+
+// Histograms renders the pipeline distributions as printable tables, one
+// per histogram (empty histograms render as a title-only table).
+func (r *Result) Histograms() string {
+	s := ""
+	for _, h := range r.Pipeline.All() {
+		s += stats.HistogramTable(h).String() + "\n"
+	}
+	return s
 }
 
 func newResult(r *sim.Result) *Result {
@@ -69,6 +87,8 @@ func newResult(r *sim.Result) *Result {
 		LiveOutMisses:      fe.LiveOutMisses,
 
 		Redirects: fe.Redirects,
+
+		Pipeline: r.Pipeline,
 	}
 	if fe.Renamed > 0 {
 		res.RenamedBeforeSourceFrac = float64(fe.InstrsRenamedBeforeSource) / float64(fe.Renamed)
