@@ -1,15 +1,23 @@
 # Tiered checks for the parallel front-end reproduction.
 #
-#   make test       tier 1: build + full test suite (what CI gates on)
-#   make race       tier 2: vet + race detector over the short suite
-#   make fuzz       tier 3: short-budget fuzz smokes (differential targets)
-#   make bench      front-end comparison benchmarks (no -race)
-#   make all        tiers 1-3 in order
+#   make test          tier 1: build + full test suite (what CI gates on)
+#   make race          tier 2: vet + race detector over the short suite
+#   make fuzz          tier 3: short-budget fuzz smokes (differential targets)
+#   make bench         front-end comparison benchmarks (no -race)
+#   make bench-json    provenance-stamped JSON report (BENCH_<sha>.json)
+#   make bench-compare regression gate: OLD=a.json NEW=b.json [TOL=0.5]
+#   make all           tiers 1-3 in order
 
 GO      ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all test race fuzz bench fmt
+# bench-json knobs: which experiment and budgets go into the recorded report.
+BENCH_EXP     ?= fig8
+BENCH_WARMUP  ?= 20000
+BENCH_MEASURE ?= 60000
+GIT_SHA       := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
+
+.PHONY: all test race fuzz bench bench-json bench-compare fmt
 
 all: test race fuzz
 
@@ -30,6 +38,24 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# bench-json records a provenance-stamped machine-readable report for the
+# current commit. It builds a real binary first: `go build` embeds the VCS
+# revision via debug.ReadBuildInfo, `go run` does not.
+bench-json:
+	$(GO) build -o bin/pfe-bench ./cmd/pfe-bench
+	./bin/pfe-bench -exp $(BENCH_EXP) -warmup $(BENCH_WARMUP) -measure $(BENCH_MEASURE) \
+		-json BENCH_$(GIT_SHA).json
+	@echo wrote BENCH_$(GIT_SHA).json
+
+# bench-compare gates NEW against OLD: exits non-zero on an IPC regression
+# beyond TOL percent (or a host-throughput collapse beyond TTOL percent).
+# Flags must precede the positional report paths.
+TOL  ?= 0.5
+TTOL ?= 25
+bench-compare:
+	$(GO) build -o bin/pfe-bench ./cmd/pfe-bench
+	./bin/pfe-bench -tol $(TOL) -ttol $(TTOL) -compare $(OLD) $(NEW)
 
 fmt:
 	gofmt -l -w .

@@ -1,4 +1,6 @@
-// pfe-bench regenerates the paper's tables and figures.
+// pfe-bench regenerates the paper's tables and figures, with opt-in live
+// telemetry, machine-readable provenance reports and a perf-regression
+// comparator.
 //
 // Usage:
 //
@@ -6,6 +8,13 @@
 //	pfe-bench -exp fig8
 //	pfe-bench -exp all -warmup 100000 -measure 300000
 //	pfe-bench -exp fig9 -benches gcc,gzip
+//	pfe-bench -exp all -http :6060              # /metrics, /status, /debug/pprof
+//	pfe-bench -exp fig8 -json out.json          # provenance-stamped report
+//	pfe-bench -tol 0.5 -compare old.json new.json
+//
+// -compare exits 0 when every matched benchmark row is within tolerance
+// (improvements included), 1 on an IPC or throughput regression, 2 on a
+// usage or decoding error.
 package main
 
 import (
@@ -15,10 +24,14 @@ import (
 	"strings"
 	"time"
 
+	pfe "github.com/parallel-frontend/pfe"
 	"github.com/parallel-frontend/pfe/internal/experiments"
+	"github.com/parallel-frontend/pfe/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		exp     = flag.String("exp", "all", "experiment id (table1, table2, fig4..fig10, construction, all)")
@@ -26,6 +39,15 @@ func main() {
 		measure = flag.Int64("measure", 300_000, "measured instructions per simulation")
 		benches = flag.String("benches", "", "comma-separated benchmark subset (default: all twelve)")
 		workers = flag.Int("workers", 0, "concurrent simulations (default GOMAXPROCS)")
+
+		httpAddr = flag.String("http", "", "serve live telemetry on this address (/metrics, /status, /debug/pprof)")
+		jsonOut  = flag.String("json", "", "write a provenance-stamped JSON benchmark report to this file")
+		selfProf = flag.Bool("selfprofile", false, "attribute the simulator's own wall time per pipeline stage (sampled)")
+		progress = flag.Bool("progress", true, "print per-experiment progress lines with ETA to stderr")
+
+		compare = flag.Bool("compare", false, "compare two JSON reports (old new) and exit non-zero on regression")
+		tol     = flag.Float64("tol", 0.5, "IPC regression tolerance for -compare, percent")
+		ttol    = flag.Float64("ttol", 25, "host-throughput (sims/sec) regression tolerance for -compare, percent")
 	)
 	flag.Parse()
 
@@ -33,10 +55,14 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers}
+	if *compare {
+		return runCompare(flag.Args(), *tol, *ttol)
+	}
+
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers, SelfProfile: *selfProf}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -48,19 +74,144 @@ func main() {
 		e, err := experiments.ByID(*exp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 2
 		}
 		todo = []experiments.Experiment{e}
 	}
 
+	// Telemetry: the tracker always exists (it backs the progress lines);
+	// the registry, live sim counters and HTTP server are pay-for-use.
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		opts.Sim = obs.NewSimCounters(reg)
+	}
+	tracker := obs.NewTracker(reg)
+	if *progress {
+		tracker.SetLog(os.Stderr, time.Second)
+	}
+	if *httpAddr != "" {
+		srv, addr, err := obs.Serve(*httpAddr, reg, tracker)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfe-bench: telemetry server: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics  /status  /debug/pprof/\n", addr)
+	}
+
+	var report *obs.ReportBuilder
+	if *jsonOut != "" {
+		ids := make([]string, len(todo))
+		for i, e := range todo {
+			ids[i] = e.ID
+		}
+		report = obs.NewReportBuilder("pfe-bench", obs.RunSpec{
+			WarmupInsts:  *warmup,
+			MeasureInsts: *measure,
+			Benchmarks:   opts.Benchmarks,
+			Workers:      *workers,
+			Experiments:  ids,
+		})
+	}
+
+	runStart := time.Now()
 	for _, e := range todo {
+		tracker.StartExperiment(e.ID, e.Title)
+		if report != nil {
+			report.StartExperiment(e.ID, e.Title)
+		}
+		opts.Observer = &cellObserver{id: e.ID, tracker: tracker, report: report}
 		start := time.Now()
 		res, err := e.Run(opts)
+		wall := time.Since(start)
+		tracker.FinishExperiment(e.ID)
+		if report != nil {
+			report.FinishExperiment(e.ID, wall)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(res)
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, wall.Round(time.Millisecond))
 	}
+
+	if report != nil {
+		rep := report.Finalize(time.Since(runStart))
+		if err := obs.WriteReportFile(*jsonOut, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pfe-bench: writing %s: %v\n", *jsonOut, err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "report: %s (%d sims, %.1fs, git %s)\n",
+			*jsonOut, rep.TotalSims, rep.WallSeconds, shortSHA(rep.Provenance.GitSHA))
+	}
+	if *selfProf && opts.Sim != nil {
+		fmt.Fprintf(os.Stderr, "simulator stage wall time (sampled):\n%s",
+			obs.FormatStageSeconds(opts.Sim.Prof.Seconds()))
+	}
+	return 0
+}
+
+// cellObserver fans one experiment's cell completions out to the progress
+// tracker and the JSON report builder.
+type cellObserver struct {
+	id      string
+	tracker *obs.Tracker
+	report  *obs.ReportBuilder
+}
+
+func (c *cellObserver) Planned(n int) { c.tracker.AddPlanned(c.id, n) }
+
+func (c *cellObserver) Completed(bench, key string, wall time.Duration, r *pfe.Result) {
+	c.tracker.SimDone(c.id, r.IPC, wall)
+	if c.report == nil {
+		return
+	}
+	c.report.AddRow(c.id, obs.Row{
+		Bench:            bench,
+		Config:           key,
+		IPC:              r.IPC,
+		FetchRate:        r.FetchRate,
+		RenameRate:       r.RenameRate,
+		FetchSlotUtil:    r.FetchSlotUtilization,
+		FragPredAccuracy: r.FragPredAccuracy,
+		TCHitRate:        r.TCHitRate,
+		L1IMissRate:      r.L1IMissRate,
+		L1DMissRate:      r.L1DMissRate,
+		BufferReuseRate:  r.BufferReuseRate,
+		Cycles:           r.Cycles,
+		Committed:        r.Committed,
+	})
+	c.report.AddStageSeconds(r.StageSeconds)
+}
+
+func runCompare(args []string, tol, ttol float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: pfe-bench [-tol pct] [-ttol pct] -compare old.json new.json")
+		return 2
+	}
+	oldRep, err := obs.ReadReportFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+		return 2
+	}
+	newRep, err := obs.ReadReportFile(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+		return 2
+	}
+	cmp := obs.Compare(oldRep, newRep, obs.CompareOptions{IPCTolPct: tol, ThroughputTolPct: ttol})
+	fmt.Printf("old: %s  (git %s, %s)\nnew: %s  (git %s, %s)\n\n",
+		args[0], shortSHA(oldRep.Provenance.GitSHA), oldRep.CreatedAt,
+		args[1], shortSHA(newRep.Provenance.GitSHA), newRep.CreatedAt)
+	fmt.Print(cmp.Table())
+	return cmp.ExitCode()
+}
+
+func shortSHA(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
 }

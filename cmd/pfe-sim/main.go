@@ -5,6 +5,8 @@
 //
 //	pfe-sim -bench gcc -frontend PR-2x8w
 //	pfe-sim -bench gzip -frontend TC -l1i 32 -measure 500000
+//	pfe-sim -bench gcc -http :6060 -measure 5000000   # live /metrics + pprof
+//	pfe-sim -bench gcc -selfprofile                   # where does sim time go?
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"os"
 
 	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/obs"
 )
 
 func main() {
@@ -25,6 +28,8 @@ func main() {
 		measure  = flag.Int64("measure", 300_000, "measured instructions")
 		listB    = flag.Bool("listbenches", false, "list benchmark names and exit")
 		trace    = flag.Uint64("trace", 0, "print a per-cycle pipeline trace for the first N cycles")
+		httpAddr = flag.String("http", "", "serve live telemetry on this address (/metrics, /status, /debug/pprof)")
+		selfProf = flag.Bool("selfprofile", false, "attribute the simulator's own wall time per pipeline stage (sampled)")
 	)
 	flag.Parse()
 
@@ -43,10 +48,21 @@ func main() {
 	if *predEnt > 0 {
 		m = m.WithPredictorEntries(*predEnt)
 	}
-	opts := pfe.RunOptions{WarmupInsts: *warmup, MeasureInsts: *measure}
+	opts := pfe.RunOptions{WarmupInsts: *warmup, MeasureInsts: *measure, SelfProfile: *selfProf}
 	if *trace > 0 {
 		opts.Trace = os.Stdout
 		opts.TraceCycles = *trace
+	}
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		opts.Obs = obs.NewSimCounters(reg)
+		srv, addr, err := obs.Serve(*httpAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfe-sim: telemetry server:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics  /debug/pprof/\n", addr)
 	}
 	res, err := pfe.Run(*bench, m, opts)
 	if err != nil {
@@ -70,5 +86,8 @@ func main() {
 	if res.LiveOutMispredicts > 0 || res.LiveOutMisses > 0 {
 		fmt.Printf("  live-out mispredicts:   %d (misses %d)\n", res.LiveOutMispredicts, res.LiveOutMisses)
 		fmt.Printf("  renamed before source:  %.3f\n", res.RenamedBeforeSourceFrac)
+	}
+	if len(res.StageSeconds) > 0 {
+		fmt.Printf("simulator stage wall time (sampled):\n%s", obs.FormatStageSeconds(res.StageSeconds))
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/mem"
 	"github.com/parallel-frontend/pfe/internal/metrics"
+	"github.com/parallel-frontend/pfe/internal/obs"
 	"github.com/parallel-frontend/pfe/internal/rename"
 	"github.com/parallel-frontend/pfe/internal/trace"
 )
@@ -139,6 +140,12 @@ type Config struct {
 	// at fragment granularity (buffer residency, squash depth). sim.Run
 	// always attaches one.
 	Metrics *metrics.Pipeline
+
+	// Prof, if non-nil, attributes the simulator's own wall time to
+	// pipeline stages via sampled timers (see internal/obs): fetch and
+	// rename at the Unit level, plus the parallel renamer's phase-1/
+	// phase-2 split. A nil profiler costs one branch per cycle.
+	Prof *obs.StageProf
 }
 
 // Validate checks internal consistency.

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/parallel-frontend/pfe/internal/backend"
 	"github.com/parallel-frontend/pfe/internal/frag"
+	"github.com/parallel-frontend/pfe/internal/obs"
 	"github.com/parallel-frontend/pfe/internal/rename"
 	"github.com/parallel-frontend/pfe/internal/tcache"
 	"github.com/parallel-frontend/pfe/internal/trace"
@@ -34,6 +36,7 @@ type Unit struct {
 	be     ExecBackend
 	stats  Stats
 	obs    observer
+	prof   *obs.StageProf
 
 	fetchAllowedAt uint64
 	pr             *parallelRename // non-nil when rename is parallel
@@ -45,7 +48,7 @@ func NewUnit(cfg Config, stream *Stream, ic *ICache, be ExecBackend) (*Unit, err
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	u := &Unit{cfg: cfg, stream: stream, be: be}
+	u := &Unit{cfg: cfg, stream: stream, be: be, prof: cfg.Prof}
 	u.obs = observer{sink: cfg.Sink, met: cfg.Metrics}
 	stream.Attach(cfg.Sink, cfg.Metrics)
 
@@ -68,6 +71,7 @@ func NewUnit(cfg Config, stream *Stream, ic *ICache, be ExecBackend) (*Unit, err
 	case RenameParallel:
 		lo := rename.NewLiveOutPredictor(cfg.LiveOut)
 		u.pr = newParallelRename(cfg.Renamers, cfg.RenWidth, lo, be, &u.stats, &u.obs)
+		u.pr.prof = cfg.Prof
 		u.stage = u.pr
 	case RenameDelayed:
 		u.stage = newDelayedRename(cfg.Renamers, cfg.RenWidth, be, &u.stats, &u.obs)
@@ -86,13 +90,35 @@ func (u *Unit) TraceCache() *tcache.Cache { return u.tc }
 // Pool exposes the fragment buffer pool (nil unless parallel fetch).
 func (u *Unit) Pool() *frag.Pool { return u.pool }
 
-// Cycle advances fetch then rename by one cycle.
+// Cycle advances fetch then rename by one cycle. On sampled cycles (see
+// obs.StageProf) the two halves are timed for host-side wall-time
+// attribution; everywhere else the profiler costs a single branch.
 func (u *Unit) Cycle(now uint64) {
 	u.stats.Cycles++
 	u.stream.Tick(now)
+	if u.prof.Sampled(now) {
+		t0 := time.Now()
+		u.cycleFetch(now)
+		t1 := time.Now()
+		u.cycleRename(now)
+		u.prof.Add(obs.StageFetch, t1.Sub(t0))
+		u.prof.Add(obs.StageRename, time.Since(t1))
+		return
+	}
+	u.cycleFetch(now)
+	u.cycleRename(now)
+}
+
+// cycleFetch is the fetch half of a cycle.
+func (u *Unit) cycleFetch(now uint64) {
 	if now >= u.fetchAllowedAt {
 		u.engine.cycle(now, &u.queue)
 	}
+}
+
+// cycleRename is the rename half of a cycle: the rename stage itself plus
+// the queue and squash bookkeeping that follows it.
+func (u *Unit) cycleRename(now uint64) {
 	u.stage.cycle(now, &u.queue)
 	if seq, ok := u.queue.oldestUnrenamedSeq(); ok {
 		u.be.SetCommitBarrier(seq)

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"time"
+
 	"github.com/parallel-frontend/pfe/internal/frag"
+	"github.com/parallel-frontend/pfe/internal/obs"
 	"github.com/parallel-frontend/pfe/internal/rename"
 )
 
@@ -196,6 +199,7 @@ type parallelRename struct {
 	stats *Stats
 	obs   *observer
 	lo    *rename.LiveOutPredictor
+	prof  *obs.StageProf // optional phase-1/phase-2 wall-time attribution
 
 	reserved int // window slots reserved by phase 1, not yet inserted
 
@@ -224,6 +228,15 @@ func (pr *parallelRename) takeSquash() (uint64, bool) {
 }
 
 func (pr *parallelRename) cycle(now uint64, q *fragQueue) []*fragState {
+	// Sampled self-profiling: on sampled cycles the serial allocation
+	// phase and the concurrent renaming phase are timed separately
+	// (their sum is a sub-breakdown of the Unit-level rename time).
+	profiled := pr.prof.Sampled(now)
+	var tP1, tP2 time.Time
+	if profiled {
+		tP1 = time.Now()
+	}
+
 	// Phase 1: the oldest fragment without it, strictly in order.
 	for i := 0; i < q.size(); i++ {
 		fs := q.at(i)
@@ -258,6 +271,10 @@ func (pr *parallelRename) cycle(now uint64, q *fragQueue) []*fragState {
 	}
 
 phase2:
+	if profiled {
+		tP2 = time.Now()
+		pr.prof.Add(obs.StageRenameP1, tP2.Sub(tP1))
+	}
 	// Phase 2: the renamers take the oldest phase-1-complete fragments
 	// that still have instructions to rename, one fragment per renamer,
 	// and advance concurrently.
@@ -324,6 +341,9 @@ phase2:
 		}
 	}
 	q.removeRenamed()
+	if profiled {
+		pr.prof.Add(obs.StageRenameP2, time.Since(tP2))
+	}
 	return done
 }
 

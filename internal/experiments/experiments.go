@@ -10,9 +10,21 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/obs"
 )
+
+// Observer receives cell-level lifecycle callbacks from an experiment run:
+// Planned once per scheduled batch with the number of simulations it will
+// run, Completed for each finished simulation. Completed is called from
+// concurrent worker goroutines, so implementations must be safe for
+// concurrent use.
+type Observer interface {
+	Planned(n int)
+	Completed(bench, key string, wall time.Duration, r *pfe.Result)
+}
 
 // Options bounds experiment runs.
 type Options struct {
@@ -23,6 +35,18 @@ type Options struct {
 	Benchmarks []string
 	// Workers caps concurrent simulations (0 = GOMAXPROCS).
 	Workers int
+
+	// Observer, if non-nil, is notified as simulations are planned and
+	// completed (progress lines, /status, JSON report rows).
+	Observer Observer
+
+	// Sim, if non-nil, receives live telemetry from every simulation
+	// (cycles, committed, squashes) for /metrics exposition.
+	Sim *obs.SimCounters
+
+	// SelfProfile enables per-run wall-time attribution of the simulator
+	// itself, surfaced in each Result.StageSeconds.
+	SelfProfile bool
 }
 
 // Default returns the harness budgets used for the recorded results in
@@ -41,9 +65,16 @@ func (o Options) benches() []string {
 
 func (o Options) runOpts() pfe.RunOptions {
 	if o.Measure == 0 {
-		o = Default()
+		// Fill in only the budgets; observability fields pass through.
+		def := Default()
+		o.Warmup, o.Measure = def.Warmup, def.Measure
 	}
-	return pfe.RunOptions{WarmupInsts: o.Warmup, MeasureInsts: o.Measure}
+	return pfe.RunOptions{
+		WarmupInsts:  o.Warmup,
+		MeasureInsts: o.Measure,
+		Obs:          o.Sim,
+		SelfProfile:  o.SelfProfile,
+	}
 }
 
 func (o Options) workers() int {
@@ -75,6 +106,9 @@ func runCells(o Options, cells []cell) (map[[2]string]*pfe.Result, error) {
 		r   *pfe.Result
 		err error
 	}
+	if o.Observer != nil {
+		o.Observer.Planned(len(cells))
+	}
 	results := make(map[[2]string]*pfe.Result, len(cells))
 	sem := make(chan struct{}, o.workers())
 	out := make(chan outcome, len(cells))
@@ -85,7 +119,11 @@ func runCells(o Options, cells []cell) (map[[2]string]*pfe.Result, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			start := time.Now()
 			r, err := pfe.Run(c.bench, c.machine, o.runOpts())
+			if err == nil && o.Observer != nil {
+				o.Observer.Completed(c.bench, c.key, time.Since(start), r)
+			}
 			out <- outcome{c: c, r: r, err: err}
 		}(c)
 	}

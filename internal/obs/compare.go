@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/parallel-frontend/pfe/internal/stats"
+)
+
+// CompareOptions tunes the regression comparator.
+type CompareOptions struct {
+	// IPCTolPct is the per-row IPC tolerance in percent: a row whose IPC
+	// dropped by more than this is a regression. Simulations are
+	// deterministic, so this mostly absorbs intentional model changes.
+	IPCTolPct float64
+
+	// ThroughputTolPct is the tolerance on the runs' aggregate sims/sec.
+	// Host throughput is noisy run to run, so this defaults much looser
+	// than the IPC gate.
+	ThroughputTolPct float64
+}
+
+// DefaultCompareOptions returns the gate defaults: 0.5% on IPC, 25% on
+// host throughput.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{IPCTolPct: 0.5, ThroughputTolPct: 25}
+}
+
+// RowDelta is one (experiment, bench, config) comparison.
+type RowDelta struct {
+	Experiment string
+	Bench      string
+	Config     string
+	OldIPC     float64
+	NewIPC     float64
+	DeltaPct   float64
+	Status     string // "ok" | "improvement" | "REGRESSION" | "MISSING"
+}
+
+// Comparison is the diff of two benchmark reports.
+type Comparison struct {
+	Opts CompareOptions
+	Rows []RowDelta
+
+	Compared     int
+	Regressions  int
+	Improvements int
+	Missing      int // rows present in old but absent in new
+	Added        int // rows present in new but absent in old
+
+	OldSimsPerSec       float64
+	NewSimsPerSec       float64
+	ThroughputDeltaPct  float64
+	ThroughputRegressed bool
+}
+
+// Compare diffs two reports row by row. Rows are matched on
+// (experiment, bench, config); a row that disappeared counts as a
+// regression (the gate must not pass because coverage silently shrank).
+func Compare(old, new *Report, opts CompareOptions) *Comparison {
+	if opts.IPCTolPct <= 0 {
+		opts.IPCTolPct = DefaultCompareOptions().IPCTolPct
+	}
+	if opts.ThroughputTolPct <= 0 {
+		opts.ThroughputTolPct = DefaultCompareOptions().ThroughputTolPct
+	}
+	c := &Comparison{Opts: opts}
+
+	type key struct{ exp, bench, cfg string }
+	newRows := map[key]Row{}
+	newSeen := map[key]bool{}
+	for _, e := range new.Experiments {
+		for _, r := range e.Rows {
+			newRows[key{e.ID, r.Bench, r.Config}] = r
+		}
+	}
+	for _, e := range old.Experiments {
+		for _, r := range e.Rows {
+			k := key{e.ID, r.Bench, r.Config}
+			d := RowDelta{Experiment: e.ID, Bench: r.Bench, Config: r.Config, OldIPC: r.IPC}
+			nr, ok := newRows[k]
+			if !ok {
+				d.Status = "MISSING"
+				c.Missing++
+				c.Rows = append(c.Rows, d)
+				continue
+			}
+			newSeen[k] = true
+			d.NewIPC = nr.IPC
+			if r.IPC != 0 {
+				d.DeltaPct = 100 * (nr.IPC - r.IPC) / r.IPC
+			}
+			switch {
+			case d.DeltaPct < -opts.IPCTolPct:
+				d.Status = "REGRESSION"
+				c.Regressions++
+			case d.DeltaPct > opts.IPCTolPct:
+				d.Status = "improvement"
+				c.Improvements++
+			default:
+				d.Status = "ok"
+			}
+			c.Compared++
+			c.Rows = append(c.Rows, d)
+		}
+	}
+	c.Added = len(newRows) - len(newSeen)
+	sort.Slice(c.Rows, func(i, j int) bool {
+		a, b := c.Rows[i], c.Rows[j]
+		if a.Experiment != b.Experiment {
+			return a.Experiment < b.Experiment
+		}
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		return a.Config < b.Config
+	})
+
+	c.OldSimsPerSec = old.SimsPerSec
+	c.NewSimsPerSec = new.SimsPerSec
+	if old.SimsPerSec > 0 && new.SimsPerSec > 0 {
+		c.ThroughputDeltaPct = 100 * (new.SimsPerSec - old.SimsPerSec) / old.SimsPerSec
+		c.ThroughputRegressed = c.ThroughputDeltaPct < -opts.ThroughputTolPct
+	}
+	return c
+}
+
+// Regressed reports whether the gate should fail: any IPC regression,
+// missing coverage, or a host-throughput collapse beyond tolerance.
+func (c *Comparison) Regressed() bool {
+	return c.Regressions > 0 || c.Missing > 0 || c.ThroughputRegressed
+}
+
+// ExitCode maps the comparison to a process exit code: 0 = pass
+// (improvements included), 1 = regression.
+func (c *Comparison) ExitCode() int {
+	if c.Regressed() {
+		return 1
+	}
+	return 0
+}
+
+// Table renders a readable diff: every row whose status is not "ok" (or
+// every row, when 20 or fewer were compared), then the summary.
+func (c *Comparison) Table() string {
+	t := stats.NewTable(
+		fmt.Sprintf("Benchmark comparison (IPC tolerance %.2f%%)", c.Opts.IPCTolPct),
+		"Experiment", "Benchmark", "Config", "old IPC", "new IPC", "delta", "status")
+	shown := 0
+	for _, d := range c.Rows {
+		if d.Status == "ok" && len(c.Rows) > 20 {
+			continue
+		}
+		newIPC := fmt.Sprintf("%.4f", d.NewIPC)
+		delta := fmt.Sprintf("%+.2f%%", d.DeltaPct)
+		if d.Status == "MISSING" {
+			newIPC, delta = "-", "-"
+		}
+		t.AddRow(d.Experiment, d.Bench, d.Config,
+			fmt.Sprintf("%.4f", d.OldIPC), newIPC, delta, d.Status)
+		shown++
+	}
+	var b strings.Builder
+	if shown > 0 {
+		b.WriteString(t.String())
+	}
+	fmt.Fprintf(&b, "%d rows compared: %d ok, %d improved, %d regressed",
+		c.Compared, c.Compared-c.Regressions-c.Improvements, c.Improvements, c.Regressions)
+	if c.Missing > 0 {
+		fmt.Fprintf(&b, ", %d MISSING from new report", c.Missing)
+	}
+	if c.Added > 0 {
+		fmt.Fprintf(&b, ", %d new rows not in old report", c.Added)
+	}
+	b.WriteByte('\n')
+	if c.OldSimsPerSec > 0 && c.NewSimsPerSec > 0 {
+		status := "ok"
+		if c.ThroughputRegressed {
+			status = "REGRESSION"
+		}
+		fmt.Fprintf(&b, "host throughput: %.2f -> %.2f sims/s (%+.1f%%, tolerance %.0f%%) %s\n",
+			c.OldSimsPerSec, c.NewSimsPerSec, c.ThroughputDeltaPct, c.Opts.ThroughputTolPct, status)
+	}
+	if c.Regressed() {
+		b.WriteString("RESULT: REGRESSION\n")
+	} else {
+		b.WriteString("RESULT: PASS\n")
+	}
+	return b.String()
+}

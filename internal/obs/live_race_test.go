@@ -1,0 +1,137 @@
+package obs_test
+
+// Live-scrape test: runs real simulations with telemetry attached while a
+// client hammers /metrics and /status. Run under -race this doubles as the
+// data-race check on the whole exposition path (external test package so it
+// can import the root pfe package without a cycle).
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/obs"
+)
+
+var promLine = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+))$`)
+
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+func TestLiveScrapeDuringSimulation(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := obs.NewSimCounters(reg)
+	tr := obs.NewTracker(reg)
+	srv := httptest.NewServer(obs.NewMux(reg, tr))
+	defer srv.Close()
+
+	opts := pfe.RunOptions{WarmupInsts: 5_000, MeasureInsts: 20_000, Obs: sc, SelfProfile: true}
+
+	// Scrape continuously while simulations run.
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/metrics")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				resp, err = http.Get(srv.URL + "/status")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	tr.StartExperiment("race", "race smoke")
+	tr.AddPlanned("race", 2)
+	var sims sync.WaitGroup
+	for _, fe := range []pfe.FrontEnd{pfe.PR2x8w, pfe.W16} {
+		sims.Add(1)
+		go func(fe pfe.FrontEnd) {
+			defer sims.Done()
+			start := time.Now()
+			r, err := pfe.Run("gcc", pfe.Preset(fe), opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tr.SimDone("race", r.IPC, time.Since(start))
+		}(fe)
+	}
+	sims.Wait()
+	tr.FinishExperiment("race")
+	close(stop)
+	scrapers.Wait()
+
+	// Final /metrics scrape: well-formed and carrying real values.
+	body := scrape(t, srv.URL+"/metrics")
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("line %d is not valid Prometheus text: %q", i+1, line)
+		}
+	}
+	for _, want := range []string{
+		"pfe_running_ipc ",
+		`pfe_stage_seconds_total{stage="fetch"}`,
+		`pfe_stage_seconds_total{stage="rename_phase1"}`,
+		"pfe_sim_duration_seconds_bucket",
+		`pfe_experiment_sims_completed{experiment="race"} 2`,
+		"pfe_sims_completed_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if sc.Cycles.Value() == 0 || sc.Committed.Value() == 0 {
+		t.Errorf("counters not fed: cycles=%d committed=%d", sc.Cycles.Value(), sc.Committed.Value())
+	}
+	if ipc := sc.RunningIPC(); ipc <= 0 {
+		t.Errorf("RunningIPC = %v, want > 0", ipc)
+	}
+	// SelfProfile merges each run's samples into the shared profiler.
+	if fetch := sc.Prof.StageSeconds(obs.StageFetch); fetch <= 0 {
+		t.Errorf("no fetch stage time attributed: %v", fetch)
+	}
+
+	// /status decodes into the documented shape.
+	var st obs.Status
+	if err := json.Unmarshal([]byte(scrape(t, srv.URL+"/status")), &st); err != nil {
+		t.Fatalf("/status is not valid JSON: %v", err)
+	}
+	if len(st.Experiments) != 1 || st.Experiments[0].CompletedSims != 2 || st.Experiments[0].Running {
+		t.Errorf("/status = %+v, want one finished experiment with 2 sims", st.Experiments)
+	}
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchemaVersion is the benchmark-report JSON schema version. Readers reject
+// any other version: the report is a provenance record, and silently
+// reinterpreting fields across schema changes would corrupt the perf
+// trajectory it exists to protect.
+const SchemaVersion = 1
+
+// Provenance records where a benchmark run came from.
+type Provenance struct {
+	GitSHA      string `json:"git_sha"`
+	GitModified bool   `json:"git_modified,omitempty"`
+	GoVersion   string `json:"go_version"`
+	OS          string `json:"os"`
+	Arch        string `json:"arch"`
+	NumCPU      int    `json:"num_cpu"`
+	Hostname    string `json:"hostname,omitempty"`
+}
+
+// CollectProvenance fills a Provenance from the running binary: the git SHA
+// comes from debug.ReadBuildInfo's VCS stamp (set by `go build` inside a
+// git work tree), falling back to $PFE_GIT_SHA, then "unknown".
+func CollectProvenance() Provenance {
+	p := Provenance{
+		GitSHA:    "unknown",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		p.Hostname = h
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				p.GitSHA = s.Value
+			case "vcs.modified":
+				p.GitModified = s.Value == "true"
+			}
+		}
+	}
+	if p.GitSHA == "unknown" {
+		if v := os.Getenv("PFE_GIT_SHA"); v != "" {
+			p.GitSHA = v
+		}
+	}
+	return p
+}
+
+// RunSpec records the options a benchmark run was invoked with.
+type RunSpec struct {
+	WarmupInsts  int64    `json:"warmup_insts"`
+	MeasureInsts int64    `json:"measure_insts"`
+	Benchmarks   []string `json:"benchmarks,omitempty"`
+	Workers      int      `json:"workers,omitempty"`
+	Experiments  []string `json:"experiments"`
+}
+
+// Row is one simulation's metrics inside a report: every per-benchmark
+// number the comparator can gate on.
+type Row struct {
+	Bench  string `json:"bench"`
+	Config string `json:"config"`
+
+	IPC              float64 `json:"ipc"`
+	FetchRate        float64 `json:"fetch_rate"`
+	RenameRate       float64 `json:"rename_rate"`
+	FetchSlotUtil    float64 `json:"fetch_slot_util"`
+	FragPredAccuracy float64 `json:"frag_pred_accuracy"`
+	TCHitRate        float64 `json:"tc_hit_rate,omitempty"`
+	L1IMissRate      float64 `json:"l1i_miss_rate"`
+	L1DMissRate      float64 `json:"l1d_miss_rate"`
+	BufferReuseRate  float64 `json:"buffer_reuse_rate,omitempty"`
+
+	Cycles    uint64 `json:"cycles"`
+	Committed int64  `json:"committed"`
+}
+
+// ExperimentReport is one experiment's slice of a report.
+type ExperimentReport struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Sims        int     `json:"sims"`
+	SimsPerSec  float64 `json:"sims_per_sec,omitempty"`
+	Rows        []Row   `json:"rows,omitempty"`
+}
+
+// Report is the versioned machine-readable record of one pfe-bench run —
+// the artifact behind `pfe-bench -json`, the BENCH_*.json trajectory and
+// the `-compare` regression gate.
+type Report struct {
+	SchemaVersion int        `json:"schema_version"`
+	CreatedAt     string     `json:"created_at"`
+	Tool          string     `json:"tool"`
+	Provenance    Provenance `json:"provenance"`
+	Options       RunSpec    `json:"options"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	TotalSims   int     `json:"total_sims"`
+	SimsPerSec  float64 `json:"sims_per_sec,omitempty"`
+
+	// StageSeconds is the aggregate simulator self-profile (present only
+	// when runs were profiled).
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// EncodeReport writes r as indented JSON.
+func EncodeReport(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport reads a report, rejecting schema-version mismatches.
+func DecodeReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("obs: decoding report: %w", err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("obs: report schema version %d, this binary reads only version %d",
+			rep.SchemaVersion, SchemaVersion)
+	}
+	return &rep, nil
+}
+
+// WriteReportFile writes r to path.
+func WriteReportFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := EncodeReport(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReportFile reads and validates a report from path.
+func ReadReportFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := DecodeReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// ReportBuilder accumulates a Report while experiments run; AddRow and
+// AddStageSeconds are safe to call from concurrent simulation workers.
+type ReportBuilder struct {
+	mu     sync.Mutex
+	rep    Report
+	order  []string
+	byID   map[string]*ExperimentReport
+	stages map[string]float64
+}
+
+// NewReportBuilder stamps provenance and options for a new report.
+func NewReportBuilder(tool string, spec RunSpec) *ReportBuilder {
+	return &ReportBuilder{
+		rep: Report{
+			SchemaVersion: SchemaVersion,
+			CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+			Tool:          tool,
+			Provenance:    CollectProvenance(),
+			Options:       spec,
+		},
+		byID: map[string]*ExperimentReport{},
+	}
+}
+
+// StartExperiment adds an experiment section.
+func (b *ReportBuilder) StartExperiment(id, title string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.byID[id] != nil {
+		return
+	}
+	b.byID[id] = &ExperimentReport{ID: id, Title: title}
+	b.order = append(b.order, id)
+}
+
+// AddRow appends one simulation's metrics to an experiment.
+func (b *ReportBuilder) AddRow(id string, row Row) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.byID[id]; e != nil {
+		e.Rows = append(e.Rows, row)
+		e.Sims++
+	}
+}
+
+// AddStageSeconds merges one run's self-profile into the aggregate.
+func (b *ReportBuilder) AddStageSeconds(sec map[string]float64) {
+	if len(sec) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stages == nil {
+		b.stages = map[string]float64{}
+	}
+	for k, v := range sec {
+		b.stages[k] += v
+	}
+}
+
+// FinishExperiment records an experiment's wall time.
+func (b *ReportBuilder) FinishExperiment(id string, wall time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.byID[id]; e != nil {
+		e.WallSeconds = wall.Seconds()
+		if e.WallSeconds > 0 {
+			e.SimsPerSec = float64(e.Sims) / e.WallSeconds
+		}
+	}
+}
+
+// Finalize sorts rows deterministically, fills the totals and returns the
+// report. The builder must not be used afterwards.
+func (b *ReportBuilder) Finalize(totalWall time.Duration) *Report {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, id := range b.order {
+		e := b.byID[id]
+		sort.Slice(e.Rows, func(x, y int) bool {
+			if e.Rows[x].Bench != e.Rows[y].Bench {
+				return e.Rows[x].Bench < e.Rows[y].Bench
+			}
+			return e.Rows[x].Config < e.Rows[y].Config
+		})
+		total += e.Sims
+		b.rep.Experiments = append(b.rep.Experiments, *e)
+	}
+	b.rep.TotalSims = total
+	b.rep.WallSeconds = totalWall.Seconds()
+	if b.rep.WallSeconds > 0 {
+		b.rep.SimsPerSec = float64(total) / b.rep.WallSeconds
+	}
+	b.rep.StageSeconds = b.stages
+	return &b.rep
+}

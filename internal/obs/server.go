@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the telemetry HTTP handler:
+//
+//	/metrics        Prometheus text exposition of reg (404 when reg is nil)
+//	/status         JSON experiment progress + ETA from tr (404 when nil)
+//	/debug/pprof/*  the standard runtime profiles (CPU, heap, goroutine, ...)
+func NewMux(reg *Registry, tr *Tracker) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+	}
+	if tr != nil {
+		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(tr.Status())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry server on addr (e.g. ":6060") in a background
+// goroutine and returns the server plus the bound address. Callers should
+// Close the returned server when done.
+func Serve(addr string, reg *Registry, tr *Tracker) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg, tr)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+// SimCounters is the live telemetry a running simulation feeds: aggregate
+// counters shared by every concurrent simulation in the process, flushed in
+// batches from the cycle loop (see internal/sim). All fields are safe for
+// concurrent use; a nil *SimCounters disables the whole path for the cost
+// of one branch per cycle.
+type SimCounters struct {
+	// Cycles and Committed accumulate across all runs (warmup included);
+	// their ratio is the running aggregate IPC exposed as pfe_running_ipc.
+	Cycles    *Counter
+	Committed *Counter
+
+	// Squashes counts squash events (branch mispredict + live-out).
+	Squashes *Counter
+
+	// Redirects counts front-end redirects taken.
+	Redirects *Counter
+
+	// SimsStarted and SimsCompleted count whole simulations.
+	SimsStarted   *Counter
+	SimsCompleted *Counter
+
+	// Prof attributes the simulator's own wall time per pipeline stage;
+	// shared by every simulation that runs with these counters attached.
+	Prof *StageProf
+}
+
+// RunningIPC returns aggregate committed instructions per simulated cycle
+// across every run so far (0 before the first flush).
+func (s *SimCounters) RunningIPC() float64 {
+	cyc := s.Cycles.Value()
+	if cyc == 0 {
+		return 0
+	}
+	return float64(s.Committed.Value()) / float64(cyc)
+}
+
+// NewSimCounters builds the standard simulation telemetry set, registering
+// it on r when r is non-nil:
+//
+//	pfe_cycles_total, pfe_committed_instructions_total, pfe_squashes_total,
+//	pfe_redirects_total, pfe_sims_started_total, pfe_sims_completed_total,
+//	pfe_running_ipc, pfe_stage_seconds_total{stage=...}
+func NewSimCounters(r *Registry) *SimCounters {
+	s := &SimCounters{Prof: NewStageProf(0)}
+	if r == nil {
+		s.Cycles = NewCounter()
+		s.Committed = NewCounter()
+		s.Squashes = NewCounter()
+		s.Redirects = NewCounter()
+		s.SimsStarted = NewCounter()
+		s.SimsCompleted = NewCounter()
+		return s
+	}
+	s.Cycles = r.Counter("pfe_cycles_total", "Simulated cycles across all runs (warmup included).")
+	s.Committed = r.Counter("pfe_committed_instructions_total", "Committed instructions across all runs (warmup included).")
+	s.Squashes = r.Counter("pfe_squashes_total", "Squash events across all runs (branch mispredict and live-out mispredict).")
+	s.Redirects = r.Counter("pfe_redirects_total", "Front-end redirects taken across all runs.")
+	s.SimsStarted = r.Counter("pfe_sims_started_total", "Simulations started.")
+	s.SimsCompleted = r.Counter("pfe_sims_completed_total", "Simulations completed.")
+	r.GaugeFunc("pfe_running_ipc", "Aggregate committed instructions per simulated cycle across all runs.", s.RunningIPC)
+	for _, st := range Stages() {
+		st := st
+		r.CounterFunc("pfe_stage_seconds_total",
+			"Estimated simulator wall time attributed to each pipeline stage (sampled; rename_phase1/2 are a sub-breakdown of rename).",
+			func() float64 { return s.Prof.StageSeconds(st) },
+			"stage", st.String())
+	}
+	return s
+}

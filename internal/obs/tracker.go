@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracker follows experiment progress: how many simulations each experiment
+// will run, how many have completed, throughput and ETA. The same data
+// backs the pfe-bench stderr progress lines and the HTTP /status endpoint.
+// All methods are safe for concurrent use.
+type Tracker struct {
+	mu        sync.Mutex
+	startedAt time.Time
+	order     []string
+	exps      map[string]*expState
+
+	logW     io.Writer
+	logEvery time.Duration
+	lastLog  time.Time
+
+	// Registered metrics (nil without a registry).
+	reg     *Registry
+	durHist *Histogram
+	ipcHist *Histogram
+}
+
+type expState struct {
+	id, title string
+	planned   int
+	completed int
+	startedAt time.Time
+	running   bool
+	wall      time.Duration
+
+	plannedG, completedG *Gauge
+}
+
+// NewTracker returns a tracker; when r is non-nil, per-experiment progress
+// gauges (pfe_experiment_sims_planned/completed{experiment=...}) and the
+// per-simulation duration and IPC histograms (pfe_sim_duration_seconds,
+// pfe_sim_ipc) are registered on it.
+func NewTracker(r *Registry) *Tracker {
+	t := &Tracker{startedAt: time.Now(), exps: map[string]*expState{}, reg: r}
+	if r != nil {
+		t.durHist = r.Histogram("pfe_sim_duration_seconds",
+			"Wall time of each completed simulation.",
+			[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60})
+		t.ipcHist = r.Histogram("pfe_sim_ipc",
+			"Measured IPC of each completed simulation.",
+			[]float64{1, 2, 3, 4, 5, 6, 8, 10})
+	}
+	return t
+}
+
+// SetLog makes the tracker print one-line progress updates to w on
+// simulation completions, at most once per minInterval (the final
+// completion of an experiment always prints).
+func (t *Tracker) SetLog(w io.Writer, minInterval time.Duration) {
+	t.mu.Lock()
+	t.logW = w
+	t.logEvery = minInterval
+	t.mu.Unlock()
+}
+
+// StartExperiment begins tracking an experiment.
+func (t *Tracker) StartExperiment(id, title string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.exps[id]
+	if e == nil {
+		e = &expState{id: id, title: title}
+		t.exps[id] = e
+		t.order = append(t.order, id)
+		if t.reg != nil {
+			e.plannedG = t.reg.Gauge("pfe_experiment_sims_planned",
+				"Simulations planned per experiment.", "experiment", id)
+			e.completedG = t.reg.Gauge("pfe_experiment_sims_completed",
+				"Simulations completed per experiment.", "experiment", id)
+		}
+	}
+	e.startedAt = time.Now()
+	e.running = true
+}
+
+// AddPlanned adds n simulations to an experiment's expected total (an
+// experiment may plan cells in several batches).
+func (t *Tracker) AddPlanned(id string, n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.exps[id]; e != nil {
+		e.planned += n
+		if e.plannedG != nil {
+			e.plannedG.Set(float64(e.planned))
+		}
+	}
+}
+
+// SimDone records one completed simulation (with its measured IPC and wall
+// time) and emits a throttled progress line when a log writer is attached.
+func (t *Tracker) SimDone(id string, ipc float64, wall time.Duration) {
+	if t.durHist != nil {
+		t.durHist.Observe(wall.Seconds())
+		t.ipcHist.Observe(ipc)
+	}
+	t.mu.Lock()
+	e := t.exps[id]
+	if e == nil {
+		t.mu.Unlock()
+		return
+	}
+	e.completed++
+	if e.completedG != nil {
+		e.completedG.Set(float64(e.completed))
+	}
+	line := ""
+	if t.logW != nil && (e.completed == e.planned || time.Since(t.lastLog) >= t.logEvery) {
+		line = progressLine(e)
+		t.lastLog = time.Now()
+	}
+	w := t.logW
+	t.mu.Unlock()
+	if line != "" {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// FinishExperiment marks an experiment done.
+func (t *Tracker) FinishExperiment(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.exps[id]; e != nil && e.running {
+		e.running = false
+		e.wall = time.Since(e.startedAt)
+	}
+}
+
+func progressLine(e *expState) string {
+	elapsed := time.Since(e.startedAt)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(e.completed) / s
+	}
+	pct := 0.0
+	eta := "?"
+	if e.planned > 0 {
+		pct = 100 * float64(e.completed) / float64(e.planned)
+		if rate > 0 {
+			d := time.Duration(float64(e.planned-e.completed) / rate * float64(time.Second))
+			eta = d.Round(time.Second).String()
+		}
+	}
+	return fmt.Sprintf("[%s] %d/%d sims (%.0f%%)  elapsed %s  %.1f sims/s  eta %s",
+		e.id, e.completed, e.planned, pct, elapsed.Round(100*time.Millisecond), rate, eta)
+}
+
+// ExpStatus is one experiment's progress snapshot (the /status JSON shape).
+type ExpStatus struct {
+	ID             string  `json:"id"`
+	Title          string  `json:"title"`
+	PlannedSims    int     `json:"planned_sims"`
+	CompletedSims  int     `json:"completed_sims"`
+	Running        bool    `json:"running"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	SimsPerSec     float64 `json:"sims_per_sec"`
+	ETASeconds     float64 `json:"eta_seconds"`
+}
+
+// Status is the whole process's progress snapshot.
+type Status struct {
+	StartedAt      time.Time   `json:"started_at"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	Experiments    []ExpStatus `json:"experiments"`
+}
+
+// Status snapshots current progress.
+func (t *Tracker) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Status{StartedAt: t.startedAt, ElapsedSeconds: time.Since(t.startedAt).Seconds()}
+	for _, id := range t.order {
+		e := t.exps[id]
+		es := ExpStatus{
+			ID: e.id, Title: e.title,
+			PlannedSims: e.planned, CompletedSims: e.completed,
+			Running: e.running,
+		}
+		elapsed := e.wall
+		if e.running {
+			elapsed = time.Since(e.startedAt)
+		}
+		es.ElapsedSeconds = elapsed.Seconds()
+		if es.ElapsedSeconds > 0 {
+			es.SimsPerSec = float64(e.completed) / es.ElapsedSeconds
+		}
+		if e.running && es.SimsPerSec > 0 && e.planned > e.completed {
+			es.ETASeconds = float64(e.planned-e.completed) / es.SimsPerSec
+		}
+		st.Experiments = append(st.Experiments, es)
+	}
+	return st
+}

@@ -8,12 +8,14 @@ package sim
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/parallel-frontend/pfe/internal/backend"
 	"github.com/parallel-frontend/pfe/internal/bpred"
 	"github.com/parallel-frontend/pfe/internal/core"
 	"github.com/parallel-frontend/pfe/internal/mem"
 	"github.com/parallel-frontend/pfe/internal/metrics"
+	"github.com/parallel-frontend/pfe/internal/obs"
 	"github.com/parallel-frontend/pfe/internal/program"
 	"github.com/parallel-frontend/pfe/internal/trace"
 )
@@ -53,6 +55,20 @@ type Config struct {
 	// measurement starts so warmup observations are excluded; when nil,
 	// Run attaches a fresh one so Result.Pipeline is always populated.
 	Metrics *metrics.Pipeline
+
+	// Obs, if non-nil, receives batched live telemetry (cycles, committed
+	// instructions, squashes, redirects) flushed from the cycle loop every
+	// obsFlushCycles, for /metrics exposition while the run is in flight.
+	// The counters are shared: concurrent runs aggregate into them. A nil
+	// Obs costs one branch per cycle.
+	Obs *obs.SimCounters
+
+	// SelfProfile enables sampled per-stage wall-time attribution of the
+	// simulator itself (fetch / rename / rename phases / backend),
+	// surfaced in Result.StageSeconds and merged into Obs.Prof when Obs
+	// is set. When false but Obs is set, the shared Obs.Prof is fed
+	// directly so /metrics still carries live stage times.
+	SelfProfile bool
 }
 
 // Result is one simulation's measurements (post-warmup).
@@ -80,7 +96,16 @@ type Result struct {
 	// Pipeline holds the measurement-period histograms (fragment length,
 	// buffer residency, squash depth). Always non-nil after Run.
 	Pipeline *metrics.Pipeline
+
+	// StageSeconds is the simulator's own wall time per pipeline stage
+	// (estimated from sampled timers; rename_phase1/2 are a sub-breakdown
+	// of rename). Nil unless Config.SelfProfile was set.
+	StageSeconds map[string]float64
 }
+
+// obsFlushCycles is the live-telemetry batching interval (a power of two;
+// the flush check is a mask test).
+const obsFlushCycles = 1024
 
 // Run executes the benchmark p under cfg.
 func Run(p *program.Program, cfg Config) (*Result, error) {
@@ -95,8 +120,19 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	if met == nil {
 		met = metrics.NewPipeline()
 	}
+	// A dedicated profiler gives this run its own attribution (merged
+	// into the shared one afterwards); otherwise the shared profiler is
+	// fed directly so live /metrics still sees stage times.
+	var prof *obs.StageProf
+	switch {
+	case cfg.SelfProfile:
+		prof = obs.NewStageProf(0)
+	case cfg.Obs != nil:
+		prof = cfg.Obs.Prof
+	}
 	cfg.FrontEnd.Sink = cfg.Events
 	cfg.FrontEnd.Metrics = met
+	cfg.FrontEnd.Prof = prof
 
 	hier := mem.NewHierarchy(cfg.Mem)
 	pred := bpred.New(cfg.FrontEnd.Predictor)
@@ -119,12 +155,58 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 	)
 	target := cfg.WarmupInsts + cfg.MeasureInsts
 
+	// Live-telemetry flush state: counters are shared across concurrent
+	// runs, so updates are batched (one set of atomic adds every
+	// obsFlushCycles) instead of per cycle.
+	var flushedCycles uint64
+	var flushedCommitted, flushedSquashes, flushedRedirects int64
+	flush := func(now uint64) {
+		sc := cfg.Obs
+		sc.Cycles.Add(int64(now - flushedCycles))
+		flushedCycles = now
+		c := be.Committed()
+		sc.Committed.Add(c - flushedCommitted)
+		flushedCommitted = c
+		// The squash histogram resets when measurement starts; a count
+		// below the last flushed value means "start over", not an
+		// un-squash.
+		sq := met.SquashDepth.Count()
+		if sq < flushedSquashes {
+			flushedSquashes = 0
+		}
+		sc.Squashes.Add(sq - flushedSquashes)
+		flushedSquashes = sq
+		r := fe.Stats().Redirects
+		sc.Redirects.Add(r - flushedRedirects)
+		flushedRedirects = r
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.SimsStarted.Inc()
+	}
+
 	var prevFetched, prevRenamed int64
 	now := uint64(0)
 	for ; now < cfg.MaxCycles; now++ {
-		be.StartCycle(now)
-		fe.Cycle(now)
-		n, res := be.Cycle(now)
+		var n int
+		var res *backend.Resolution
+		if prof.Sampled(now) {
+			// Sampled self-profiling: the back-end's share of this
+			// cycle (the front-end attributes its own halves).
+			tA := time.Now()
+			be.StartCycle(now)
+			tB := time.Now()
+			fe.Cycle(now)
+			tC := time.Now()
+			n, res = be.Cycle(now)
+			prof.Add(obs.StageBackend, tB.Sub(tA)+time.Since(tC))
+		} else {
+			be.StartCycle(now)
+			fe.Cycle(now)
+			n, res = be.Cycle(now)
+		}
+		if cfg.Obs != nil && now&(obsFlushCycles-1) == obsFlushCycles-1 {
+			flush(now)
+		}
 		if n > 0 {
 			lastProgress = now
 		}
@@ -195,11 +277,20 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 				cfg.FrontEnd.Name, p.Name, now, committed, be.DebugHead(), pendDesc, fe.Drained())
 		}
 	}
+	if cfg.Obs != nil {
+		flush(now)
+		if cfg.SelfProfile {
+			cfg.Obs.Prof.Merge(prof)
+		}
+	}
 	if now >= cfg.MaxCycles {
 		return nil, fmt.Errorf("sim: %s/%s exceeded MaxCycles=%d", cfg.FrontEnd.Name, p.Name, cfg.MaxCycles)
 	}
 	if !measuring {
 		return nil, fmt.Errorf("sim: %s/%s finished before warmup completed", cfg.FrontEnd.Name, p.Name)
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.SimsCompleted.Inc()
 	}
 
 	res := &Result{
@@ -224,6 +315,9 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 		res.BufferReuseRate = pool.ReuseRate()
 	}
 	res.Pipeline = met
+	if cfg.SelfProfile {
+		res.StageSeconds = prof.Seconds()
+	}
 	return res, nil
 }
 

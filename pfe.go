@@ -23,6 +23,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/core"
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/mem"
+	"github.com/parallel-frontend/pfe/internal/obs"
 	"github.com/parallel-frontend/pfe/internal/program"
 	"github.com/parallel-frontend/pfe/internal/rename"
 	"github.com/parallel-frontend/pfe/internal/sim"
@@ -201,6 +202,19 @@ type RunOptions struct {
 	// unbounded memory, then trace.WriteChromeTrace / trace.WriteJSONL
 	// to export them. A nil sink costs one pointer check per emit site.
 	Events trace.Sink
+
+	// Obs, if non-nil, receives batched live telemetry while the run is
+	// in flight (cycles, committed instructions, squashes, redirects),
+	// shared with every other run using the same counters — the feed
+	// behind pfe-bench/pfe-sim's -http /metrics endpoint. Nil costs one
+	// branch per cycle.
+	Obs *obs.SimCounters
+
+	// SelfProfile enables sampled wall-time attribution of the simulator
+	// itself (fetch / rename phases / backend), surfaced in
+	// Result.StageSeconds. Off by default; the sampled timers cost a few
+	// time.Now calls per 64 cycles when on.
+	SelfProfile bool
 }
 
 // DefaultRunOptions returns the harness defaults: 100 K instructions of
@@ -252,6 +266,8 @@ func runProgram(p *program.Program, m Machine, opts RunOptions) (*Result, error)
 		Trace:        opts.Trace,
 		TraceCycles:  opts.TraceCycles,
 		Events:       opts.Events,
+		Obs:          opts.Obs,
+		SelfProfile:  opts.SelfProfile,
 	}
 	r, err := sim.Run(p, cfg)
 	if err != nil {

@@ -48,15 +48,32 @@ type Result struct {
 	// Pipeline holds the measurement-period distribution histograms:
 	// fragment length, fragment-buffer residency (cycles between a
 	// fragment entering the queue and finishing rename) and squash depth
-	// (window entries removed per squash). Always non-nil.
+	// (window entries removed per squash). Non-nil on every Result
+	// produced by Run; may be nil on hand-constructed or decoded values,
+	// which the renderers tolerate.
 	Pipeline *metrics.Pipeline
+
+	// StageSeconds is the simulator's own wall time attributed per
+	// pipeline stage (fetch, rename, rename_phase1/2 for parallel
+	// renamers, backend), estimated from sampled timers. Nil unless
+	// RunOptions.SelfProfile was set. rename_phase1/2 are a
+	// sub-breakdown of rename, not additional time.
+	StageSeconds map[string]float64
 }
 
 // Histograms renders the pipeline distributions as printable tables, one
-// per histogram (empty histograms render as a title-only table).
+// per histogram (empty histograms render as a title-only table). A Result
+// without pipeline histograms — hand-constructed, or decoded from a partial
+// record — renders as the empty string instead of panicking.
 func (r *Result) Histograms() string {
+	if r == nil || r.Pipeline == nil {
+		return ""
+	}
 	s := ""
 	for _, h := range r.Pipeline.All() {
+		if h == nil {
+			continue
+		}
 		s += stats.HistogramTable(h).String() + "\n"
 	}
 	return s
@@ -88,7 +105,8 @@ func newResult(r *sim.Result) *Result {
 
 		Redirects: fe.Redirects,
 
-		Pipeline: r.Pipeline,
+		Pipeline:     r.Pipeline,
+		StageSeconds: r.StageSeconds,
 	}
 	if fe.Renamed > 0 {
 		res.RenamedBeforeSourceFrac = float64(fe.InstrsRenamedBeforeSource) / float64(fe.Renamed)
