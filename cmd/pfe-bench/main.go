@@ -81,9 +81,13 @@ func run() int {
 
 	// Telemetry: the tracker always exists (it backs the progress lines);
 	// the registry, live sim counters and HTTP server are pay-for-use.
+	// -selfprofile needs the shared counters too (per-run profiles merge
+	// into Sim.Prof) so the stage-time summary prints even without -http.
 	var reg *obs.Registry
 	if *httpAddr != "" {
 		reg = obs.NewRegistry()
+	}
+	if *httpAddr != "" || *selfProf {
 		opts.Sim = obs.NewSimCounters(reg)
 	}
 	tracker := obs.NewTracker(reg)

@@ -8,7 +8,8 @@ import (
 	"github.com/parallel-frontend/pfe/internal/stats"
 )
 
-// CompareOptions tunes the regression comparator.
+// CompareOptions tunes the regression comparator. A zero tolerance means
+// exact match; a negative one means "use the default".
 type CompareOptions struct {
 	// IPCTolPct is the per-row IPC tolerance in percent: a row whose IPC
 	// dropped by more than this is a regression. Simulations are
@@ -59,10 +60,12 @@ type Comparison struct {
 // (experiment, bench, config); a row that disappeared counts as a
 // regression (the gate must not pass because coverage silently shrank).
 func Compare(old, new *Report, opts CompareOptions) *Comparison {
-	if opts.IPCTolPct <= 0 {
+	// Zero is a meaningful tolerance (exact match — simulations are
+	// deterministic), so only a negative value means "use the default".
+	if opts.IPCTolPct < 0 {
 		opts.IPCTolPct = DefaultCompareOptions().IPCTolPct
 	}
-	if opts.ThroughputTolPct <= 0 {
+	if opts.ThroughputTolPct < 0 {
 		opts.ThroughputTolPct = DefaultCompareOptions().ThroughputTolPct
 	}
 	c := &Comparison{Opts: opts}
@@ -181,6 +184,9 @@ func (c *Comparison) Table() string {
 		}
 		fmt.Fprintf(&b, "host throughput: %.2f -> %.2f sims/s (%+.1f%%, tolerance %.0f%%) %s\n",
 			c.OldSimsPerSec, c.NewSimsPerSec, c.ThroughputDeltaPct, c.Opts.ThroughputTolPct, status)
+	} else {
+		fmt.Fprintf(&b, "host throughput gate SKIPPED: old %.2f, new %.2f sims/s (a report with zero sims_per_sec cannot be gated)\n",
+			c.OldSimsPerSec, c.NewSimsPerSec)
 	}
 	if c.Regressed() {
 		b.WriteString("RESULT: REGRESSION\n")

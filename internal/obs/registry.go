@@ -165,8 +165,11 @@ func renderLabels(pairs []labelPair, extra ...labelPair) string {
 }
 
 // getSeries returns (creating if needed) the series for name+labels,
-// checking the family's kind and help are consistent.
-func (r *Registry) getSeries(name, help string, kind metricKind, kv []string) *series {
+// checking the family's kind and help are consistent. init runs on the
+// series while the registry lock is still held, so instrument creation is
+// synchronized with concurrent WritePrometheus scrapes and with concurrent
+// registrations of the same metric.
+func (r *Registry) getSeries(name, help string, kind metricKind, kv []string, init func(*series)) *series {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	fam := r.fams[name]
@@ -185,47 +188,51 @@ func (r *Registry) getSeries(name, help string, kind metricKind, kv []string) *s
 		fam.order = append(fam.order, key)
 		sort.Strings(fam.order)
 	}
+	init(s)
 	return s
 }
 
 // Counter registers (or returns the existing) counter name{labels}.
 func (r *Registry) Counter(name, help string, labels ...string) *Counter {
-	s := r.getSeries(name, help, kindCounter, labels)
-	if s.c == nil {
-		s.c = NewCounter()
-	}
+	s := r.getSeries(name, help, kindCounter, labels, func(s *series) {
+		if s.c == nil {
+			s.c = NewCounter()
+		}
+	})
 	return s.c
 }
 
 // Gauge registers (or returns the existing) gauge name{labels}.
 func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
-	s := r.getSeries(name, help, kindGauge, labels)
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
+	s := r.getSeries(name, help, kindGauge, labels, func(s *series) {
+		if s.g == nil {
+			s.g = &Gauge{}
+		}
+	})
 	return s.g
 }
 
 // GaugeFunc registers a gauge computed by f at scrape time. f must be safe
 // for concurrent use.
 func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...string) {
-	r.getSeries(name, help, kindGauge, labels).f = f
+	r.getSeries(name, help, kindGauge, labels, func(s *series) { s.f = f })
 }
 
 // CounterFunc registers a counter-typed metric computed by f at scrape time
 // (for monotonic values accumulated elsewhere, e.g. stage wall time). f
 // must be safe for concurrent use.
 func (r *Registry) CounterFunc(name, help string, f func() float64, labels ...string) {
-	r.getSeries(name, help, kindCounter, labels).f = f
+	r.getSeries(name, help, kindCounter, labels, func(s *series) { s.f = f })
 }
 
 // Histogram registers (or returns the existing) histogram name{labels} with
 // the given upper bounds.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
-	s := r.getSeries(name, help, kindHistogram, labels)
-	if s.h == nil {
-		s.h = NewHistogram(bounds)
-	}
+	s := r.getSeries(name, help, kindHistogram, labels, func(s *series) {
+		if s.h == nil {
+			s.h = NewHistogram(bounds)
+		}
+	})
 	return s.h
 }
 

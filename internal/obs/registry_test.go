@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"io"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -72,6 +74,61 @@ func TestRegistryDedup(t *testing.T) {
 		}
 	}()
 	r.Gauge("x_total", "X.")
+}
+
+// TestRegistryConcurrentRegistration registers metrics from many goroutines
+// while WritePrometheus scrapes continuously, the pattern pfe-bench hits
+// when Tracker.StartExperiment runs with the HTTP server live. Under -race
+// this pins instrument creation being synchronized with exposition, and the
+// counter identity check catches two racing registrations each allocating
+// their own instrument.
+func TestRegistryConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const workers = 8
+	counters := make([]*Counter, workers)
+	var regs sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		regs.Add(1)
+		go func() {
+			defer regs.Done()
+			counters[i] = r.Counter("t_shared_total", "Shared.")
+			counters[i].Inc()
+			r.Gauge("t_worker", "Per-worker.", "w", string(rune('a'+i))).Set(float64(i))
+			r.GaugeFunc("t_worker_func", "Per-worker func.", func() float64 { return float64(i) }, "w", string(rune('a'+i)))
+			r.Histogram("t_worker_seconds", "Per-worker hist.", []float64{1, 10}, "w", string(rune('a'+i))).Observe(float64(i))
+		}()
+	}
+	regs.Wait()
+	close(stop)
+	scrapers.Wait()
+
+	for i := 1; i < workers; i++ {
+		if counters[i] != counters[0] {
+			t.Fatalf("concurrent registrations of t_shared_total returned distinct counters (worker %d)", i)
+		}
+	}
+	if got := counters[0].Value(); got != workers {
+		t.Errorf("t_shared_total = %d, want %d (an increment was lost to a duplicate instrument)", got, workers)
+	}
 }
 
 func TestSimCountersExposition(t *testing.T) {

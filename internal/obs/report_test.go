@@ -129,6 +129,34 @@ func TestCompareMissingRowFails(t *testing.T) {
 	}
 }
 
+func TestCompareZeroToleranceIsExact(t *testing.T) {
+	old := fixtureReport(map[string]float64{"gcc": 1000}, 10)
+	new := fixtureReport(map[string]float64{"gcc": 999.9}, 10) // -0.01%
+	c := Compare(old, new, CompareOptions{IPCTolPct: 0, ThroughputTolPct: 25})
+	if c.Opts.IPCTolPct != 0 {
+		t.Fatalf("explicit zero tolerance coerced to %v", c.Opts.IPCTolPct)
+	}
+	if c.ExitCode() != 1 {
+		t.Errorf("-tol 0 with any IPC drop: exit %d, want 1\n%s", c.ExitCode(), c.Table())
+	}
+	// Negative still means "use the default": -0.01% passes at 0.5%.
+	if c2 := Compare(old, new, CompareOptions{IPCTolPct: -1, ThroughputTolPct: -1}); c2.ExitCode() != 0 {
+		t.Errorf("default tolerance: exit %d, want 0\n%s", c2.ExitCode(), c2.Table())
+	}
+}
+
+func TestCompareNotesSkippedThroughputGate(t *testing.T) {
+	old := fixtureReport(map[string]float64{"gcc": 4.0}, 10)
+	new := fixtureReport(map[string]float64{"gcc": 4.0}, 0) // no sims_per_sec
+	c := Compare(old, new, DefaultCompareOptions())
+	if c.ThroughputRegressed {
+		t.Error("gate cannot judge a zero sims/sec side")
+	}
+	if tbl := c.Table(); !strings.Contains(tbl, "SKIPPED") {
+		t.Errorf("table should note the skipped throughput gate:\n%s", tbl)
+	}
+}
+
 func TestCompareThroughputCollapseFails(t *testing.T) {
 	old := fixtureReport(map[string]float64{"gcc": 4.0}, 10)
 	new := fixtureReport(map[string]float64{"gcc": 4.0}, 5) // -50% sims/sec
