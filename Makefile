@@ -1,9 +1,13 @@
 # Tiered checks for the parallel front-end reproduction.
 #
-#   make test          tier 1: build + full test suite (what CI gates on)
+#   make test          tier 1: build + full test suite (what CI gates on;
+#                      includes the golden determinism suite)
+#   make test-alloc    tier 1.5: allocation guards (zero-alloc cycle loop,
+#                      bounded /metrics scrape) run verbosely on their own
 #   make race          tier 2: vet + race detector over the short suite
 #   make fuzz          tier 3: short-budget fuzz smokes (differential targets)
 #   make bench         front-end comparison benchmarks (no -race)
+#   make bench-stat    benchstat-ready hot-path runs (BENCH_COUNT=10)
 #   make bench-json    provenance-stamped JSON report (BENCH_<sha>.json)
 #   make bench-compare regression gate: OLD=a.json NEW=b.json [TOL=0.5]
 #   make all           tiers 1-3 in order
@@ -17,13 +21,20 @@ BENCH_WARMUP  ?= 20000
 BENCH_MEASURE ?= 60000
 GIT_SHA       := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all test race fuzz bench bench-json bench-compare fmt
+.PHONY: all test test-alloc race fuzz bench bench-stat bench-json bench-compare fmt
 
-all: test race fuzz
+all: test test-alloc race fuzz
 
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Allocation guards, run on their own so a perf PR can iterate on just
+# them: the steady-state cycle loop must not allocate at all, and a
+# /metrics scrape must stay bounded. Both also run as part of `make test`.
+test-alloc:
+	$(GO) test ./internal/sim/ -run TestStepZeroAllocSteadyState -count=1 -v
+	$(GO) test ./internal/pool/ ./internal/obs/ -run 'Alloc|Scrape' -count=1 -v
 
 race:
 	$(GO) vet ./...
@@ -38,6 +49,17 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# bench-stat emits benchstat-ready samples of the hot-path suite (ns/op,
+# allocs/op, ns/sim-cycle per front-end config). Record before and after a
+# perf change, then `benchstat old.txt new.txt`:
+#
+#   make bench-stat > old.txt
+#   ... apply change ...
+#   make bench-stat > new.txt
+BENCH_COUNT ?= 10
+bench-stat:
+	$(GO) test ./internal/sim -run='^$$' -bench BenchmarkHotSim -benchmem -count=$(BENCH_COUNT)
 
 # bench-json records a provenance-stamped machine-readable report for the
 # current commit. It builds a real binary first: `go build` embeds the VCS

@@ -153,6 +153,10 @@ func run() int {
 	if *selfProf && opts.Sim != nil {
 		fmt.Fprintf(os.Stderr, "simulator stage wall time (sampled):\n%s",
 			obs.FormatStageSeconds(opts.Sim.Prof.Seconds()))
+		if gets := opts.Sim.PoolGets.Value(); gets > 0 {
+			fmt.Fprintf(os.Stderr, "simulator object recycling: %.1f%% of %d free-list gets reused (%d heap allocations avoided)\n",
+				100*opts.Sim.PoolReuseRatio(), gets, gets-opts.Sim.PoolMisses.Value())
+		}
 	}
 	return 0
 }
@@ -166,6 +170,22 @@ type cellObserver struct {
 }
 
 func (c *cellObserver) Planned(n int) { c.tracker.AddPlanned(c.id, n) }
+
+// Sharded receives the work-stealing scheduler's per-worker statistics for
+// one completed batch of cells and folds them into the progress tracker
+// (utilization in progress lines and /status) and the JSON report.
+func (c *cellObserver) Sharded(wall time.Duration, stats []experiments.ShardStat) {
+	tasks, stolen, busy := 0, 0, 0.0
+	for _, s := range stats {
+		tasks += s.Ran
+		stolen += s.Stolen
+		busy += s.BusySeconds
+	}
+	c.tracker.ShardingDone(c.id, len(stats), stolen, busy, wall.Seconds())
+	if c.report != nil {
+		c.report.AddScheduler(c.id, len(stats), tasks, stolen, busy)
+	}
+}
 
 func (c *cellObserver) Completed(bench, key string, wall time.Duration, r *pfe.Result) {
 	c.tracker.SimDone(c.id, r.IPC, wall)

@@ -77,7 +77,18 @@ type Backend struct {
 	d   *mem.Cache // L1 data cache (loads/stores go through it)
 
 	window map[uint64]*Op // in-flight ops by seq
-	order  []*Op          // FIFO in seq order (head = oldest)
+
+	// order is the seq-ordered FIFO of in-flight ops. Commit advances head
+	// instead of re-slicing the front (which loses front capacity and
+	// forces periodic reallocation); the vacated prefix is compacted once
+	// it reaches a window's worth of slots, so the backing array's
+	// capacity — and the cycle loop's allocation count — stays constant.
+	order []*Op
+	head  int
+
+	// res is the reused Resolution returned by Cycle; valid until the next
+	// Cycle call (the simulator consumes it within the same cycle).
+	res Resolution
 
 	committed     int64
 	wrongPathExec int64
@@ -126,7 +137,7 @@ func (b *Backend) StartCycle(now uint64) { b.now = now }
 func (b *Backend) SetCommitBarrier(seq uint64) { b.commitBarrier = seq }
 
 // FreeSlots returns how many more ops the window can accept.
-func (b *Backend) FreeSlots() int { return b.cfg.WindowSize - len(b.order) }
+func (b *Backend) FreeSlots() int { return b.cfg.WindowSize - (len(b.order) - b.head) }
 
 // Insert places a renamed op into the window. Caller must respect
 // FreeSlots. Ops must be inserted in non-decreasing Seq order per fragment,
@@ -146,12 +157,12 @@ func (b *Backend) Insert(op *Op) {
 	// Common case: append (mostly ordered input); otherwise insert into
 	// position to maintain seq order.
 	n := len(b.order)
-	if n == 0 || b.order[n-1].Seq < op.Seq {
+	if n == b.head || b.order[n-1].Seq < op.Seq {
 		b.order = append(b.order, op)
 		return
 	}
 	i := n
-	for i > 0 && b.order[i-1].Seq > op.Seq {
+	for i > b.head && b.order[i-1].Seq > op.Seq {
 		i--
 	}
 	b.order = append(b.order, nil)
@@ -181,11 +192,12 @@ type Resolution struct {
 // Cycle advances the back-end by one cycle: select-and-issue oldest-first
 // bounded by FU counts, then commit in order. It returns the number of
 // instructions committed this cycle and the oldest mispredict-point op that
-// completed at or before now (nil if none).
+// completed at or before now (nil if none). The Resolution is reused across
+// cycles: callers must consume it before the next Cycle call.
 func (b *Backend) Cycle(now uint64) (int, *Resolution) {
 	// Issue: oldest-first over unissued ops, bounded per FU class.
 	var used [isa.NumClasses]int
-	for _, op := range b.order {
+	for _, op := range b.order[b.head:] {
 		if op.issued {
 			continue
 		}
@@ -203,17 +215,18 @@ func (b *Backend) Cycle(now uint64) (int, *Resolution) {
 
 	// Find the oldest resolved mispredict point.
 	var res *Resolution
-	for _, op := range b.order {
+	for _, op := range b.order[b.head:] {
 		if op.MispredictPoint && op.issued && op.done <= now {
-			res = &Resolution{Op: op, Cycle: op.done}
+			b.res = Resolution{Op: op, Cycle: op.done}
+			res = &b.res
 			break
 		}
 	}
 
 	// Commit in order.
 	committed := 0
-	for committed < b.cfg.CommitWidth && len(b.order) > 0 {
-		head := b.order[0]
+	for committed < b.cfg.CommitWidth && b.head < len(b.order) {
+		head := b.order[b.head]
 		if head.Seq >= b.commitBarrier {
 			break // an older op has not been renamed yet
 		}
@@ -226,7 +239,8 @@ func (b *Backend) Cycle(now uint64) (int, *Resolution) {
 		if head.MispredictPoint {
 			break
 		}
-		b.order = b.order[1:]
+		b.order[b.head] = nil
+		b.head++
 		delete(b.window, head.Seq)
 		committed++
 		b.committed++
@@ -243,7 +257,30 @@ func (b *Backend) Cycle(now uint64) (int, *Resolution) {
 			b.CommitHook(head)
 		}
 	}
+	b.compact()
 	return committed, res
+}
+
+// compact reclaims the committed prefix of the order FIFO once it reaches a
+// window's worth of slots, keeping the backing array's capacity bounded by
+// ~2x the window (the live span is at most WindowSize ops). Amortized cost
+// is one pointer move per committed op.
+func (b *Backend) compact() {
+	if b.head == len(b.order) {
+		b.order = b.order[:0]
+		b.head = 0
+		return
+	}
+	if b.head < b.cfg.WindowSize {
+		return
+	}
+	n := copy(b.order, b.order[b.head:])
+	clearTail := b.order[n:]
+	for i := range clearTail {
+		clearTail[i] = nil
+	}
+	b.order = b.order[:n]
+	b.head = 0
 }
 
 // issue computes the op's completion time, charging FU latency and, for
@@ -273,12 +310,13 @@ func (b *Backend) ClearMispredictPoint(op *Op) { op.MispredictPoint = false }
 func (b *Backend) SquashFrom(seq uint64) int {
 	n := len(b.order)
 	cut := n
-	for cut > 0 && b.order[cut-1].Seq >= seq {
+	for cut > b.head && b.order[cut-1].Seq >= seq {
 		cut--
 	}
 	squashed := n - cut
-	for _, op := range b.order[cut:] {
-		delete(b.window, op.Seq)
+	for i := cut; i < n; i++ {
+		delete(b.window, b.order[i].Seq)
+		b.order[i] = nil
 	}
 	b.order = b.order[:cut]
 	return squashed
@@ -286,24 +324,24 @@ func (b *Backend) SquashFrom(seq uint64) int {
 
 // DebugHead describes the window head for deadlock diagnostics.
 func (b *Backend) DebugHead() string {
-	if len(b.order) == 0 {
+	if b.head == len(b.order) {
 		return "window empty"
 	}
-	h := b.order[0]
+	h := b.order[b.head]
 	return fmt.Sprintf("head seq=%d pc=%#x op=%v issued=%v done=%d wrong=%v mp=%v nprod=%d prods=%v inflight=%d",
-		h.Seq, h.PC, h.Inst.Op, h.issued, h.done, h.WrongPath, h.MispredictPoint, h.NProd, h.Producers[:h.NProd], len(b.order))
+		h.Seq, h.PC, h.Inst.Op, h.issued, h.done, h.WrongPath, h.MispredictPoint, h.NProd, h.Producers[:h.NProd], b.InFlight())
 }
 
 // OldestSeq returns the seq of the oldest in-flight op (ok=false if empty).
 func (b *Backend) OldestSeq() (uint64, bool) {
-	if len(b.order) == 0 {
+	if b.head == len(b.order) {
 		return 0, false
 	}
-	return b.order[0].Seq, true
+	return b.order[b.head].Seq, true
 }
 
 // InFlight returns the number of ops in the window.
-func (b *Backend) InFlight() int { return len(b.order) }
+func (b *Backend) InFlight() int { return len(b.order) - b.head }
 
 // Committed returns the total instructions committed.
 func (b *Backend) Committed() int64 { return b.committed }

@@ -181,6 +181,18 @@ type fakeBackend struct {
 
 func (f *fakeBackend) FreeSlots() int              { return f.slots - len(f.inserted) }
 func (f *fakeBackend) SetCommitBarrier(seq uint64) {}
+func (f *fakeBackend) OldestSeq() (uint64, bool) {
+	if len(f.inserted) == 0 {
+		return 0, false
+	}
+	oldest := f.inserted[0]
+	for _, s := range f.inserted[1:] {
+		if s < oldest {
+			oldest = s
+		}
+	}
+	return oldest, true
+}
 func (f *fakeBackend) Insert(op *backend.Op) {
 	f.inserted = append(f.inserted, op.Seq)
 }

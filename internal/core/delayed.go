@@ -19,6 +19,10 @@ type delayedRename struct {
 	obs   *observer
 
 	reserved int // window slots reserved for eligible fragments
+
+	// assigned is the per-cycle renamer-assignment scratch, reused across
+	// cycles.
+	assigned []*fragState
 }
 
 func newDelayedRename(n, width int, be Backend, stats *Stats, obs *observer) *delayedRename {
@@ -27,7 +31,7 @@ func newDelayedRename(n, width int, be Backend, stats *Stats, obs *observer) *de
 
 func (dr *delayedRename) redirect() { dr.reserved = 0 }
 
-func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
+func (dr *delayedRename) cycle(now uint64, q *fragQueue) {
 	// Reorder-buffer allocation, in order, one fragment per cycle (the
 	// same §4.2 allocation discipline as the live-out scheme). We borrow
 	// the phase1Done flag to mean "eligible for a renamer".
@@ -49,30 +53,12 @@ func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
 	// produced this cycle become visible to other renamers only next
 	// cycle, modelling the inter-renamer communication latency the paper
 	// calls out.
-	progress := make(map[*fragState]int, q.size())
 	for i := 0; i < q.size(); i++ {
 		fs := q.at(i)
-		progress[fs] = fs.renamed
-	}
-	renamedBefore := func(producerSeq uint64) bool {
-		// A producer outside the queue has long since renamed. Inside
-		// the queue, it must be below its fragment's start-of-cycle
-		// rename point.
-		for i := 0; i < q.size(); i++ {
-			fs := q.at(i)
-			first := fs.firstSeq()
-			if producerSeq < first {
-				continue
-			}
-			if producerSeq >= first+uint64(fs.len()) {
-				continue
-			}
-			return int(producerSeq-first) < progress[fs]
-		}
-		return true
+		fs.renamedAtCycleStart = fs.renamed
 	}
 
-	assigned := make([]*fragState, 0, dr.n)
+	assigned := dr.assigned[:0]
 	for i := 0; i < q.size() && len(assigned) < dr.n; i++ {
 		fs := q.at(i)
 		if !fs.phase1Done || fs.renamed == fs.len() {
@@ -80,8 +66,8 @@ func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
 		}
 		assigned = append(assigned, fs)
 	}
+	dr.assigned = assigned
 
-	var done []*fragState
 	for lane, fs := range assigned {
 		if !fs.firstRead {
 			fs.firstRead = true
@@ -104,7 +90,7 @@ func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
 				if prod >= first {
 					continue // intra-fragment: renamed in order
 				}
-				if !renamedBefore(prod) {
+				if !renamedBefore(q, prod) {
 					blocked = true
 					break
 				}
@@ -122,10 +108,25 @@ func (dr *delayedRename) cycle(now uint64, q *fragQueue) []*fragState {
 			dr.stats.Renamed++
 		}
 		dr.obs.phase2(now, fs, start, fs.renamed-start, lane)
-		if fs.renamed == fs.len() {
-			done = append(done, fs)
-		}
 	}
 	q.removeRenamed()
-	return done
+}
+
+// renamedBefore reports whether the producer of producerSeq had renamed it
+// before this cycle began. A producer outside the queue has long since
+// renamed; inside the queue, it must be below its fragment's start-of-cycle
+// rename point.
+func renamedBefore(q *fragQueue, producerSeq uint64) bool {
+	for i := 0; i < q.size(); i++ {
+		fs := q.at(i)
+		first := fs.firstSeq()
+		if producerSeq < first {
+			continue
+		}
+		if producerSeq >= first+uint64(fs.len()) {
+			continue
+		}
+		return int(producerSeq-first) < fs.renamedAtCycleStart
+	}
+	return true
 }

@@ -3,8 +3,24 @@ package core
 import (
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/pool"
 	"github.com/parallel-frontend/pfe/internal/tcache"
 )
+
+// fsPool recycles fragState entries for one Unit. newFragState performs the
+// full-struct reset (the composite literal zeroes every recycled field), so
+// a reused entry is indistinguishable from a fresh one.
+type fsPool struct{ fl *pool.FreeList[fragState] }
+
+func newFSPool() *fsPool { return &fsPool{fl: pool.NewFreeList[fragState](nil)} }
+
+func (p *fsPool) newFragState(ff *FetchedFrag) *fragState {
+	fs := p.fl.Get()
+	*fs = fragState{ff: ff, effLen: len(ff.Ops)}
+	return fs
+}
+
+func (p *fsPool) recycle(fs *fragState) { p.fl.Put(fs) }
 
 // fetchEngine is the fetch half of a front-end: it pulls fragments from the
 // stream (respecting its own prediction-rate limit), moves their
@@ -73,22 +89,28 @@ type seqFetch struct {
 	stream *Stream
 	stats  *Stats
 	obs    *observer
+	fsp    *fsPool
 	width  int
 	qcap   int // max unrenamed instructions buffered ahead of rename
 
 	stallUntil uint64
 	pending    []*fragState // fragments receiving the in-flight line
 	pendingN   []int
+
+	// taken/takenN are the per-cycle run-building scratch, reused across
+	// cycles (reset to length 0, capacity kept).
+	taken  []*fragState
+	takenN []int
 }
 
-func newSeqFetch(ic *ICache, stream *Stream, stats *Stats, obs *observer, width int) *seqFetch {
-	return &seqFetch{ic: ic, stream: stream, stats: stats, obs: obs, width: width, qcap: 3 * width}
+func newSeqFetch(ic *ICache, stream *Stream, stats *Stats, obs *observer, fsp *fsPool, width int) *seqFetch {
+	return &seqFetch{ic: ic, stream: stream, stats: stats, obs: obs, fsp: fsp, width: width, qcap: 3 * width}
 }
 
 func (sf *seqFetch) redirect() {
 	sf.stallUntil = 0
-	sf.pending = nil
-	sf.pendingN = nil
+	sf.pending = sf.pending[:0]
+	sf.pendingN = sf.pendingN[:0]
 }
 
 // topUp generates fragments until the queue has instructions to fetch or
@@ -99,7 +121,7 @@ func (sf *seqFetch) topUp(q *fragQueue, now uint64) {
 		if err != nil {
 			return
 		}
-		q.push(&fragState{ff: ff, effLen: len(ff.Ops)}, now)
+		q.push(sf.fsp.newFragState(ff), now)
 	}
 }
 
@@ -127,7 +149,8 @@ func (sf *seqFetch) cycle(now uint64, q *fragQueue) {
 			deliver(sf.stats, sf.obs, now, fs, sf.pendingN[i], 0, true)
 		}
 		sf.stallUntil = 0
-		sf.pending, sf.pendingN = nil, nil
+		sf.pending = sf.pending[:0]
+		sf.pendingN = sf.pendingN[:0]
 		return
 	}
 
@@ -146,20 +169,13 @@ func (sf *seqFetch) cycle(now uint64, q *fragQueue) {
 	line := lineOf(startPC)
 	done := sf.ic.L1I.Access(line, false, now)
 
-	var taken []*fragState
-	var takenN []int
+	taken := sf.taken[:0]
+	takenN := sf.takenN[:0]
 	budget := sf.width
 	idx := indexOf(q, fs)
 	cur := fs
 	pos := cur.fetched
 	count := 0
-	flush := func() {
-		if count > 0 {
-			taken = append(taken, cur)
-			takenN = append(takenN, count)
-			count = 0
-		}
-	}
 walk:
 	for budget > 0 {
 		pc := cur.ff.Frag.PCs[pos]
@@ -172,7 +188,9 @@ walk:
 		if pos == cur.len() {
 			// Fragment boundary: continue into the next fragment
 			// only if it is present, unfetched, and sequential.
-			flush()
+			taken = append(taken, cur)
+			takenN = append(takenN, count)
+			count = 0
 			idx++
 			if idx >= q.size() {
 				break walk
@@ -188,18 +206,24 @@ walk:
 			break // taken transfer inside the fragment
 		}
 	}
-	flush()
+	if count > 0 {
+		taken = append(taken, cur)
+		takenN = append(takenN, count)
+	}
 
 	if done <= now+1 {
 		for i, t := range taken {
 			deliver(sf.stats, sf.obs, now, t, takenN[i], 0, true)
 		}
+		sf.taken, sf.takenN = taken, takenN
 		return
 	}
-	// Miss: instructions arrive when the line does.
+	// Miss: instructions arrive when the line does. The built run becomes
+	// the pending delivery; the previous pending backing array (drained)
+	// becomes next cycle's scratch — the two buffers just swap roles.
 	sf.stallUntil = done
-	sf.pending = taken
-	sf.pendingN = takenN
+	sf.pending, sf.taken = taken, sf.pending[:0]
+	sf.pendingN, sf.takenN = takenN, sf.pendingN[:0]
 }
 
 func indexOf(q *fragQueue, fs *fragState) int {
@@ -221,6 +245,7 @@ type tcFetch struct {
 	stream *Stream
 	stats  *Stats
 	obs    *observer
+	fsp    *fsPool
 	width  int
 	qcap   int
 
@@ -229,8 +254,8 @@ type tcFetch struct {
 	pendingN   int
 }
 
-func newTCFetch(ic *ICache, tc *tcache.Cache, stream *Stream, stats *Stats, obs *observer, width int) *tcFetch {
-	return &tcFetch{ic: ic, tc: tc, stream: stream, stats: stats, obs: obs, width: width, qcap: 3 * width}
+func newTCFetch(ic *ICache, tc *tcache.Cache, stream *Stream, stats *Stats, obs *observer, fsp *fsPool, width int) *tcFetch {
+	return &tcFetch{ic: ic, tc: tc, stream: stream, stats: stats, obs: obs, fsp: fsp, width: width, qcap: 3 * width}
 }
 
 func (tf *tcFetch) redirect() {
@@ -252,7 +277,7 @@ func (tf *tcFetch) cycle(now uint64, q *fragQueue) {
 		return
 	}
 	tf.stats.FetchSlots += int64(tf.width)
-	fs := &fragState{ff: ff, effLen: len(ff.Ops)}
+	fs := tf.fsp.newFragState(ff)
 	q.push(fs, now)
 	if _, hit := tf.tc.Lookup(ff.Frag.ID); hit {
 		deliver(tf.stats, tf.obs, now, fs, fs.len(), 0, true)
@@ -315,6 +340,7 @@ type pfFetch struct {
 	stats  *Stats
 	obs    *observer
 	pool   *frag.Pool
+	fsp    *fsPool
 	width  int // per-sequencer width
 
 	seqs []sequencer
@@ -325,6 +351,45 @@ type pfFetch struct {
 	// base design; the "switchonmiss" ablation measures its value.
 	switchOnMiss bool
 	parked       []parkedMiss
+
+	// Per-cycle bank-arbitration scratch, reused across cycles. The
+	// entry counts are tiny (at most sequencers x width distinct lines),
+	// so linear scans replace the per-cycle maps the seed allocated.
+	banks []bankClaim
+	lines []lineFill
+}
+
+// bankClaim records which line a cache bank is serving this cycle.
+type bankClaim struct {
+	bank int
+	line uint64
+}
+
+// lineFill records the completion time of a line already read this cycle.
+type lineFill struct {
+	line uint64
+	done uint64
+}
+
+// lineDone reports whether line was already read this cycle and when it
+// completes.
+func (pf *pfFetch) lineDone(line uint64) (uint64, bool) {
+	for _, lf := range pf.lines {
+		if lf.line == line {
+			return lf.done, true
+		}
+	}
+	return 0, false
+}
+
+// bankLine reports which line (if any) bank is serving this cycle.
+func (pf *pfFetch) bankLine(bank int) (uint64, bool) {
+	for _, bc := range pf.banks {
+		if bc.bank == bank {
+			return bc.line, true
+		}
+	}
+	return 0, false
 }
 
 // parkedMiss is an outstanding miss whose instructions will arrive at done.
@@ -341,9 +406,9 @@ type sequencer struct {
 	pendingN   int
 }
 
-func newPFFetch(ic *ICache, stream *Stream, stats *Stats, obs *observer, pool *frag.Pool, nseq, width int, switchOnMiss bool) *pfFetch {
+func newPFFetch(ic *ICache, stream *Stream, stats *Stats, obs *observer, pool *frag.Pool, fsp *fsPool, nseq, width int, switchOnMiss bool) *pfFetch {
 	return &pfFetch{
-		ic: ic, stream: stream, stats: stats, obs: obs, pool: pool,
+		ic: ic, stream: stream, stats: stats, obs: obs, pool: pool, fsp: fsp,
 		width: width, seqs: make([]sequencer, nseq),
 		switchOnMiss: switchOnMiss,
 	}
@@ -379,8 +444,8 @@ func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
 	}
 	// One prediction/allocation per cycle, gated on a free buffer.
 	if ff, err := pf.streamNextIfBufferFree(q); err == nil && ff != nil {
-		fs := &fragState{ff: ff, effLen: len(ff.Ops)}
-		buf, reused := pf.pool.Allocate(ff.Frag.ID, ff.Ops[0].Seq, func() *frag.Fragment { return ff.Frag })
+		fs := pf.fsp.newFragState(ff)
+		buf, reused := pf.pool.Allocate(ff.Frag, ff.Ops[0].Seq)
 		fs.buf = buf
 		pf.stats.FragAllocs++
 		q.push(fs, now)
@@ -397,8 +462,8 @@ func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
 	// requesting the SAME line share the bank's read (common when
 	// consecutive fragments abut in straight-line code); different lines
 	// on one bank conflict.
-	bankLine := make(map[int]uint64, len(pf.seqs)*2) // bank -> line served
-	lineDone := make(map[uint64]uint64, len(pf.seqs)*2)
+	pf.banks = pf.banks[:0] // bank -> line served this cycle
+	pf.lines = pf.lines[:0] // line -> completion cycle
 	for i := range pf.seqs {
 		sq := &pf.seqs[i]
 		if sq.fs == nil || sq.fs.complete {
@@ -414,11 +479,17 @@ func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
 			// Miss in progress: the sequencer is waiting and has no
 			// fetch potential this cycle — no slots (§5.1).
 		case sq.stallUntil != 0:
-			// Line arrived: deliver.
+			// Line arrived: deliver. Detach eagerly once the fragment is
+			// complete — rename may pop (and the Unit recycle) a complete
+			// fragState the same cycle, so a sequencer must not keep a
+			// pointer to one past delivery.
 			pf.stats.FetchSlots += int64(pf.width)
 			deliver(pf.stats, pf.obs, now, sq.fs, sq.pendingN, i, true)
 			sq.stallUntil = 0
 			sq.pendingN = 0
+			if sq.fs.complete {
+				sq.fs = nil
+			}
 		default:
 			// The sequencer knows its fragment's instruction
 			// addresses from the prediction, so unlike W16 it does
@@ -436,18 +507,18 @@ func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
 			for n < pf.width && fs.fetched+n < fs.len() {
 				line := lineOf(pcs[fs.fetched+n])
 				bank := pf.ic.IBankOf(line)
-				if d, shared := lineDone[line]; shared {
+				if d, shared := pf.lineDone(line); shared {
 					// Same line already read this cycle: share it.
 					if d > done {
 						done = d
 					}
-				} else if servedLine, used := bankLine[bank]; used && servedLine != line {
+				} else if servedLine, used := pf.bankLine(bank); used && servedLine != line {
 					truncated = true
 					break // different line on a busy bank: conflict
 				} else {
 					d := pf.ic.L1I.Access(line, false, now)
-					bankLine[bank] = line
-					lineDone[line] = d
+					pf.banks = append(pf.banks, bankClaim{bank: bank, line: line})
+					pf.lines = append(pf.lines, lineFill{line: line, done: d})
 					if d > done {
 						done = d
 					}
@@ -463,6 +534,9 @@ func (pf *pfFetch) cycle(now uint64, q *fragQueue) {
 			}
 			if done <= now+1 {
 				deliver(pf.stats, pf.obs, now, fs, n, i, true)
+				if fs.complete {
+					sq.fs = nil // eager detach (see the delivery case above)
+				}
 			} else if pf.switchOnMiss {
 				// Park the miss; the fill completes in the
 				// background and the sequencer is free to take a

@@ -7,6 +7,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/backend"
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/pool"
 	"github.com/parallel-frontend/pfe/internal/rename"
 	"github.com/parallel-frontend/pfe/internal/tcache"
 	"github.com/parallel-frontend/pfe/internal/trace"
@@ -21,6 +22,18 @@ type ExecBackend interface {
 	// not yet delivered (^uint64(0) = none outstanding): commit must not
 	// pass an allocated-but-unwritten reorder-buffer slot.
 	SetCommitBarrier(seq uint64)
+	// OldestSeq returns the sequence number of the oldest op still in
+	// the window (ok=false when empty). The front-end uses it to decide
+	// when a renamed fragment's op storage can be recycled.
+	OldestSeq() (uint64, bool)
+}
+
+// retiredFrag is a fully renamed fragment whose op storage is waiting for
+// the back-end to finish with its ops before the FetchedFrag is recycled.
+type retiredFrag struct {
+	ff       *FetchedFrag
+	firstSeq uint64
+	lastSeq  uint64
 }
 
 // Unit is a complete front-end: a fetch engine composed with a rename
@@ -40,6 +53,19 @@ type Unit struct {
 
 	fetchAllowedAt uint64
 	pr             *parallelRename // non-nil when rename is parallel
+
+	fsp *fsPool // recycles fragState entries
+
+	// retireq is the FIFO of fully renamed fragments whose FetchedFrags
+	// (and inline op storage) are still referenced by the back-end window
+	// or the stream's previous-fragment pointer. drainRetired recycles
+	// entries once both references have moved past them.
+	retireq    []retiredFrag
+	retireHead int
+
+	// drops is the per-redirect scratch of fully-younger dropped
+	// fragments, recycled after the engine and stage drop their refs.
+	drops []*fragState
 }
 
 // NewUnit builds the front-end described by cfg over the given stream,
@@ -48,19 +74,19 @@ func NewUnit(cfg Config, stream *Stream, ic *ICache, be ExecBackend) (*Unit, err
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	u := &Unit{cfg: cfg, stream: stream, be: be, prof: cfg.Prof}
+	u := &Unit{cfg: cfg, stream: stream, be: be, prof: cfg.Prof, fsp: newFSPool()}
 	u.obs = observer{sink: cfg.Sink, met: cfg.Metrics}
 	stream.Attach(cfg.Sink, cfg.Metrics)
 
 	switch cfg.Fetch {
 	case FetchSequential:
-		u.engine = newSeqFetch(ic, stream, &u.stats, &u.obs, cfg.FetchWidth)
+		u.engine = newSeqFetch(ic, stream, &u.stats, &u.obs, u.fsp, cfg.FetchWidth)
 	case FetchTraceCache:
 		u.tc = tcache.New(tcache.Config{SizeBytes: cfg.TraceCache, Ways: 2})
-		u.engine = newTCFetch(ic, u.tc, stream, &u.stats, &u.obs, cfg.FetchWidth)
+		u.engine = newTCFetch(ic, u.tc, stream, &u.stats, &u.obs, u.fsp, cfg.FetchWidth)
 	case FetchParallel:
 		u.pool = frag.NewPool(cfg.FragBuffers)
-		u.engine = newPFFetch(ic, stream, &u.stats, &u.obs, u.pool, cfg.Sequencers, cfg.SeqWidth, cfg.SwitchOnMiss)
+		u.engine = newPFFetch(ic, stream, &u.stats, &u.obs, u.pool, u.fsp, cfg.Sequencers, cfg.SeqWidth, cfg.SwitchOnMiss)
 	default:
 		return nil, fmt.Errorf("core: unknown fetch kind %v", cfg.Fetch)
 	}
@@ -130,7 +156,22 @@ func (u *Unit) cycleRename(now uint64) {
 		if fs.buf != nil {
 			u.pool.Release(fs.buf)
 		}
+		// The fragState itself is done — no fetch engine holds a
+		// reference to a complete fragment (sequencers detach eagerly) —
+		// but the FetchedFrag's inline op storage is still live in the
+		// back-end window; park it until the window drains past it. The
+		// first/last range uses the FULL op span (not effLen): a
+		// redirect-truncated fragment's dropped tail ops were squashed,
+		// but the stream's prevLastOp may still point into it.
+		ff := fs.ff
+		u.retireq = append(u.retireq, retiredFrag{
+			ff:       ff,
+			firstSeq: ff.Ops[0].Seq,
+			lastSeq:  ff.Ops[len(ff.Ops)-1].Seq,
+		})
+		u.fsp.recycle(fs)
 	}
+	u.drainRetired()
 	// Live-out misprediction recovery: the rename stage has already reset
 	// every younger fragment's rename progress (§4.3: "on a misprediction,
 	// all future fragments are squashed"); remove their ops from the
@@ -141,6 +182,38 @@ func (u *Unit) cycleRename(now uint64) {
 			u.obs.squash(now, seq, n, trace.CauseLiveOutMispredict)
 			u.pr.recomputeReserved(&u.queue)
 		}
+	}
+}
+
+// drainRetired recycles FetchedFrags whose ops the back-end has finished
+// with. The retire queue is in program order and the blockers (window
+// occupancy, the stream's previous-fragment pointer) only move forward, so
+// the scan stops at the first entry that is still referenced.
+func (u *Unit) drainRetired() {
+	oldest, haveOldest := u.be.OldestSeq()
+	for u.retireHead < len(u.retireq) {
+		rf := u.retireq[u.retireHead]
+		if haveOldest && oldest <= rf.lastSeq {
+			break // an op of this fragment is still in the window
+		}
+		if pl, ok := u.stream.PrevLastSeq(); ok && pl >= rf.firstSeq && pl <= rf.lastSeq {
+			break // the stream still reads this fragment's last op
+		}
+		u.stream.RecycleFrag(rf.ff)
+		u.retireq[u.retireHead] = retiredFrag{}
+		u.retireHead++
+	}
+	if u.retireHead == len(u.retireq) {
+		u.retireq = u.retireq[:0]
+		u.retireHead = 0
+	} else if u.retireHead >= 64 {
+		n := copy(u.retireq, u.retireq[u.retireHead:])
+		tail := u.retireq[n:]
+		for i := range tail {
+			tail[i] = retiredFrag{}
+		}
+		u.retireq = u.retireq[:n]
+		u.retireHead = 0
 	}
 }
 
@@ -156,6 +229,7 @@ func (u *Unit) Drained() bool { return u.queue.unrenamedOps() == 0 }
 func (u *Unit) Redirect(now uint64, culpritSeq uint64) {
 	u.stats.Redirects++
 	kept := u.queue.frags[:0]
+	drops := u.drops[:0]
 	for _, fs := range u.queue.frags {
 		first := fs.ff.Ops[0].Seq
 		last := fs.ff.Ops[len(fs.ff.Ops)-1].Seq
@@ -163,7 +237,12 @@ func (u *Unit) Redirect(now uint64, culpritSeq uint64) {
 		case last <= culpritSeq:
 			kept = append(kept, fs)
 		case first > culpritSeq:
-			// Fully younger: dropped. Its buffer is squashed below.
+			// Fully younger: dropped. Its buffer is squashed below; the
+			// fragState and FetchedFrag are recycled once the engine and
+			// stage have dropped their references (the simulator squashed
+			// its ops from the window before calling Redirect, and the
+			// stream cleared its previous-fragment pointer).
+			drops = append(drops, fs)
 		default:
 			// Contains the culprit: truncate to the correct prefix.
 			n := int(culpritSeq-first) + 1
@@ -184,8 +263,22 @@ func (u *Unit) Redirect(now uint64, culpritSeq uint64) {
 	}
 	u.engine.redirect()
 	u.stage.redirect()
+	for i, fs := range drops {
+		u.stream.RecycleFrag(fs.ff)
+		u.fsp.recycle(fs)
+		drops[i] = nil
+	}
+	u.drops = drops[:0]
 	if u.pr != nil {
 		u.pr.recomputeReserved(&u.queue)
 	}
 	u.fetchAllowedAt = now + uint64(u.cfg.RedirectBubble)
+}
+
+// PoolStats aggregates the Unit's free-list traffic: fragState recycling
+// plus the stream's FetchedFrag recycling.
+func (u *Unit) PoolStats() pool.Stats {
+	s := u.fsp.fl.Stats()
+	s.Add(u.stream.PoolStats())
+	return s
 }

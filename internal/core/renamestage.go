@@ -34,6 +34,11 @@ type fragState struct {
 	renamed   int
 	firstRead bool // rename has touched this fragment (for §3.3 stats)
 
+	// renamedAtCycleStart is delayed rename's per-cycle snapshot of
+	// renamed, taken before any renamer advances (inter-renamer mapping
+	// updates become visible only next cycle).
+	renamedAtCycleStart int
+
 	// Parallel rename state.
 	phase1Done bool
 	loPred     rename.LiveOuts
@@ -59,10 +64,10 @@ func (fs *fragState) markFetched(n int) {
 // renameStage is the rename half of a front-end.
 type renameStage interface {
 	// cycle consumes available instructions from the program-ordered
-	// fragment queue, inserting renamed ops into the back-end. It
-	// returns the fragments fully renamed this cycle (for buffer
-	// release and trace-cache fill hooks).
-	cycle(now uint64, queue *fragQueue) []*fragState
+	// fragment queue, inserting renamed ops into the back-end. Fully
+	// renamed fragments land in the queue's popped list, which the
+	// owning Unit drains once per cycle.
+	cycle(now uint64, queue *fragQueue)
 	// redirect clears any in-progress rename state.
 	redirect()
 }
@@ -117,9 +122,11 @@ func (q *fragQueue) removeRenamed() {
 }
 
 // drainPopped returns and clears the fragments popped since the last call.
+// The returned slice aliases the queue's scratch storage and is valid only
+// until the next rename cycle.
 func (q *fragQueue) drainPopped() []*fragState {
 	p := q.popped
-	q.popped = nil
+	q.popped = q.popped[:0]
 	return p
 }
 
@@ -143,9 +150,9 @@ func newSequentialRename(width int, be Backend, stats *Stats, obs *observer) *se
 
 func (sr *sequentialRename) redirect() {}
 
-func (sr *sequentialRename) cycle(now uint64, q *fragQueue) []*fragState {
+func (sr *sequentialRename) cycle(now uint64, q *fragQueue) {
 	if q.empty() {
-		return nil
+		return
 	}
 	fs := q.at(0)
 	if !fs.firstRead {
@@ -183,9 +190,7 @@ func (sr *sequentialRename) cycle(now uint64, q *fragQueue) []*fragState {
 	sr.obs.phase2(now, fs, start, n, 0)
 	if fs.renamed == fs.len() {
 		q.removeRenamed()
-		return []*fragState{fs}
 	}
-	return nil
 }
 
 // parallelRename is the paper's §4 mechanism: phase 1 serial (one fragment
@@ -207,6 +212,10 @@ type parallelRename struct {
 	// returned seq; the front-end polls it after cycle().
 	squashFrom  uint64
 	havePending bool
+
+	// assigned is the per-cycle renamer-assignment scratch, reused across
+	// cycles.
+	assigned []*fragState
 }
 
 func newParallelRename(n, width int, lo *rename.LiveOutPredictor, be Backend, stats *Stats, obs *observer) *parallelRename {
@@ -227,7 +236,7 @@ func (pr *parallelRename) takeSquash() (uint64, bool) {
 	return pr.squashFrom, true
 }
 
-func (pr *parallelRename) cycle(now uint64, q *fragQueue) []*fragState {
+func (pr *parallelRename) cycle(now uint64, q *fragQueue) {
 	// Sampled self-profiling: on sampled cycles the serial allocation
 	// phase and the concurrent renaming phase are timed separately
 	// (their sum is a sub-breakdown of the Unit-level rename time).
@@ -278,7 +287,7 @@ phase2:
 	// Phase 2: the renamers take the oldest phase-1-complete fragments
 	// that still have instructions to rename, one fragment per renamer,
 	// and advance concurrently.
-	assigned := make([]*fragState, 0, pr.n)
+	assigned := pr.assigned[:0]
 	for i := 0; i < q.size() && len(assigned) < pr.n; i++ {
 		fs := q.at(i)
 		if !fs.phase1Done || fs.renamed == fs.len() {
@@ -286,9 +295,9 @@ phase2:
 		}
 		assigned = append(assigned, fs)
 	}
+	pr.assigned = assigned
 
 	oldestUnrenamed, haveOldest := q.oldestUnrenamedSeq()
-	var done []*fragState
 	for lane, fs := range assigned {
 		if !fs.firstRead {
 			fs.firstRead = true
@@ -319,7 +328,6 @@ phase2:
 		}
 		pr.obs.phase2(now, fs, start, n, lane)
 		if fs.renamed == fs.len() {
-			done = append(done, fs)
 			pr.finishFragment(fs, q)
 		}
 	}
@@ -344,7 +352,6 @@ phase2:
 	if profiled {
 		pr.prof.Add(obs.StageRenameP2, time.Since(tP2))
 	}
-	return done
 }
 
 // finishFragment verifies the live-out prediction against the fragment's

@@ -10,6 +10,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/isa"
 	"github.com/parallel-frontend/pfe/internal/metrics"
+	"github.com/parallel-frontend/pfe/internal/pool"
 	"github.com/parallel-frontend/pfe/internal/program"
 	"github.com/parallel-frontend/pfe/internal/trace"
 )
@@ -50,10 +51,24 @@ type Stream struct {
 	prevLastOp *backend.Op    // its final op (retroactive mispredict points)
 
 	pending *Redirect
+	// redFree recycles the consumed Redirect: at most one divergence is
+	// outstanding, and its record is only read in the cycle it resolves,
+	// so the next divergence (created no earlier than the next fetch
+	// cycle) can safely reuse the object.
+	redFree *Redirect
 
 	fragsGenerated int64
 	fragsCorrect   int64
 	doneTrue       bool // true path fully generated (halt fragment emitted)
+
+	// ffPool recycles FetchedFrags (and their inline op storage) once the
+	// owning Unit proves every reference is gone — the cycle loop's biggest
+	// allocation source before pooling. fragMemo caches FromCode results:
+	// Fragments are immutable and FromCode is a pure function of
+	// (program, id), so each distinct fragment is constructed once per
+	// simulation and shared by every subsequent use.
+	ffPool   *pool.FreeList[FetchedFrag]
+	fragMemo map[frag.ID]*frag.Fragment
 
 	// Observability: attached by the owning Unit; now is the current
 	// cycle, advanced by Unit.Cycle via Tick so prediction events carry
@@ -85,6 +100,15 @@ type FetchedFrag struct {
 	// lastWriterAtWrong snapshots the dependence table as of the first
 	// wrong-path instruction, restored on redirect.
 	lastWriterAtWrong [isa.NumRegs]uint64
+
+	// opsStore is the inline backing for Ops: a recycled FetchedFrag
+	// carries its micro-ops with it, so materialize resets ops in place
+	// instead of allocating per instruction. opsPtrs is initialized once
+	// at construction (opsPtrs[i] = &opsStore[i]) and Ops re-sliced from
+	// it per use; the indirection keeps the public []*backend.Op shape the
+	// stages and back-end share.
+	opsStore [frag.AbsMaxLen]backend.Op
+	opsPtrs  [frag.AbsMaxLen]*backend.Op
 }
 
 // ErrNoFragment is returned when the stream cannot produce a fragment this
@@ -97,16 +121,59 @@ var ErrNoFragment = errors.New("core: no fragment available")
 // value selects the paper's fragment selection.
 func NewStream(p *program.Program, pred *bpred.TracePredictor, h frag.Heuristics) *Stream {
 	s := &Stream{
-		prog:    p,
-		mach:    emu.New(p),
-		pred:    pred,
-		heur:    h,
-		nextSeq: 1,
-		onTrue:  true,
+		prog:     p,
+		mach:     emu.New(p),
+		pred:     pred,
+		heur:     h,
+		nextSeq:  1,
+		onTrue:   true,
+		fragMemo: make(map[frag.ID]*frag.Fragment, 256),
 	}
+	s.ffPool = pool.NewFreeList(func() *FetchedFrag {
+		ff := &FetchedFrag{}
+		for i := range ff.opsStore {
+			ff.opsPtrs[i] = &ff.opsStore[i]
+		}
+		return ff
+	})
 	s.refill()
 	return s
 }
+
+// fragFor returns the fragment for id, memoized: FromCode is pure and
+// Fragments are immutable, so one construction per distinct id serves the
+// whole simulation (the trace cache and fragment buffers already share
+// Fragment pointers the same way).
+func (s *Stream) fragFor(id frag.ID) *frag.Fragment {
+	if f, ok := s.fragMemo[id]; ok {
+		return f
+	}
+	f := s.heur.FromCode(s.prog, id)
+	s.fragMemo[id] = f
+	return f
+}
+
+// RecycleFrag returns ff to the stream's free list. The owning Unit calls
+// this once it has proven no reference survives: ff's ops have all left the
+// back-end window and ff is not the stream's divergence bookkeeping target
+// (see PrevLastSeq).
+func (s *Stream) RecycleFrag(ff *FetchedFrag) { s.ffPool.Put(ff) }
+
+// PrevLastSeq returns the sequence number of the last op of the most
+// recently generated fragment (ok=false when none is retained). That op is
+// the one live pointer the stream keeps into previously issued state — a
+// divergence detected at a fragment boundary flags it retroactively as the
+// mispredict point — so its fragment must not be recycled.
+func (s *Stream) PrevLastSeq() (uint64, bool) {
+	if s.prevLastOp == nil {
+		return 0, false
+	}
+	return s.prevLastOp.Seq, true
+}
+
+// PoolStats reports the stream's free-list traffic (fetched-fragment
+// recycling).
+func (s *Stream) PoolStats() pool.Stats { return s.ffPool.Stats() }
 
 // refill extends the oracle lookahead and trims consumed entries.
 func (s *Stream) refill() {
@@ -191,7 +258,7 @@ func (s *Stream) nextTruePath() (*FetchedFrag, error) {
 	if pred.Valid && pred.ID.StartPC == trueStart.PC {
 		id = pred.ID
 	}
-	f := s.heur.FromCode(s.prog, id)
+	f := s.fragFor(id)
 	if f.Len() == 0 {
 		return nil, fmt.Errorf("core: empty fragment at true PC %#x", trueStart.PC)
 	}
@@ -228,7 +295,12 @@ func (s *Stream) nextTruePath() (*FetchedFrag, error) {
 	// Divergence. Instructions [0,m) are correct path and will commit;
 	// the divergence resolves when the culprit executes.
 	s.retireHist.Push(trueID.Key())
-	red := &Redirect{
+	red := s.redFree
+	s.redFree = nil
+	if red == nil {
+		red = new(Redirect)
+	}
+	*red = Redirect{
 		TrueSeq:    s.trueCursor + uint64(m),
 		retireHist: s.retireHist,
 	}
@@ -294,7 +366,7 @@ func (s *Stream) nextWrongPath() (*FetchedFrag, error) {
 	default:
 		return nil, ErrNoFragment
 	}
-	f := s.heur.FromCode(s.prog, id)
+	f := s.fragFor(id)
 	if f.Len() == 0 {
 		return nil, ErrNoFragment
 	}
@@ -333,16 +405,28 @@ func (s *Stream) successorOf(f *frag.Fragment) (uint64, bool) {
 // index of the first wrong-path instruction (0 for fully wrong-path
 // fragments; f.Len() would mean fully correct but callers pass m).
 func (s *Stream) materialize(f *frag.Fragment, wrongFrom int) *FetchedFrag {
-	ff := &FetchedFrag{Frag: f, Ops: make([]*backend.Op, f.Len())}
+	ff := s.ffPool.Get()
+	ff.Frag = f
+	ff.Ops = ff.opsPtrs[:f.Len()]
 	if s.onTrue {
 		ff.WrongFrom = wrongFrom
 	} else {
 		ff.WrongFrom = 0
 	}
+	if ff.WrongFrom >= f.Len() {
+		// The snapshot below is never taken (no wrong-path instruction in
+		// this fragment), but a divergence detected at the fragment
+		// boundary still reads it: clear any recycled contents so the
+		// checkpoint stays the zero value a fresh FetchedFrag carried.
+		ff.lastWriterAtWrong = [isa.NumRegs]uint64{}
+	}
 	// Correct the common caller idiom: nextTruePath passes the matched
 	// prefix length m which may equal f.Len() (fully correct).
 	for i, in := range f.Insts {
-		op := &backend.Op{
+		op := ff.Ops[i]
+		// Full-struct reset: the composite literal zeroes the recycled
+		// op's scheduling state (issued/done), producers and flags.
+		*op = backend.Op{
 			Seq:  s.nextSeq,
 			PC:   f.PCs[i],
 			Inst: in,
@@ -368,7 +452,6 @@ func (s *Stream) materialize(f *frag.Fragment, wrongFrom int) *FetchedFrag {
 				op.EA = d.EA
 			}
 		}
-		ff.Ops[i] = op
 	}
 	if f.Len() > 0 {
 		s.prevFrag = f
@@ -413,5 +496,6 @@ func (s *Stream) ApplyRedirect() *Redirect {
 		s.doneTrue = true
 	}
 	s.refill()
+	s.redFree = red
 	return red
 }

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
@@ -24,6 +23,14 @@ import (
 type Observer interface {
 	Planned(n int)
 	Completed(bench, key string, wall time.Duration, r *pfe.Result)
+}
+
+// ShardObserver is an optional extension of Observer: implementations also
+// receive the work-stealing scheduler's per-worker statistics after each
+// batch of cells completes, along with the batch's wall time.
+type ShardObserver interface {
+	Observer
+	Sharded(wall time.Duration, stats []ShardStat)
 }
 
 // Options bounds experiment runs.
@@ -98,42 +105,41 @@ type cell struct {
 	key     string // caller-defined config key
 }
 
-// runCells executes all cells (concurrently up to Workers) and returns
-// results keyed by (bench, key).
+// runCells executes all cells (across up to Workers work-stealing shards,
+// see runSharded) and returns results keyed by (bench, key). Dispatch is by
+// cell index: workers read the shared cells slice in place and write
+// disjoint outcome slots, so no per-goroutine copy of a cell (or of the run
+// options, which are hoisted and invariant across the batch) is ever made.
 func runCells(o Options, cells []cell) (map[[2]string]*pfe.Result, error) {
 	type outcome struct {
-		c   cell
 		r   *pfe.Result
 		err error
 	}
 	if o.Observer != nil {
 		o.Observer.Planned(len(cells))
 	}
-	results := make(map[[2]string]*pfe.Result, len(cells))
-	sem := make(chan struct{}, o.workers())
-	out := make(chan outcome, len(cells))
-	var wg sync.WaitGroup
-	for _, c := range cells {
-		wg.Add(1)
-		go func(c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			start := time.Now()
-			r, err := pfe.Run(c.bench, c.machine, o.runOpts())
-			if err == nil && o.Observer != nil {
-				o.Observer.Completed(c.bench, c.key, time.Since(start), r)
-			}
-			out <- outcome{c: c, r: r, err: err}
-		}(c)
-	}
-	wg.Wait()
-	close(out)
-	for oc := range out {
-		if oc.err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w", oc.c.key, oc.c.bench, oc.err)
+	ro := o.runOpts()
+	obsv := o.Observer
+	outs := make([]outcome, len(cells))
+	start := time.Now()
+	stats := runSharded(len(cells), o.workers(), func(i int) {
+		c := &cells[i]
+		cellStart := time.Now()
+		r, err := pfe.Run(c.bench, c.machine, ro)
+		if err == nil && obsv != nil {
+			obsv.Completed(c.bench, c.key, time.Since(cellStart), r)
 		}
-		results[[2]string{oc.c.bench, oc.c.key}] = oc.r
+		outs[i] = outcome{r: r, err: err}
+	})
+	if so, ok := obsv.(ShardObserver); ok {
+		so.Sharded(time.Since(start), stats)
+	}
+	results := make(map[[2]string]*pfe.Result, len(cells))
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("experiments: %s/%s: %w", cells[i].key, cells[i].bench, outs[i].err)
+		}
+		results[[2]string{cells[i].bench, cells[i].key}] = outs[i].r
 	}
 	return results, nil
 }

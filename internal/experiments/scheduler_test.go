@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	pfe "github.com/parallel-frontend/pfe"
+)
+
+// TestRunShardedExactlyOnce checks the scheduler's core contract under
+// contention: every task index runs exactly once, whatever the worker
+// count, and the per-shard Ran counts account for all of them. Run with
+// -race this also exercises the deque locking across take/steal/push.
+func TestRunShardedExactlyOnce(t *testing.T) {
+	const n = 5000
+	counts := make([]atomic.Int32, n)
+	for _, workers := range []int{1, 3, 8, 64} {
+		for i := range counts {
+			counts[i].Store(0)
+		}
+		stats := runSharded(n, workers, func(i int) { counts[i].Add(1) })
+		if len(stats) != workers {
+			t.Fatalf("workers=%d: %d shard stats", workers, len(stats))
+		}
+		total := 0
+		for _, s := range stats {
+			total += s.Ran
+		}
+		if total != n {
+			t.Errorf("workers=%d: shards report %d tasks ran, want %d", workers, total, n)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times, want exactly once", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunShardedBounds covers the degenerate shapes: no tasks, more workers
+// than tasks (clamped so no deque starts empty), and non-positive worker
+// counts (clamped to serial).
+func TestRunShardedBounds(t *testing.T) {
+	if stats := runSharded(0, 4, func(int) { t.Error("ran a task of zero") }); stats != nil {
+		t.Errorf("n=0: stats = %v, want nil", stats)
+	}
+	var ran atomic.Int32
+	stats := runSharded(3, 100, func(int) { ran.Add(1) })
+	if len(stats) != 3 || ran.Load() != 3 {
+		t.Errorf("n=3 workers=100: %d shards, %d runs; want 3 and 3", len(stats), ran.Load())
+	}
+	for _, workers := range []int{0, -5} {
+		ran.Store(0)
+		stats := runSharded(4, workers, func(int) { ran.Add(1) })
+		if len(stats) != 1 || stats[0].Ran != 4 || ran.Load() != 4 {
+			t.Errorf("workers=%d: stats %v, %d runs; want one serial shard of 4", workers, stats, ran.Load())
+		}
+	}
+}
+
+// TestRunShardedStealsSkewedWork gives worker 0 a block of slow tasks and
+// worker 1 a block of fast ones: the fast worker must steal from the slow
+// block, and the batch must finish well before the slow block's serial time
+// — the tail-skew bound that fixed fan-out could not provide. Sleeps are
+// reliable lower bounds, so the wall-clock assertion holds even on a noisy
+// host as long as the margin stays generous.
+func TestRunShardedStealsSkewedWork(t *testing.T) {
+	const slow = 25 * time.Millisecond
+	var ran [8]atomic.Int32
+	start := time.Now()
+	stats := runSharded(len(ran), 2, func(i int) {
+		ran[i].Add(1)
+		if i < 4 {
+			time.Sleep(slow) // worker 0's seeded block
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	})
+	elapsed := time.Since(start)
+	for i := range ran {
+		if c := ran[i].Load(); c != 1 {
+			t.Fatalf("task %d ran %d times, want exactly once", i, c)
+		}
+	}
+	stolen := 0
+	for _, s := range stats {
+		stolen += s.Stolen
+	}
+	if stolen == 0 {
+		t.Error("no tasks stolen despite a 25x duration skew between worker blocks")
+	}
+	if serial := 4 * slow; elapsed >= serial {
+		t.Errorf("batch took %v, not faster than the slow block's serial %v: stealing did not shed the skew", elapsed, serial)
+	}
+}
+
+// TestRunCellsMatchesDirectRuns pins runCells' index dispatch: the result
+// stored under each (bench, key) must be identical to running exactly that
+// cell's machine directly with the hoisted run options. This is the
+// regression guard for the old per-goroutine copies of cell and option
+// structs, which could silently drift from the cells slice.
+func TestRunCellsMatchesDirectRuns(t *testing.T) {
+	cells := []cell{
+		{bench: "gzip", machine: pfe.Preset(pfe.W16), key: "W16"},
+		{bench: "gzip", machine: pfe.Preset(pfe.PR2x8w), key: "PR-2x8w"},
+		{bench: "mcf", machine: pfe.Preset(pfe.W16), key: "W16"},
+		{bench: "gcc", machine: pfe.Preset(pfe.PR2x8w), key: "PR-2x8w"},
+	}
+	o := Options{Warmup: 2_000, Measure: 8_000, Workers: len(cells)}
+	got, err := runCells(o, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro := o.runOpts()
+	for _, c := range cells {
+		want, err := pfe.Run(c.bench, c.machine, ro)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", c.bench, c.key, err)
+		}
+		r := got[[2]string{c.bench, c.key}]
+		if r == nil {
+			t.Fatalf("no result for %s/%s", c.bench, c.key)
+		}
+		if r.IPC != want.IPC || r.Cycles != want.Cycles || r.Committed != want.Committed {
+			t.Errorf("%s/%s: sharded run diverged from direct run: IPC %.4f vs %.4f, cycles %d vs %d",
+				c.bench, c.key, r.IPC, want.IPC, r.Cycles, want.Cycles)
+		}
+	}
+}

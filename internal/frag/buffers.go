@@ -72,15 +72,15 @@ func (p *Pool) Size() int { return len(p.bufs) }
 // walk program order).
 func (p *Pool) Buffer(i int) *Buffer { return p.bufs[i] }
 
-// Allocate assigns a free buffer to the fragment built by build (called only
-// if no reusable copy exists). It returns nil if every buffer is in use —
-// the fetch unit stalls. If a released buffer still holds the same fragment
-// ID, that buffer is reused: its instructions are valid immediately and the
-// instruction cache is never consulted.
-func (p *Pool) Allocate(id ID, seq uint64, build func() *Fragment) (b *Buffer, reused bool) {
+// Allocate assigns a free buffer to fragment f. It returns nil if every
+// buffer is in use — the fetch unit stalls. If a released buffer still holds
+// a fragment with the same ID, that buffer is reused: its existing contents
+// are valid immediately and the instruction cache is never consulted (the
+// passed f is ignored — the stale copy is the hardware's).
+func (p *Pool) Allocate(f *Fragment, seq uint64) (b *Buffer, reused bool) {
 	// Reuse scan: any free buffer still holding this fragment.
 	for _, cand := range p.bufs {
-		if !cand.InUse && cand.Frag != nil && cand.Frag.ID == id {
+		if !cand.InUse && cand.Frag != nil && cand.Frag.ID == f.ID {
 			cand.reset(cand.Frag, seq, true)
 			p.allocs++
 			p.reuses++
@@ -95,7 +95,7 @@ func (p *Pool) Allocate(id ID, seq uint64, build func() *Fragment) (b *Buffer, r
 			continue
 		}
 		p.victim = (cand.Index + 1) % n
-		cand.reset(build(), seq, false)
+		cand.reset(f, seq, false)
 		p.allocs++
 		return cand, false
 	}

@@ -25,6 +25,12 @@ const (
 	MaxLen       = 16
 	BranchCutoff = 8
 	MaxBranches  = BranchCutoff + 1
+
+	// AbsMaxLen is the hard upper bound on fragment length for ANY
+	// heuristics: the ID's direction mask has 32 bits, so no selectable
+	// fragment can exceed 32 instructions. Fixed-size per-fragment storage
+	// (e.g. the simulator's recycled op arrays) is sized by this.
+	AbsMaxLen = 32
 )
 
 // Heuristics parameterizes fragment selection (§6: "fragments can be longer
@@ -47,8 +53,8 @@ func (h Heuristics) normalize() Heuristics {
 	if h.MaxLen <= 0 {
 		h.MaxLen = MaxLen
 	}
-	if h.MaxLen > 32 {
-		h.MaxLen = 32
+	if h.MaxLen > AbsMaxLen {
+		h.MaxLen = AbsMaxLen
 	}
 	if h.BranchCutoff <= 0 {
 		h.BranchCutoff = BranchCutoff

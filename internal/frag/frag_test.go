@@ -197,7 +197,7 @@ func averageFragmentSize(t *testing.T, spec program.Spec, maxInsts int) float64 
 func TestPoolReuse(t *testing.T) {
 	pool := NewPool(4)
 	f := &Fragment{ID: ID{StartPC: 0x1000}, PCs: []uint64{0x1000}, Insts: []isa.Inst{{Op: isa.OpAdd, Rd: 1}}}
-	b, reused := pool.Allocate(f.ID, 0, func() *Fragment { return f })
+	b, reused := pool.Allocate(f, 0)
 	if b == nil || reused {
 		t.Fatal("first allocation must be fresh")
 	}
@@ -207,9 +207,15 @@ func TestPoolReuse(t *testing.T) {
 	}
 	pool.Release(b)
 
-	b2, reused := pool.Allocate(f.ID, 1, func() *Fragment { t.Fatal("build called on reuse"); return nil })
+	// Reuse must keep the buffer's stale copy: pass a DIFFERENT Fragment
+	// value with the same ID and verify the original contents survive.
+	f2 := &Fragment{ID: f.ID}
+	b2, reused := pool.Allocate(f2, 1)
 	if b2 != b || !reused {
 		t.Fatal("expected reuse of the same buffer")
+	}
+	if b2.Frag != f {
+		t.Error("reuse must keep the buffer's existing contents, not rebuild")
 	}
 	if !b2.Complete || b2.Fetched != 1 {
 		t.Error("reused buffer must be immediately complete")
@@ -221,36 +227,32 @@ func TestPoolReuse(t *testing.T) {
 
 func TestPoolExhaustion(t *testing.T) {
 	pool := NewPool(2)
-	mk := func(pc uint64) func() *Fragment {
-		return func() *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
-	}
-	a, _ := pool.Allocate(ID{StartPC: 0x100}, 0, mk(0x100))
-	b, _ := pool.Allocate(ID{StartPC: 0x200}, 1, mk(0x200))
+	mk := func(pc uint64) *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
+	a, _ := pool.Allocate(mk(0x100), 0)
+	b, _ := pool.Allocate(mk(0x200), 1)
 	if a == nil || b == nil {
 		t.Fatal("allocations failed")
 	}
-	if c, _ := pool.Allocate(ID{StartPC: 0x300}, 2, mk(0x300)); c != nil {
+	if c, _ := pool.Allocate(mk(0x300), 2); c != nil {
 		t.Fatal("pool should be exhausted")
 	}
 	pool.Release(a)
-	if c, _ := pool.Allocate(ID{StartPC: 0x300}, 2, mk(0x300)); c == nil {
+	if c, _ := pool.Allocate(mk(0x300), 2); c == nil {
 		t.Fatal("allocation should succeed after release")
 	}
 }
 
 func TestPoolSquashDropsContents(t *testing.T) {
 	pool := NewPool(4)
-	mk := func(pc uint64) func() *Fragment {
-		return func() *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
-	}
-	pool.Allocate(ID{StartPC: 0x100}, 10, mk(0x100))
-	pool.Allocate(ID{StartPC: 0x200}, 11, mk(0x200))
+	mk := func(pc uint64) *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
+	pool.Allocate(mk(0x100), 10)
+	pool.Allocate(mk(0x200), 11)
 	pool.SquashYounger(11)
 	if pool.InUseCount() != 1 {
 		t.Errorf("in use = %d, want 1", pool.InUseCount())
 	}
 	// The squashed fragment must not be reusable.
-	b, reused := pool.Allocate(ID{StartPC: 0x200}, 12, mk(0x200))
+	b, reused := pool.Allocate(mk(0x200), 12)
 	if b == nil || reused {
 		t.Error("squashed contents must not satisfy reuse")
 	}
@@ -262,12 +264,10 @@ func TestPoolSquashDropsContents(t *testing.T) {
 
 func TestPoolVictimRoundRobin(t *testing.T) {
 	pool := NewPool(3)
-	mk := func(pc uint64) func() *Fragment {
-		return func() *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
-	}
+	mk := func(pc uint64) *Fragment { return &Fragment{ID: ID{StartPC: pc}} }
 	var seq uint64
 	alloc := func(pc uint64) *Buffer {
-		b, _ := pool.Allocate(ID{StartPC: pc}, seq, mk(pc))
+		b, _ := pool.Allocate(mk(pc), seq)
 		seq++
 		return b
 	}

@@ -90,14 +90,26 @@ type Row struct {
 	Committed int64  `json:"committed"`
 }
 
+// SchedulerReport summarizes how the work-stealing scheduler executed an
+// experiment's simulations: pool size, steal traffic, and how much of the
+// workers' combined wall time was spent running simulations (utilization).
+type SchedulerReport struct {
+	Workers     int     `json:"workers"`
+	Tasks       int     `json:"tasks"`
+	Stolen      int     `json:"stolen"`
+	BusySeconds float64 `json:"busy_seconds"`
+	Utilization float64 `json:"utilization"`
+}
+
 // ExperimentReport is one experiment's slice of a report.
 type ExperimentReport struct {
-	ID          string  `json:"id"`
-	Title       string  `json:"title"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Sims        int     `json:"sims"`
-	SimsPerSec  float64 `json:"sims_per_sec,omitempty"`
-	Rows        []Row   `json:"rows,omitempty"`
+	ID          string           `json:"id"`
+	Title       string           `json:"title"`
+	WallSeconds float64          `json:"wall_seconds"`
+	Sims        int              `json:"sims"`
+	SimsPerSec  float64          `json:"sims_per_sec,omitempty"`
+	Scheduler   *SchedulerReport `json:"scheduler,omitempty"`
+	Rows        []Row            `json:"rows,omitempty"`
 }
 
 // Report is the versioned machine-readable record of one pfe-bench run —
@@ -228,6 +240,27 @@ func (b *ReportBuilder) AddStageSeconds(sec map[string]float64) {
 	}
 }
 
+// AddScheduler merges one batch's work-stealing scheduler statistics into an
+// experiment's report (an experiment may shard cells in several batches:
+// worker counts take the max, the rest accumulate).
+func (b *ReportBuilder) AddScheduler(id string, workers, tasks, stolen int, busySeconds float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.byID[id]
+	if e == nil {
+		return
+	}
+	if e.Scheduler == nil {
+		e.Scheduler = &SchedulerReport{}
+	}
+	if workers > e.Scheduler.Workers {
+		e.Scheduler.Workers = workers
+	}
+	e.Scheduler.Tasks += tasks
+	e.Scheduler.Stolen += stolen
+	e.Scheduler.BusySeconds += busySeconds
+}
+
 // FinishExperiment records an experiment's wall time.
 func (b *ReportBuilder) FinishExperiment(id string, wall time.Duration) {
 	b.mu.Lock()
@@ -236,6 +269,9 @@ func (b *ReportBuilder) FinishExperiment(id string, wall time.Duration) {
 		e.WallSeconds = wall.Seconds()
 		if e.WallSeconds > 0 {
 			e.SimsPerSec = float64(e.Sims) / e.WallSeconds
+		}
+		if s := e.Scheduler; s != nil && s.Workers > 0 && e.WallSeconds > 0 {
+			s.Utilization = s.BusySeconds / (float64(s.Workers) * e.WallSeconds)
 		}
 	}
 }

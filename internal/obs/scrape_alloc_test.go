@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScrapeAllocationGuard bounds the per-scrape cost of the /metrics
+// exposition path: allocations must stay proportional to the number of
+// exposition lines (transient fmt/strconv work), independent of how many
+// scrapes came before or how large the counter values have grown. A leak
+// here would turn a long -http run into steady GC churn for a process whose
+// simulation hot path is otherwise allocation-free.
+func TestScrapeAllocationGuard(t *testing.T) {
+	r := NewRegistry()
+	sc := NewSimCounters(r)
+	tr := NewTracker(r)
+	tr.StartExperiment("fig8", "Figure 8: Performance")
+	tr.AddPlanned("fig8", 100)
+	for i := 0; i < 32; i++ {
+		tr.SimDone("fig8", 3.5, 50*time.Millisecond)
+	}
+	sc.Cycles.Add(1_000_000_000)
+	sc.Committed.Add(3_200_000_000)
+	sc.PoolGets.Add(123_456_789)
+	sc.PoolMisses.Add(789)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	avg := testing.AllocsPerRun(20, func() {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~8 allocations per line is generous for the fmt boxing and float
+	// formatting each line performs; anything beyond it means per-scrape
+	// state is accumulating somewhere.
+	budget := float64(8*lines + 64)
+	if avg > budget {
+		t.Errorf("scrape allocated %.0f objects for %d lines, budget %.0f", avg, lines, budget)
+	}
+}

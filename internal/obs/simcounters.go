@@ -21,6 +21,13 @@ type SimCounters struct {
 	SimsStarted   *Counter
 	SimsCompleted *Counter
 
+	// PoolGets and PoolMisses count the simulator's internal free-list
+	// traffic (fragment/op recycling): a get that found no recycled
+	// object is a miss, so Gets - Misses is the number of allocations
+	// the pools avoided.
+	PoolGets   *Counter
+	PoolMisses *Counter
+
 	// Prof attributes the simulator's own wall time per pipeline stage;
 	// shared by every simulation that runs with these counters attached.
 	Prof *StageProf
@@ -36,11 +43,22 @@ func (s *SimCounters) RunningIPC() float64 {
 	return float64(s.Committed.Value()) / float64(cyc)
 }
 
+// PoolReuseRatio returns the fraction of free-list gets satisfied by a
+// recycled object (0 before the first flush).
+func (s *SimCounters) PoolReuseRatio() float64 {
+	gets := s.PoolGets.Value()
+	if gets == 0 {
+		return 0
+	}
+	return float64(gets-s.PoolMisses.Value()) / float64(gets)
+}
+
 // NewSimCounters builds the standard simulation telemetry set, registering
 // it on r when r is non-nil:
 //
 //	pfe_cycles_total, pfe_committed_instructions_total, pfe_squashes_total,
 //	pfe_redirects_total, pfe_sims_started_total, pfe_sims_completed_total,
+//	pfe_pool_gets_total, pfe_pool_misses_total, pfe_pool_reuse_ratio,
 //	pfe_running_ipc, pfe_stage_seconds_total{stage=...}
 func NewSimCounters(r *Registry) *SimCounters {
 	s := &SimCounters{Prof: NewStageProf(0)}
@@ -51,6 +69,8 @@ func NewSimCounters(r *Registry) *SimCounters {
 		s.Redirects = NewCounter()
 		s.SimsStarted = NewCounter()
 		s.SimsCompleted = NewCounter()
+		s.PoolGets = NewCounter()
+		s.PoolMisses = NewCounter()
 		return s
 	}
 	s.Cycles = r.Counter("pfe_cycles_total", "Simulated cycles across all runs (warmup included).")
@@ -59,6 +79,9 @@ func NewSimCounters(r *Registry) *SimCounters {
 	s.Redirects = r.Counter("pfe_redirects_total", "Front-end redirects taken across all runs.")
 	s.SimsStarted = r.Counter("pfe_sims_started_total", "Simulations started.")
 	s.SimsCompleted = r.Counter("pfe_sims_completed_total", "Simulations completed.")
+	s.PoolGets = r.Counter("pfe_pool_gets_total", "Free-list gets across all runs (simulator object recycling).")
+	s.PoolMisses = r.Counter("pfe_pool_misses_total", "Free-list gets that had to allocate (no recycled object available).")
+	r.GaugeFunc("pfe_pool_reuse_ratio", "Fraction of free-list gets satisfied by a recycled object.", s.PoolReuseRatio)
 	r.GaugeFunc("pfe_running_ipc", "Aggregate committed instructions per simulated cycle across all runs.", s.RunningIPC)
 	for _, st := range Stages() {
 		st := st

@@ -35,6 +35,13 @@ type expState struct {
 	running   bool
 	wall      time.Duration
 
+	// Work-stealing scheduler stats, accumulated across batches (reported
+	// after each batch completes, so they cover finished batches only).
+	workers   int
+	stolen    int
+	busySec   float64
+	shardWall float64
+
 	plannedG, completedG *Gauge
 }
 
@@ -127,6 +134,37 @@ func (t *Tracker) SimDone(id string, ipc float64, wall time.Duration) {
 	}
 }
 
+// ShardingDone records one batch's work-stealing scheduler statistics for an
+// experiment: worker-pool utilization and steal counts surface in progress
+// lines and /status. Worker counts take the max across batches; the other
+// fields accumulate.
+func (t *Tracker) ShardingDone(id string, workers, stolen int, busySeconds, wallSeconds float64) {
+	t.mu.Lock()
+	e := t.exps[id]
+	if e == nil {
+		t.mu.Unlock()
+		return
+	}
+	if workers > e.workers {
+		e.workers = workers
+	}
+	e.stolen += stolen
+	e.busySec += busySeconds
+	e.shardWall += wallSeconds
+	// A batch completes at most once per runCells sweep, so an
+	// unthrottled closing line (the first to carry the batch's
+	// utilization) cannot flood the log.
+	line := ""
+	if t.logW != nil {
+		line = progressLine(e)
+	}
+	w := t.logW
+	t.mu.Unlock()
+	if line != "" {
+		fmt.Fprintln(w, line)
+	}
+}
+
 // FinishExperiment marks an experiment done.
 func (t *Tracker) FinishExperiment(id string) {
 	t.mu.Lock()
@@ -152,8 +190,13 @@ func progressLine(e *expState) string {
 			eta = d.Round(time.Second).String()
 		}
 	}
-	return fmt.Sprintf("[%s] %d/%d sims (%.0f%%)  elapsed %s  %.1f sims/s  eta %s",
+	line := fmt.Sprintf("[%s] %d/%d sims (%.0f%%)  elapsed %s  %.1f sims/s  eta %s",
 		e.id, e.completed, e.planned, pct, elapsed.Round(100*time.Millisecond), rate, eta)
+	if e.workers > 0 && e.shardWall > 0 {
+		line += fmt.Sprintf("  util %.0f%%/%dw (%d stolen)",
+			100*e.busySec/(float64(e.workers)*e.shardWall), e.workers, e.stolen)
+	}
+	return line
 }
 
 // ExpStatus is one experiment's progress snapshot (the /status JSON shape).
@@ -166,6 +209,12 @@ type ExpStatus struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	SimsPerSec     float64 `json:"sims_per_sec"`
 	ETASeconds     float64 `json:"eta_seconds"`
+
+	// Work-stealing scheduler stats for completed batches (absent until the
+	// first batch finishes).
+	Workers     int     `json:"workers,omitempty"`
+	StolenSims  int     `json:"stolen_sims,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
 }
 
 // Status is the whole process's progress snapshot.
@@ -197,6 +246,11 @@ func (t *Tracker) Status() Status {
 		}
 		if e.running && es.SimsPerSec > 0 && e.planned > e.completed {
 			es.ETASeconds = float64(e.planned-e.completed) / es.SimsPerSec
+		}
+		if e.workers > 0 && e.shardWall > 0 {
+			es.Workers = e.workers
+			es.StolenSims = e.stolen
+			es.Utilization = e.busySec / (float64(e.workers) * e.shardWall)
 		}
 		st.Experiments = append(st.Experiments, es)
 	}

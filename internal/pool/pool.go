@@ -1,0 +1,73 @@
+// Package pool provides free-lists for the simulator's hot-path state:
+// fetched fragments, fragment queue entries, and any other object the cycle
+// loop would otherwise allocate fresh every time. A FreeList is owned by one
+// simulation (it is deliberately not safe for concurrent use — sharing
+// recycled state across concurrent simulations would both race and leak
+// state between runs, which the golden determinism suite forbids), so Get
+// and Put cost a slice operation and no synchronization.
+//
+// Recycling policy: Get returns objects as they were put — callers reset the
+// fields they need. Stats counts every Get, the subset of Gets that had to
+// construct a new object (Misses), and every Put; the steady-state contract
+// the allocation guards pin is Misses flat after warmup.
+package pool
+
+// Stats counts free-list traffic. Reuse is Gets - Misses.
+type Stats struct {
+	Gets   int64 // objects handed out
+	Misses int64 // Gets served by constructing a new object
+	Puts   int64 // objects returned
+}
+
+// Add accumulates other into s (aggregation across a simulation's lists).
+func (s *Stats) Add(other Stats) {
+	s.Gets += other.Gets
+	s.Misses += other.Misses
+	s.Puts += other.Puts
+}
+
+// Reuses returns the number of Gets served from the free list.
+func (s Stats) Reuses() int64 { return s.Gets - s.Misses }
+
+// FreeList recycles objects of type T for a single simulation.
+type FreeList[T any] struct {
+	free  []*T
+	newT  func() *T
+	stats Stats
+}
+
+// NewFreeList creates a free list constructing objects with newT. A nil
+// newT means Get constructs via new(T).
+func NewFreeList[T any](newT func() *T) *FreeList[T] {
+	if newT == nil {
+		newT = func() *T { return new(T) }
+	}
+	return &FreeList[T]{newT: newT}
+}
+
+// Get returns a recycled object, or a newly constructed one when the list
+// is empty. The object's fields are whatever the last user left; callers
+// reset what they use.
+func (f *FreeList[T]) Get() *T {
+	f.stats.Gets++
+	if n := len(f.free); n > 0 {
+		x := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		return x
+	}
+	f.stats.Misses++
+	return f.newT()
+}
+
+// Put returns an object to the list. The caller must not use x afterwards.
+func (f *FreeList[T]) Put(x *T) {
+	f.stats.Puts++
+	f.free = append(f.free, x)
+}
+
+// Stats returns the list's cumulative traffic counters.
+func (f *FreeList[T]) Stats() Stats { return f.stats }
+
+// Len returns how many objects are currently free.
+func (f *FreeList[T]) Len() int { return len(f.free) }

@@ -149,16 +149,24 @@ type Insts []isa.Inst
 // on the committed stream; misprediction detection compares it against the
 // prediction.
 func ComputeLiveOuts(insts Insts) LiveOuts {
+	// Called once per fragment on the simulator's hot path: the per-register
+	// last-write positions live in a stack array indexed by isa.Reg rather
+	// than a map.
 	var lo LiveOuts
-	last := make(map[isa.Reg]int, 8)
+	var last [isa.NumRegs]int8
+	for i := range last {
+		last[i] = -1
+	}
 	for i, in := range insts {
 		if rd, ok := in.Dest(); ok {
 			lo.RegMask |= 1 << rd
-			last[rd] = i
+			last[rd] = int8(i)
 		}
 	}
 	for _, i := range last {
-		lo.LastWrite |= 1 << i
+		if i >= 0 {
+			lo.LastWrite |= 1 << i
+		}
 	}
 	return lo
 }
@@ -205,8 +213,10 @@ func (k MispredictKind) String() string {
 // condition 2 is superseded by 4.
 func CheckPrediction(pred LiveOuts, insts Insts) MispredictKind {
 	actual := ComputeLiveOuts(insts)
-	// During rename: walk instructions in order.
-	seenLast := make(map[isa.Reg]bool, 8)
+	// During rename: walk instructions in order. seenLast is a bitmask over
+	// the 64 logical registers (isa.NumRegs fits a uint64), not a map —
+	// this runs once per fragment on the hot path.
+	var seenLast uint64
 	for i, in := range insts {
 		rd, ok := in.Dest()
 		if !ok {
@@ -215,11 +225,11 @@ func CheckPrediction(pred LiveOuts, insts Insts) MispredictKind {
 		if pred.RegMask&(1<<rd) == 0 {
 			return UnpredictedWrite // condition 1
 		}
-		if seenLast[rd] {
+		if seenLast&(1<<rd) != 0 {
 			return WriteAfterLast // condition 3
 		}
 		if pred.LastWrite&(1<<i) != 0 {
-			seenLast[rd] = true
+			seenLast |= 1 << rd
 		}
 	}
 	// After rename: every predicted last write must exist and be a real

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/core"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// bench_hot_test.go is the benchstat-ready hot-path suite: per-configuration
+// whole-simulation benchmarks reporting ns/op, allocs/op and the derived
+// per-simulated-cycle costs. Run it before and after a perf change:
+//
+//	go test ./internal/sim -run '^$' -bench BenchmarkHotSim -benchmem -count 10 > old.txt
+//	... apply change ...
+//	go test ./internal/sim -run '^$' -bench BenchmarkHotSim -benchmem -count 10 > new.txt
+//	benchstat old.txt new.txt
+//
+// (or `make bench-stat`, which drives the same invocation).
+
+// benchProgram builds the fixed-seed benchmark workload once.
+func benchProgram(b *testing.B) *program.Program {
+	b.Helper()
+	spec := program.TestSpec()
+	spec.PhaseIters = 2000
+	p, err := program.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func benchCases() []core.Config {
+	mk := func(name string, fetch core.FetchKind, ren core.RenameKind, nseq, wseq int) core.Config {
+		cfg := feConfig(name, fetch, ren)
+		if fetch == core.FetchParallel {
+			cfg.Sequencers, cfg.SeqWidth = nseq, wseq
+		}
+		if ren == core.RenameParallel || ren == core.RenameDelayed {
+			cfg.Renamers, cfg.RenWidth = nseq, wseq
+		}
+		return cfg
+	}
+	return []core.Config{
+		mk("W16", core.FetchSequential, core.RenameSequential, 0, 0),
+		mk("TC", core.FetchTraceCache, core.RenameSequential, 0, 0),
+		mk("PF-4x4w", core.FetchParallel, core.RenameSequential, 4, 4),
+		mk("PR-2x8w", core.FetchParallel, core.RenameParallel, 2, 8),
+		mk("PRd-2x8w", core.FetchParallel, core.RenameDelayed, 2, 8),
+	}
+}
+
+// BenchmarkHotSim measures one full simulation per iteration: the cycle
+// loop dominated by fetch/rename/backend work, with no tracing attached —
+// the configuration the experiment sweeps run in.
+func BenchmarkHotSim(b *testing.B) {
+	p := benchProgram(b)
+	for _, fe := range benchCases() {
+		b.Run(fe.Name, func(b *testing.B) {
+			cfg := testConfig(fe)
+			b.ReportAllocs()
+			var cycles uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := Run(p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += r.Cycles
+			}
+			b.StopTimer()
+			if cycles > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(cycles), "ns/sim-cycle")
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/mem"
 	"github.com/parallel-frontend/pfe/internal/metrics"
 	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/pool"
 	"github.com/parallel-frontend/pfe/internal/program"
 	"github.com/parallel-frontend/pfe/internal/trace"
 )
@@ -101,14 +102,57 @@ type Result struct {
 	// (estimated from sampled timers; rename_phase1/2 are a sub-breakdown
 	// of rename). Nil unless Config.SelfProfile was set.
 	StageSeconds map[string]float64
+
+	// Pool is the free-list traffic of this run's recycled simulator
+	// objects (whole run): Gets - Misses heap allocations were avoided.
+	Pool pool.Stats
 }
 
 // obsFlushCycles is the live-telemetry batching interval (a power of two;
 // the flush check is a mask test).
 const obsFlushCycles = 1024
 
-// Run executes the benchmark p under cfg.
-func Run(p *program.Program, cfg Config) (*Result, error) {
+// Sim is one in-flight simulation, advanced a cycle at a time. New builds
+// the machine, Step runs one cycle, Result finishes the run (driving any
+// remaining cycles) and reports the measurements. Run wraps all three; the
+// stepwise form exists so tests can measure per-cycle properties (e.g.
+// steady-state allocation behaviour) of the hot loop directly.
+type Sim struct {
+	cfg Config
+	p   *program.Program
+
+	met    *metrics.Pipeline
+	prof   *obs.StageProf
+	hier   *mem.Hierarchy
+	stream *core.Stream
+	be     *backend.Backend
+	fe     *core.Unit
+
+	now          uint64
+	measuring    bool
+	baseStats    core.Stats
+	baseCommit   int64
+	baseCycle    uint64
+	target       int64
+	lastProgress uint64
+
+	// Live-telemetry flush state: counters are shared across concurrent
+	// runs, so updates are batched (one set of atomic adds every
+	// obsFlushCycles) instead of per cycle.
+	flushedCycles                                       uint64
+	flushedCommitted, flushedSquashes, flushedRedirects int64
+	flushedPool                                         pool.Stats
+
+	prevFetched, prevRenamed int64 // Trace output deltas
+
+	stopped  bool // the cycle loop has exited (ok or error)
+	finished bool // post-loop accounting has run
+	err      error
+	res      *Result
+}
+
+// New builds the machine for benchmark p under cfg, ready to Step.
+func New(p *program.Program, cfg Config) (*Sim, error) {
 	if cfg.MeasureInsts <= 0 {
 		return nil, fmt.Errorf("sim: MeasureInsts must be positive")
 	}
@@ -146,179 +190,226 @@ func Run(p *program.Program, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	var (
-		baseStats    core.Stats
-		baseCommit   int64
-		baseCycle    uint64
-		measuring    = cfg.WarmupInsts == 0
-		lastProgress uint64
-	)
-	target := cfg.WarmupInsts + cfg.MeasureInsts
-
-	// Live-telemetry flush state: counters are shared across concurrent
-	// runs, so updates are batched (one set of atomic adds every
-	// obsFlushCycles) instead of per cycle.
-	var flushedCycles uint64
-	var flushedCommitted, flushedSquashes, flushedRedirects int64
-	flush := func(now uint64) {
-		sc := cfg.Obs
-		sc.Cycles.Add(int64(now - flushedCycles))
-		flushedCycles = now
-		c := be.Committed()
-		sc.Committed.Add(c - flushedCommitted)
-		flushedCommitted = c
-		// The squash histogram resets when measurement starts; a count
-		// below the last flushed value means "start over", not an
-		// un-squash.
-		sq := met.SquashDepth.Count()
-		if sq < flushedSquashes {
-			flushedSquashes = 0
-		}
-		sc.Squashes.Add(sq - flushedSquashes)
-		flushedSquashes = sq
-		r := fe.Stats().Redirects
-		sc.Redirects.Add(r - flushedRedirects)
-		flushedRedirects = r
+	s := &Sim{
+		cfg: cfg, p: p,
+		met: met, prof: prof, hier: hier, stream: stream, be: be, fe: fe,
+		measuring: cfg.WarmupInsts == 0,
+		target:    cfg.WarmupInsts + cfg.MeasureInsts,
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.SimsStarted.Inc()
 	}
+	return s, nil
+}
 
-	var prevFetched, prevRenamed int64
-	now := uint64(0)
-	for ; now < cfg.MaxCycles; now++ {
-		var n int
-		var res *backend.Resolution
-		if prof.Sampled(now) {
-			// Sampled self-profiling: the back-end's share of this
-			// cycle (the front-end attributes its own halves).
-			tA := time.Now()
-			be.StartCycle(now)
-			tB := time.Now()
-			fe.Cycle(now)
-			tC := time.Now()
-			n, res = be.Cycle(now)
-			prof.Add(obs.StageBackend, tB.Sub(tA)+time.Since(tC))
-		} else {
-			be.StartCycle(now)
-			fe.Cycle(now)
-			n, res = be.Cycle(now)
-		}
-		if cfg.Obs != nil && now&(obsFlushCycles-1) == obsFlushCycles-1 {
-			flush(now)
-		}
-		if n > 0 {
-			lastProgress = now
-		}
+// flushObs pushes the batched telemetry deltas into the shared counters.
+func (s *Sim) flushObs(now uint64) {
+	sc := s.cfg.Obs
+	sc.Cycles.Add(int64(now - s.flushedCycles))
+	s.flushedCycles = now
+	c := s.be.Committed()
+	sc.Committed.Add(c - s.flushedCommitted)
+	s.flushedCommitted = c
+	// The squash histogram resets when measurement starts; a count
+	// below the last flushed value means "start over", not an
+	// un-squash.
+	sq := s.met.SquashDepth.Count()
+	if sq < s.flushedSquashes {
+		s.flushedSquashes = 0
+	}
+	sc.Squashes.Add(sq - s.flushedSquashes)
+	s.flushedSquashes = sq
+	r := s.fe.Stats().Redirects
+	sc.Redirects.Add(r - s.flushedRedirects)
+	s.flushedRedirects = r
+	ps := s.fe.PoolStats()
+	sc.PoolGets.Add(ps.Gets - s.flushedPool.Gets)
+	sc.PoolMisses.Add(ps.Misses - s.flushedPool.Misses)
+	s.flushedPool = ps
+}
 
-		if cfg.Trace != nil && now < cfg.TraceCycles {
-			st := fe.Stats()
-			mark := ""
-			if res != nil {
-				mark = fmt.Sprintf("  RESOLVE seq=%d pc=%#x", res.Op.Seq, res.Op.PC)
-			}
-			bufs := 0
-			if pool := fe.Pool(); pool != nil {
-				bufs = pool.InUseCount()
-			}
-			fmt.Fprintf(cfg.Trace, "cycle %6d | fetch %2d rename %2d commit %2d | window %3d bufs %2d%s\n",
-				now, st.Fetched-prevFetched, st.Renamed-prevRenamed, n, be.InFlight(), bufs, mark)
-			prevFetched, prevRenamed = st.Fetched, st.Renamed
-		}
+// Step advances the simulation by one cycle. It returns false once the run
+// has ended (completed, deadlocked or exhausted its cycle budget) — call
+// Result for the outcome. Steady-state Steps perform no heap allocations;
+// the allocation test harness pins that property.
+func (s *Sim) Step() bool {
+	if s.stopped {
+		return false
+	}
+	if s.now >= s.cfg.MaxCycles {
+		s.stopped = true
+		return false
+	}
+	now := s.now
+	cfg := &s.cfg
 
+	var n int
+	var res *backend.Resolution
+	if s.prof.Sampled(now) {
+		// Sampled self-profiling: the back-end's share of this
+		// cycle (the front-end attributes its own halves).
+		tA := time.Now()
+		s.be.StartCycle(now)
+		tB := time.Now()
+		s.fe.Cycle(now)
+		tC := time.Now()
+		n, res = s.be.Cycle(now)
+		s.prof.Add(obs.StageBackend, tB.Sub(tA)+time.Since(tC))
+	} else {
+		s.be.StartCycle(now)
+		s.fe.Cycle(now)
+		n, res = s.be.Cycle(now)
+	}
+	if cfg.Obs != nil && now&(obsFlushCycles-1) == obsFlushCycles-1 {
+		s.flushObs(now)
+	}
+	if n > 0 {
+		s.lastProgress = now
+	}
+
+	if cfg.Trace != nil && now < cfg.TraceCycles {
+		st := s.fe.Stats()
+		mark := ""
 		if res != nil {
-			pend := stream.Pending()
-			if pend != nil && res.Op.Seq == pend.CulpritSeq {
-				red := stream.ApplyRedirect()
-				nsq := be.SquashFrom(red.CulpritSeq + 1)
-				met.SquashDepth.Observe(int64(nsq))
-				if cfg.Events != nil {
-					cfg.Events.Emit(trace.Event{
-						Cycle: now,
-						Kind:  trace.KindSquash,
-						Seq:   red.CulpritSeq + 1,
-						PC:    red.TruePC,
-						Cause: trace.CauseBranchMispredict,
-						N:     int32(nsq),
-					})
-				}
-				be.ClearMispredictPoint(res.Op)
-				fe.Redirect(now, red.CulpritSeq)
-			} else {
-				// The culprit became stale (live-out squash
-				// re-renamed past it in an unexpected order) —
-				// unblock commit; the stream redirect will be
-				// resolved by the re-executed instance.
-				be.ClearMispredictPoint(res.Op)
-			}
+			mark = fmt.Sprintf("  RESOLVE seq=%d pc=%#x", res.Op.Seq, res.Op.PC)
 		}
+		bufs := 0
+		if pool := s.fe.Pool(); pool != nil {
+			bufs = pool.InUseCount()
+		}
+		fmt.Fprintf(cfg.Trace, "cycle %6d | fetch %2d rename %2d commit %2d | window %3d bufs %2d%s\n",
+			now, st.Fetched-s.prevFetched, st.Renamed-s.prevRenamed, n, s.be.InFlight(), bufs, mark)
+		s.prevFetched, s.prevRenamed = st.Fetched, st.Renamed
+	}
 
-		committed := be.Committed()
-		if !measuring && committed >= cfg.WarmupInsts {
-			baseStats = *fe.Stats()
-			baseCommit = committed
-			baseCycle = now
-			measuring = true
-			target = baseCommit + cfg.MeasureInsts
-			met.Reset() // histograms cover the measurement period only
-		}
-		if measuring && committed >= target {
-			break
-		}
-		if stream.Done() && fe.Drained() && be.InFlight() == 0 {
-			break
-		}
-		if now-lastProgress > 200_000 {
-			pendDesc := "no pending redirect"
-			if pend := stream.Pending(); pend != nil {
-				pendDesc = fmt.Sprintf("pending redirect culprit=%d", pend.CulpritSeq)
+	if res != nil {
+		pend := s.stream.Pending()
+		if pend != nil && res.Op.Seq == pend.CulpritSeq {
+			red := s.stream.ApplyRedirect()
+			nsq := s.be.SquashFrom(red.CulpritSeq + 1)
+			s.met.SquashDepth.Observe(int64(nsq))
+			if cfg.Events != nil {
+				cfg.Events.Emit(trace.Event{
+					Cycle: now,
+					Kind:  trace.KindSquash,
+					Seq:   red.CulpritSeq + 1,
+					PC:    red.TruePC,
+					Cause: trace.CauseBranchMispredict,
+					N:     int32(nsq),
+				})
 			}
-			return nil, fmt.Errorf("sim: %s/%s deadlocked at cycle %d (committed %d; %s; %s; drained=%v)",
-				cfg.FrontEnd.Name, p.Name, now, committed, be.DebugHead(), pendDesc, fe.Drained())
+			s.be.ClearMispredictPoint(res.Op)
+			s.fe.Redirect(now, red.CulpritSeq)
+		} else {
+			// The culprit became stale (live-out squash
+			// re-renamed past it in an unexpected order) —
+			// unblock commit; the stream redirect will be
+			// resolved by the re-executed instance.
+			s.be.ClearMispredictPoint(res.Op)
 		}
+	}
+
+	committed := s.be.Committed()
+	if !s.measuring && committed >= cfg.WarmupInsts {
+		s.baseStats = *s.fe.Stats()
+		s.baseCommit = committed
+		s.baseCycle = now
+		s.measuring = true
+		s.target = s.baseCommit + cfg.MeasureInsts
+		s.met.Reset() // histograms cover the measurement period only
+	}
+	if s.measuring && committed >= s.target {
+		s.stopped = true
+		return false
+	}
+	if s.stream.Done() && s.fe.Drained() && s.be.InFlight() == 0 {
+		s.stopped = true
+		return false
+	}
+	if now-s.lastProgress > 200_000 {
+		pendDesc := "no pending redirect"
+		if pend := s.stream.Pending(); pend != nil {
+			pendDesc = fmt.Sprintf("pending redirect culprit=%d", pend.CulpritSeq)
+		}
+		s.err = fmt.Errorf("sim: %s/%s deadlocked at cycle %d (committed %d; %s; %s; drained=%v)",
+			cfg.FrontEnd.Name, s.p.Name, now, committed, s.be.DebugHead(), pendDesc, s.fe.Drained())
+		s.stopped = true
+		return false
+	}
+	s.now++
+	return true
+}
+
+// Result finishes the run — stepping any remaining cycles — and returns its
+// measurements. It is idempotent.
+func (s *Sim) Result() (*Result, error) {
+	for s.Step() {
+	}
+	if s.finished {
+		return s.res, s.err
+	}
+	s.finished = true
+	cfg := &s.cfg
+	if s.err != nil {
+		// Deadlock: the error already describes it; no final telemetry
+		// flush (matching the historical early return).
+		return nil, s.err
 	}
 	if cfg.Obs != nil {
-		flush(now)
+		s.flushObs(s.now)
 		if cfg.SelfProfile {
-			cfg.Obs.Prof.Merge(prof)
+			cfg.Obs.Prof.Merge(s.prof)
 		}
 	}
-	if now >= cfg.MaxCycles {
-		return nil, fmt.Errorf("sim: %s/%s exceeded MaxCycles=%d", cfg.FrontEnd.Name, p.Name, cfg.MaxCycles)
+	if s.now >= cfg.MaxCycles {
+		s.err = fmt.Errorf("sim: %s/%s exceeded MaxCycles=%d", cfg.FrontEnd.Name, s.p.Name, cfg.MaxCycles)
+		return nil, s.err
 	}
-	if !measuring {
-		return nil, fmt.Errorf("sim: %s/%s finished before warmup completed", cfg.FrontEnd.Name, p.Name)
+	if !s.measuring {
+		s.err = fmt.Errorf("sim: %s/%s finished before warmup completed", cfg.FrontEnd.Name, s.p.Name)
+		return nil, s.err
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.SimsCompleted.Inc()
 	}
 
 	res := &Result{
-		Bench:     p.Name,
+		Bench:     s.p.Name,
 		Config:    cfg.FrontEnd.Name,
-		Cycles:    now - baseCycle,
-		Committed: be.Committed() - baseCommit,
-		FrontEnd:  subStats(*fe.Stats(), baseStats),
+		Cycles:    s.now - s.baseCycle,
+		Committed: s.be.Committed() - s.baseCommit,
+		FrontEnd:  subStats(*s.fe.Stats(), s.baseStats),
 	}
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Committed) / float64(res.Cycles)
 	}
-	if gen, correct := stream.Accuracy(); gen > 0 {
+	if gen, correct := s.stream.Accuracy(); gen > 0 {
 		res.FragPredAccuracy = float64(correct) / float64(gen)
 	}
-	res.L1IMissRate = hier.L1I.MissRate()
-	res.L1DMissRate = hier.L1D.MissRate()
-	if tc := fe.TraceCache(); tc != nil {
+	res.L1IMissRate = s.hier.L1I.MissRate()
+	res.L1DMissRate = s.hier.L1D.MissRate()
+	if tc := s.fe.TraceCache(); tc != nil {
 		res.TCHitRate = tc.HitRate()
 	}
-	if pool := fe.Pool(); pool != nil {
+	if pool := s.fe.Pool(); pool != nil {
 		res.BufferReuseRate = pool.ReuseRate()
 	}
-	res.Pipeline = met
+	res.Pipeline = s.met
 	if cfg.SelfProfile {
-		res.StageSeconds = prof.Seconds()
+		res.StageSeconds = s.prof.Seconds()
 	}
+	res.Pool = s.fe.PoolStats()
+	s.res = res
 	return res, nil
+}
+
+// Run executes the benchmark p under cfg.
+func Run(p *program.Program, cfg Config) (*Result, error) {
+	s, err := New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Result()
 }
 
 // subStats subtracts warmup-period counters field by field.
