@@ -4,6 +4,9 @@
 #                      includes the golden determinism suite)
 #   make test-alloc    tier 1.5: allocation guards (zero-alloc cycle loop,
 #                      bounded /metrics scrape) run verbosely on their own
+#   make test-robust   tier 1.5: fault-tolerance suite under -race (panic
+#                      isolation, retries, budget, watchdog, journal/resume,
+#                      SIGKILL + resume round trip, graceful shutdown)
 #   make race          tier 2: vet + race detector over the short suite
 #   make fuzz          tier 3: short-budget fuzz smokes (differential targets)
 #   make bench         front-end comparison benchmarks (no -race)
@@ -21,13 +24,24 @@ BENCH_WARMUP  ?= 20000
 BENCH_MEASURE ?= 60000
 GIT_SHA       := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all test test-alloc race fuzz bench bench-stat bench-json bench-compare fmt
+.PHONY: all test test-alloc test-robust race fuzz bench bench-stat bench-json bench-compare fmt
 
 all: test test-alloc race fuzz
 
-test:
+test: test-robust
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Fault-tolerance tier, always under -race: the retry/journal/drain paths
+# are exactly the ones that run concurrently, so exercising them without the
+# race detector would miss their most likely failure mode. The integration
+# tests (SIGKILL + resume, injected faults, SIGINT drain) build and drive a
+# real pfe-bench binary.
+test-robust:
+	$(GO) test -race -count=1 ./internal/journal/ ./cmd/pfe-bench/ \
+		./internal/experiments/ -run 'Robust|Retri|Budget|Cancel|Resume|Inject|Kill|Sigint|Journal'
+	$(GO) test -race -count=1 ./internal/sim/ -run 'Watchdog|Stall'
+	$(GO) test -race -count=1 ./internal/obs/ -run 'Shutdown|Close'
 
 # Allocation guards, run on their own so a perf PR can iterate on just
 # them: the steady-state cycle loop must not allocate at all, and a

@@ -1,6 +1,7 @@
 // pfe-bench regenerates the paper's tables and figures, with opt-in live
-// telemetry, machine-readable provenance reports and a perf-regression
-// comparator.
+// telemetry, machine-readable provenance reports, a perf-regression
+// comparator, and a fault-tolerant sweep harness (crash-safe journal,
+// resume, retries, failure budget, graceful shutdown).
 //
 // Usage:
 //
@@ -10,22 +11,34 @@
 //	pfe-bench -exp fig9 -benches gcc,gzip
 //	pfe-bench -exp all -http :6060              # /metrics, /status, /debug/pprof
 //	pfe-bench -exp fig8 -json out.json          # provenance-stamped report
+//	pfe-bench -exp all -journal run.wal         # crash-safe result journal
+//	pfe-bench -exp all -resume run.wal          # replay it after a crash/kill
+//	pfe-bench -exp fig8 -max-retries 2 -fail-budget 3
 //	pfe-bench -tol 0.5 -compare old.json new.json
 //
 // -compare exits 0 when every matched benchmark row is within tolerance
 // (improvements included), 1 on an IPC or throughput regression, 2 on a
 // usage or decoding error.
+//
+// SIGINT/SIGTERM drain the sweep: in-flight simulations finish, the journal
+// is flushed, a -json report is still written (marked "partial": true), the
+// telemetry server shuts down gracefully, and the process exits 130.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
 	"github.com/parallel-frontend/pfe/internal/experiments"
+	"github.com/parallel-frontend/pfe/internal/journal"
 	"github.com/parallel-frontend/pfe/internal/obs"
 )
 
@@ -48,6 +61,15 @@ func run() int {
 		compare = flag.Bool("compare", false, "compare two JSON reports (old new) and exit non-zero on regression")
 		tol     = flag.Float64("tol", 0.5, "IPC regression tolerance for -compare, percent")
 		ttol    = flag.Float64("ttol", 25, "host-throughput (sims/sec) regression tolerance for -compare, percent")
+
+		journalPath = flag.String("journal", "", "append every completed cell to this crash-safe journal (fsynced JSONL WAL)")
+		resumePath  = flag.String("resume", "", "replay completed cells from this journal, run the rest, and append to it")
+		maxRetries  = flag.Int("max-retries", 1, "re-run a failed cell (panic/error/stall) this many times before it counts as failed")
+		failBudget  = flag.Int("fail-budget", 0, "cells allowed to fail (after retries) before an experiment aborts; failures under budget degrade to partial results")
+		dumpDir     = flag.String("dump-dir", "", "directory for watchdog stall diagnostics (default: OS temp dir)")
+		stallCycles = flag.Uint64("stall-cycles", 0, "watchdog threshold: fail a simulation after this many cycles without a commit (0 = simulator default)")
+		flightRec   = flag.Int("flight-recorder", 0, "keep the last N pipeline events per simulation for stall diagnostics (0 = off)")
+		inject      = flag.String("inject", "", "fault injection: comma-separated bench/key=mode with mode panic|error|stall (testing the harness itself)")
 	)
 	flag.Parse()
 
@@ -62,10 +84,30 @@ func run() int {
 		return runCompare(flag.Args(), *tol, *ttol)
 	}
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Workers: *workers, SelfProfile: *selfProf}
+	opts := experiments.Options{
+		Warmup: *warmup, Measure: *measure, Workers: *workers, SelfProfile: *selfProf,
+		MaxRetries: *maxRetries, FailBudget: *failBudget, DumpDir: *dumpDir,
+		NoProgressCycles: *stallCycles, FlightRecorder: *flightRec,
+		Failures: &experiments.FailureLog{},
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
+	if *inject != "" {
+		m, err := parseInject(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+			return 2
+		}
+		opts.Inject = m
+	}
+
+	// SIGINT/SIGTERM drain the sweep instead of killing it: workers finish
+	// the cells they are running, the journal stays consistent, and a
+	// partial report is still emitted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Ctx = ctx
 
 	var todo []experiments.Experiment
 	if *exp == "all" {
@@ -95,13 +137,48 @@ func run() int {
 		tracker.SetLog(os.Stderr, time.Second)
 	}
 	if *httpAddr != "" {
-		srv, addr, err := obs.Serve(*httpAddr, reg, tracker)
+		srv, err := obs.Serve(*httpAddr, reg, tracker)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pfe-bench: telemetry server: %v\n", err)
 			return 2
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics  /status  /debug/pprof/\n", addr)
+		// Graceful stop: in-flight /metrics scrapes complete before exit.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics  /status  /debug/pprof/\n", srv.Addr())
+	}
+
+	// Crash safety: -resume replays a journal's completed cells and appends
+	// the rest to the same file (unless -journal redirects new appends).
+	if *resumePath != "" {
+		res, err := experiments.LoadResume(*resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+			return 2
+		}
+		opts.Resume = res
+		if res.Torn > 0 {
+			fmt.Fprintf(os.Stderr, "resume: dropped %d torn trailing record(s) from an interrupted append\n", res.Torn)
+		}
+		fmt.Fprintf(os.Stderr, "resume: %d completed cell(s) replayable from %s\n", res.Cells(), *resumePath)
+		if *journalPath == "" {
+			*journalPath = *resumePath
+		}
+	}
+	if *journalPath != "" {
+		w, err := journal.Create(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+			return 2
+		}
+		if opts.Sim != nil {
+			w.FsyncHist = opts.Sim.JournalFsync
+		}
+		defer w.Close()
+		opts.Journal = w
 	}
 
 	var report *obs.ReportBuilder
@@ -120,11 +197,14 @@ func run() int {
 	}
 
 	runStart := time.Now()
+	exit := 0
+	interrupted := false
 	for _, e := range todo {
 		tracker.StartExperiment(e.ID, e.Title)
 		if report != nil {
 			report.StartExperiment(e.ID, e.Title)
 		}
+		opts.ExperimentID = e.ID
 		opts.Observer = &cellObserver{id: e.ID, tracker: tracker, report: report}
 		start := time.Now()
 		res, err := e.Run(opts)
@@ -133,22 +213,69 @@ func run() int {
 		if report != nil {
 			report.FinishExperiment(e.ID, wall)
 		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			interrupted = true
+			break
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			return 1
+			exit = 1
+			break
 		}
 		fmt.Println(res)
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, wall.Round(time.Millisecond))
 	}
 
+	// Failures under budget do not abort the run, but they are never
+	// silent: each becomes a record in the report's failures block and a
+	// stderr line.
+	fails := opts.Failures.All()
+	for _, f := range fails {
+		fmt.Fprintf(os.Stderr, "cell failed: %s %s/%s after %d attempt(s): %s\n",
+			f.Experiment, f.Bench, f.Key, f.Attempts, firstLine(f.Error))
+		if f.DumpPath != "" {
+			fmt.Fprintf(os.Stderr, "  diagnostic: %s\n", f.DumpPath)
+		}
+	}
+	if opts.Resume != nil {
+		if n := opts.Resume.Replayed.Load(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resume: replayed %d cell(s) from the journal\n", n)
+		}
+		if n := opts.Resume.Mismatched.Load(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resume: re-ran %d cell(s) whose journaled config hash did not match\n", n)
+		}
+	}
+	if opts.Journal != nil {
+		if err := opts.Journal.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "pfe-bench: journal unreliable (do not resume from it): %v\n", err)
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+
 	if report != nil {
+		for _, f := range fails {
+			report.AddFailure(f)
+		}
+		if interrupted {
+			report.SetPartial()
+		}
 		rep := report.Finalize(time.Since(runStart))
 		if err := obs.WriteReportFile(*jsonOut, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "pfe-bench: writing %s: %v\n", *jsonOut, err)
 			return 2
 		}
-		fmt.Fprintf(os.Stderr, "report: %s (%d sims, %.1fs, git %s)\n",
-			*jsonOut, rep.TotalSims, rep.WallSeconds, shortSHA(rep.Provenance.GitSHA))
+		partial := ""
+		if rep.Partial {
+			partial = ", partial"
+		}
+		fmt.Fprintf(os.Stderr, "report: %s (%d sims, %.1fs, git %s%s)\n",
+			*jsonOut, rep.TotalSims, rep.WallSeconds, shortSHA(rep.Provenance.GitSHA), partial)
+	}
+	if interrupted && exit == 0 {
+		exit = 130 // conventional "terminated by SIGINT" code; the drain above kept state consistent
 	}
 	if *selfProf && opts.Sim != nil {
 		fmt.Fprintf(os.Stderr, "simulator stage wall time (sampled):\n%s",
@@ -158,7 +285,40 @@ func run() int {
 				100*opts.Sim.PoolReuseRatio(), gets, gets-opts.Sim.PoolMisses.Value())
 		}
 	}
-	return 0
+	return exit
+}
+
+// parseInject parses "bench/key=mode,..." into the harness's fault
+// injection map.
+func parseInject(s string) (map[string]string, error) {
+	m := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		cellKey, mode, ok := strings.Cut(part, "=")
+		if !ok || !strings.Contains(cellKey, "/") {
+			return nil, fmt.Errorf("-inject %q: want bench/key=mode", part)
+		}
+		switch mode {
+		case "panic", "error", "stall":
+		default:
+			return nil, fmt.Errorf("-inject %q: mode must be panic, error or stall", part)
+		}
+		m[cellKey] = mode
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("-inject %q: no injections parsed", s)
+	}
+	return m, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // cellObserver fans one experiment's cell completions out to the progress

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
 	"github.com/parallel-frontend/pfe/internal/obs"
@@ -56,13 +58,17 @@ func main() {
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()
 		opts.Obs = obs.NewSimCounters(reg)
-		srv, addr, err := obs.Serve(*httpAddr, reg, nil)
+		srv, err := obs.Serve(*httpAddr, reg, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfe-sim: telemetry server:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics  /debug/pprof/\n", addr)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics  /debug/pprof/\n", srv.Addr())
 	}
 	res, err := pfe.Run(*bench, m, opts)
 	if err != nil {

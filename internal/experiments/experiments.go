@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/journal"
 	"github.com/parallel-frontend/pfe/internal/obs"
 )
 
@@ -54,6 +56,60 @@ type Options struct {
 	// SelfProfile enables per-run wall-time attribution of the simulator
 	// itself, surfaced in each Result.StageSeconds.
 	SelfProfile bool
+
+	// Ctx, if non-nil, cancels the sweep: workers drain (in-flight cells
+	// finish, unclaimed cells are never started) and runCells returns the
+	// completed subset alongside a context error. Nil means Background.
+	Ctx context.Context
+
+	// MaxRetries is how many times a failed cell (panic, error, or watchdog
+	// stall) is re-run before it counts against FailBudget. 0 = no retries.
+	MaxRetries int
+
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// subsequent attempt (capped at 5s). 0 means the 100ms default; negative
+	// disables backoff entirely (tests).
+	RetryBackoff time.Duration
+
+	// FailBudget is how many cells may exhaust their retries before the
+	// sweep aborts with an error. Failures at or under budget degrade the
+	// sweep to partial results: failed cells get zero-valued placeholder
+	// results (marked Failed) and structured records in Failures.
+	FailBudget int
+
+	// Failures, if non-nil, collects a structured obs.CellFailure for every
+	// cell that exhausted its retries.
+	Failures *FailureLog
+
+	// Journal, if non-nil, receives a crash-safe record of every completed
+	// cell (config hash + full scalar result) so an interrupted sweep can be
+	// resumed with Resume. Appends are fsynced before the cell is reported
+	// complete.
+	Journal *journal.Writer
+
+	// Resume, if non-nil, replays previously journaled cells instead of
+	// re-running them, after cross-checking the journaled config hash
+	// against the cell about to run (a mismatch re-runs the cell).
+	Resume *Resume
+
+	// ExperimentID namespaces journal and failure records; cmd/pfe-bench
+	// sets it per experiment.
+	ExperimentID string
+
+	// DumpDir is where watchdog stall diagnostics are written (flight
+	// recorder tail, per-stage occupancy, predictor state). Empty means the
+	// OS temp dir.
+	DumpDir string
+
+	// NoProgressCycles and FlightRecorder configure the simulator's
+	// forward-progress watchdog and event ring; see pfe.RunOptions.
+	NoProgressCycles uint64
+	FlightRecorder   int
+
+	// Inject maps "bench/key" to a fault mode ("panic", "error", or
+	// "stall") injected into that cell — the harness's own fault-tolerance
+	// test hook, reachable via pfe-bench -inject.
+	Inject map[string]string
 }
 
 // Default returns the harness budgets used for the recorded results in
@@ -77,11 +133,20 @@ func (o Options) runOpts() pfe.RunOptions {
 		o.Warmup, o.Measure = def.Warmup, def.Measure
 	}
 	return pfe.RunOptions{
-		WarmupInsts:  o.Warmup,
-		MeasureInsts: o.Measure,
-		Obs:          o.Sim,
-		SelfProfile:  o.SelfProfile,
+		WarmupInsts:      o.Warmup,
+		MeasureInsts:     o.Measure,
+		Obs:              o.Sim,
+		SelfProfile:      o.SelfProfile,
+		NoProgressCycles: o.NoProgressCycles,
+		FlightRecorder:   o.FlightRecorder,
 	}
+}
+
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o Options) workers() int {
@@ -98,11 +163,13 @@ func (o Options) workers() int {
 	return n
 }
 
-// cell identifies one simulation in a sweep.
+// cell identifies one simulation in a sweep. run, when non-nil, replaces
+// pfe.Run for this cell (a test hook for the fault-tolerance machinery).
 type cell struct {
 	bench   string
 	machine pfe.Machine
 	key     string // caller-defined config key
+	run     func() (*pfe.Result, error)
 }
 
 // runCells executes all cells (across up to Workers work-stealing shards,
@@ -110,36 +177,56 @@ type cell struct {
 // cell index: workers read the shared cells slice in place and write
 // disjoint outcome slots, so no per-goroutine copy of a cell (or of the run
 // options, which are hoisted and invariant across the batch) is ever made.
+//
+// Fault tolerance: each cell runs behind a recover barrier with bounded
+// retries; a cell that exhausts them becomes a structured failure and a
+// zero-valued placeholder result (so downstream table/figure rendering
+// survives), unless the batch's failure count exceeds o.FailBudget, in
+// which case the whole batch errors. Cancelling o.Ctx drains workers and
+// returns the completed subset wrapped around the context error.
 func runCells(o Options, cells []cell) (map[[2]string]*pfe.Result, error) {
-	type outcome struct {
-		r   *pfe.Result
-		err error
-	}
 	if o.Observer != nil {
 		o.Observer.Planned(len(cells))
 	}
+	ctx := o.ctx()
 	ro := o.runOpts()
-	obsv := o.Observer
-	outs := make([]outcome, len(cells))
+	outs := make([]cellOutcome, len(cells))
 	start := time.Now()
-	stats := runSharded(len(cells), o.workers(), func(i int) {
-		c := &cells[i]
-		cellStart := time.Now()
-		r, err := pfe.Run(c.bench, c.machine, ro)
-		if err == nil && obsv != nil {
-			obsv.Completed(c.bench, c.key, time.Since(cellStart), r)
-		}
-		outs[i] = outcome{r: r, err: err}
+	stats := runSharded(ctx, len(cells), o.workers(), func(i int) {
+		outs[i] = o.runCell(ctx, &cells[i], ro)
 	})
-	if so, ok := obsv.(ShardObserver); ok {
+	if so, ok := o.Observer.(ShardObserver); ok {
 		so.Sharded(time.Since(start), stats)
 	}
 	results := make(map[[2]string]*pfe.Result, len(cells))
+	var failed int
+	var firstFail *obs.CellFailure
 	for i := range outs {
-		if outs[i].err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w", cells[i].key, cells[i].bench, outs[i].err)
+		c := &cells[i]
+		switch {
+		case outs[i].r != nil:
+			results[[2]string{c.bench, c.key}] = outs[i].r
+		case outs[i].fail != nil:
+			failed++
+			if firstFail == nil {
+				firstFail = outs[i].fail
+			}
+			// Placeholder keeps renderers total over the sweep's key set;
+			// the real story is in the failure log and report.
+			results[[2]string{c.bench, c.key}] = &pfe.Result{
+				Bench: c.bench, Config: c.machine.Name(), Failed: true,
+			}
+			// Neither r nor fail set: the cell was never claimed (drained
+			// by cancellation) — leave it absent.
 		}
-		results[[2]string{cells[i].bench, cells[i].key}] = outs[i].r
+	}
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("experiments: sweep interrupted with %d/%d cells done: %w",
+			len(results), len(cells), err)
+	}
+	if failed > o.FailBudget {
+		return nil, fmt.Errorf("experiments: %d cells failed (budget %d); first: %s/%s after %d attempts: %s",
+			failed, o.FailBudget, firstFail.Bench, firstFail.Key, firstFail.Attempts, firstFail.Error)
 	}
 	return results, nil
 }

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+
+	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/sim"
+)
+
+// FailureLog is a concurrency-safe collector of per-cell failure records,
+// shared across every experiment of a pfe-bench run so the final report can
+// list all of them.
+type FailureLog struct {
+	mu    sync.Mutex
+	fails []obs.CellFailure
+}
+
+func (l *FailureLog) add(f obs.CellFailure) {
+	l.mu.Lock()
+	l.fails = append(l.fails, f)
+	l.mu.Unlock()
+}
+
+// All returns a copy of the collected failures in arrival order.
+func (l *FailureLog) All() []obs.CellFailure {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]obs.CellFailure(nil), l.fails...)
+}
+
+// Len reports how many failures have been collected.
+func (l *FailureLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.fails)
+}
+
+// cellOutcome is one cell's terminal state: exactly one of r (success or
+// replay), fail (retries exhausted), or neither (never claimed — the sweep
+// was cancelled first).
+type cellOutcome struct {
+	r    *pfe.Result
+	fail *obs.CellFailure
+}
+
+// cellHash fingerprints everything that determines a cell's result: bench,
+// config key, instruction budgets, and the full machine configuration
+// (simulation is deterministic in these). Resume uses it to cross-check
+// that a journaled result was produced by the same configuration before
+// replaying it.
+func cellHash(c *cell, ro pfe.RunOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%+v", c.bench, c.key, ro.WarmupInsts, ro.MeasureInsts, c.machine)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// runCell drives one cell to a terminal outcome: resume replay if the
+// journal already has it, otherwise up to 1+MaxRetries attempts behind a
+// recover barrier, with exponential backoff between attempts. Success is
+// journaled (fsynced) before it is observable; exhaustion produces a
+// structured failure, writing the watchdog diagnostic bundle to DumpDir
+// when the error carries one.
+func (o Options) runCell(ctx context.Context, c *cell, ro pfe.RunOptions) cellOutcome {
+	hash := cellHash(c, ro)
+	if o.Resume != nil {
+		if r, ok := o.Resume.lookup(o.ExperimentID, c.bench, c.key, hash); ok {
+			if o.Observer != nil {
+				o.Observer.Completed(c.bench, c.key, 0, r)
+			}
+			return cellOutcome{r: r}
+		}
+	}
+	inject := o.Inject[c.bench+"/"+c.key]
+	if inject == "stall" {
+		// Trip the forward-progress watchdog deterministically: a
+		// threshold shorter than the pipeline fill depth means no cell can
+		// commit before the watchdog fires.
+		ro.NoProgressCycles = 2
+		if ro.FlightRecorder == 0 {
+			ro.FlightRecorder = 256
+		}
+	}
+
+	var lastErr error
+	var lastPanic bool
+	var lastStack string
+	attempts := 0
+	for attempt := 1; attempt <= o.MaxRetries+1; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		attempts = attempt
+		cellStart := time.Now()
+		r, err, panicked, stack := safeRun(c, ro, inject)
+		if err == nil {
+			if o.Journal != nil {
+				// Journal before reporting: a record exists for every cell
+				// an observer (and thus a report) has seen complete.
+				o.Journal.Append(newCellRecord(o.ExperimentID, c, hash, attempt, r))
+			}
+			if o.Observer != nil {
+				o.Observer.Completed(c.bench, c.key, time.Since(cellStart), r)
+			}
+			return cellOutcome{r: r}
+		}
+		lastErr, lastPanic, lastStack = err, panicked, stack
+		if attempt <= o.MaxRetries {
+			if o.Sim != nil {
+				o.Sim.CellRetries.Inc()
+			}
+			sleepBackoff(ctx, o.RetryBackoff, attempt)
+		}
+	}
+	if lastErr == nil {
+		// Cancelled before the first attempt: not a failure, just unrun.
+		return cellOutcome{}
+	}
+	f := &obs.CellFailure{
+		Experiment: o.ExperimentID,
+		Bench:      c.bench,
+		Key:        c.key,
+		Attempts:   attempts,
+		Error:      lastErr.Error(),
+		Panic:      lastPanic,
+		Stack:      lastStack,
+	}
+	var stall *sim.StallError
+	if errors.As(lastErr, &stall) && stall.Diag != nil {
+		path := o.dumpPath(c)
+		if werr := stall.Diag.WriteFile(path); werr == nil {
+			f.DumpPath = path
+		}
+	}
+	if o.Sim != nil {
+		o.Sim.CellFailures.Inc()
+	}
+	if o.Failures != nil {
+		o.Failures.add(*f)
+	}
+	return cellOutcome{fail: f}
+}
+
+// safeRun executes one attempt behind a recover barrier, converting a panic
+// anywhere in the simulator stack into an error plus the goroutine stack at
+// the point of the panic.
+func safeRun(c *cell, ro pfe.RunOptions, inject string) (r *pfe.Result, err error, panicked bool, stack string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			r = nil
+			err = fmt.Errorf("panic: %v", rec)
+			panicked = true
+			stack = string(debug.Stack())
+		}
+	}()
+	switch inject {
+	case "panic":
+		panic("injected cell fault (-inject mode panic)")
+	case "error":
+		return nil, errors.New("injected cell fault (-inject mode error)"), false, ""
+	}
+	if c.run != nil {
+		r, err = c.run()
+	} else {
+		r, err = pfe.Run(c.bench, c.machine, ro)
+	}
+	return r, err, false, ""
+}
+
+// sleepBackoff waits base<<(attempt-1), capped at 5s, or until ctx is
+// cancelled. base 0 means the 100ms default; negative disables the wait.
+func sleepBackoff(ctx context.Context, base time.Duration, attempt int) {
+	if base < 0 {
+		return
+	}
+	if base == 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > 5*time.Second || d <= 0 {
+		d = 5 * time.Second
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// dumpPath names a stall diagnostic file uniquely per cell within DumpDir
+// (or the OS temp dir).
+func (o Options) dumpPath(c *cell) string {
+	dir := o.DumpDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	name := fmt.Sprintf("pfe-stall-%s-%s-%s.txt", clean(o.ExperimentID), clean(c.bench), clean(c.key))
+	return filepath.Join(dir, name)
+}

@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/journal"
+	"github.com/parallel-frontend/pfe/internal/obs"
+)
+
+func fakeResult(bench, config string, ipc float64) *pfe.Result {
+	return &pfe.Result{Bench: bench, Config: config, IPC: ipc, Cycles: 1000, Committed: int64(ipc * 1000)}
+}
+
+// TestRunCellsRetriesPanickingCell pins panic isolation plus bounded retry:
+// a cell that panics on its first two attempts and succeeds on the third
+// must deliver its result when MaxRetries >= 2, with the retries counted on
+// the pfe_cell_retries_total counter and nothing recorded as a failure.
+func TestRunCellsRetriesPanickingCell(t *testing.T) {
+	var calls atomic.Int32
+	cells := []cell{{
+		bench: "gzip", machine: pfe.Preset(pfe.W16), key: "flaky",
+		run: func() (*pfe.Result, error) {
+			if calls.Add(1) <= 2 {
+				panic("transient fault")
+			}
+			return fakeResult("gzip", "W16", 2.5), nil
+		},
+	}}
+	sc := obs.NewSimCounters(nil)
+	log := &FailureLog{}
+	o := Options{Workers: 1, MaxRetries: 2, RetryBackoff: -1, Sim: sc, Failures: log}
+	got, err := runCells(o, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got[[2]string{"gzip", "flaky"}]
+	if r == nil || r.Failed || r.IPC != 2.5 {
+		t.Fatalf("result = %+v, want the third attempt's success", r)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("cell ran %d times, want 3", calls.Load())
+	}
+	if v := sc.CellRetries.Value(); v != 2 {
+		t.Errorf("pfe_cell_retries_total = %d, want 2", v)
+	}
+	if sc.CellFailures.Value() != 0 || log.Len() != 0 {
+		t.Errorf("recovered cell still recorded as a failure (%d counted, %d logged)",
+			sc.CellFailures.Value(), log.Len())
+	}
+}
+
+// TestRunCellsFailureBudget pins the degraded mode: a cell that exhausts
+// its retries becomes a placeholder result plus a structured failure record
+// when the budget allows it, and aborts the batch when it does not.
+func TestRunCellsFailureBudget(t *testing.T) {
+	mk := func() []cell {
+		return []cell{
+			{bench: "gzip", machine: pfe.Preset(pfe.W16), key: "ok",
+				run: func() (*pfe.Result, error) { return fakeResult("gzip", "W16", 2.0), nil }},
+			{bench: "mcf", machine: pfe.Preset(pfe.W16), key: "doomed",
+				run: func() (*pfe.Result, error) { panic("hard fault") }},
+		}
+	}
+
+	sc := obs.NewSimCounters(nil)
+	log := &FailureLog{}
+	o := Options{Workers: 1, MaxRetries: 1, RetryBackoff: -1, FailBudget: 1,
+		Sim: sc, Failures: log, ExperimentID: "exp1"}
+	got, err := runCells(o, mk())
+	if err != nil {
+		t.Fatalf("under-budget failure aborted the batch: %v", err)
+	}
+	if r := got[[2]string{"gzip", "ok"}]; r == nil || r.Failed {
+		t.Errorf("healthy cell result = %+v", r)
+	}
+	ph := got[[2]string{"mcf", "doomed"}]
+	if ph == nil || !ph.Failed {
+		t.Fatalf("failed cell placeholder = %+v, want Failed=true", ph)
+	}
+	if sc.CellFailures.Value() != 1 {
+		t.Errorf("pfe_cell_failures_total = %d, want 1", sc.CellFailures.Value())
+	}
+	fails := log.All()
+	if len(fails) != 1 {
+		t.Fatalf("failure log has %d records, want 1", len(fails))
+	}
+	f := fails[0]
+	if f.Experiment != "exp1" || f.Bench != "mcf" || f.Key != "doomed" {
+		t.Errorf("failure identity = %+v", f)
+	}
+	if f.Attempts != 2 || !f.Panic || !strings.Contains(f.Error, "hard fault") {
+		t.Errorf("failure detail = %+v, want 2 attempts, panic, 'hard fault'", f)
+	}
+	if !strings.Contains(f.Stack, "runCell") && !strings.Contains(f.Stack, "safeRun") {
+		t.Errorf("failure stack does not show the cell frame:\n%s", f.Stack)
+	}
+
+	// Same cells, zero budget: the batch must abort with a descriptive error.
+	o.FailBudget = 0
+	o.Failures = &FailureLog{}
+	if _, err := runCells(o, mk()); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("over-budget batch returned %v, want a budget error", err)
+	}
+}
+
+// TestRunCellsDrainsOnCancel pins graceful-shutdown semantics at the
+// scheduler layer: cancelling the context mid-sweep returns the cells that
+// completed, leaves the rest unrun (no placeholders, no failures), and
+// wraps context.Canceled.
+func TestRunCellsDrainsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 40
+	cells := make([]cell, n)
+	var done atomic.Int32
+	for i := range cells {
+		i := i
+		cells[i] = cell{
+			bench: "gzip", machine: pfe.Preset(pfe.W16), key: fmt.Sprintf("c%02d", i),
+			run: func() (*pfe.Result, error) {
+				if done.Add(1) == 3 {
+					cancel() // cancel from inside the third cell
+				}
+				return fakeResult("gzip", fmt.Sprintf("c%02d", i), 1.0), nil
+			},
+		}
+	}
+	o := Options{Workers: 1, Ctx: ctx}
+	got, err := runCells(o, cells)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) == 0 || len(got) >= n {
+		t.Fatalf("%d/%d cells completed; want a strict partial subset", len(got), n)
+	}
+	if int(done.Load()) != len(got) {
+		t.Errorf("%d cells executed but %d results returned: drained cells must still report", done.Load(), len(got))
+	}
+	for k, r := range got {
+		if r == nil || r.Failed {
+			t.Errorf("completed cell %v = %+v", k, r)
+		}
+	}
+}
+
+// TestJournalResumeRoundTrip pins the resume contract end to end within the
+// package: journal a sweep, reload it, and a resumed sweep must serve every
+// cell from the journal (the run hook proves no re-execution) with
+// bit-identical float results — then re-run when the config hash changes.
+func TestJournalResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "cells.journal")
+
+	mkCells := func(reran *atomic.Int32) []cell {
+		cells := make([]cell, 0, 4)
+		for i := 0; i < 4; i++ {
+			i := i
+			cells = append(cells, cell{
+				bench: "gzip", machine: pfe.Preset(pfe.W16), key: fmt.Sprintf("k%d", i),
+				run: func() (*pfe.Result, error) {
+					if reran != nil {
+						reran.Add(1)
+					}
+					// Awkward floats that must round-trip exactly.
+					return fakeResult("gzip", "W16", 1.0/3.0+float64(i)*0.1), nil
+				},
+			})
+		}
+		return cells
+	}
+
+	w, err := journal.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Workers: 2, Journal: w, ExperimentID: "rt"}
+	first, err := runCells(o, mkCells(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("journal reported append errors: %v", err)
+	}
+	w.Close()
+
+	res, err := LoadResume(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells() != 4 || res.Torn != 0 {
+		t.Fatalf("resume index: %d cells, %d torn; want 4, 0", res.Cells(), res.Torn)
+	}
+
+	var reran atomic.Int32
+	o2 := Options{Workers: 2, Resume: res, ExperimentID: "rt"}
+	second, err := runCells(o2, mkCells(&reran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reran.Load() != 0 {
+		t.Fatalf("%d cells re-ran despite a complete journal", reran.Load())
+	}
+	if res.Replayed.Load() != 4 {
+		t.Errorf("replayed = %d, want 4", res.Replayed.Load())
+	}
+	for k, want := range first {
+		got := second[k]
+		if got == nil {
+			t.Fatalf("resumed sweep missing %v", k)
+		}
+		if got.IPC != want.IPC || got.Cycles != want.Cycles || got.Committed != want.Committed {
+			t.Errorf("%v: replayed result differs: IPC %v vs %v", k, got.IPC, want.IPC)
+		}
+	}
+
+	// Determinism cross-check: a different instruction budget changes the
+	// config hash, so the journal must NOT be replayed.
+	reran.Store(0)
+	o3 := Options{Workers: 2, Resume: res, ExperimentID: "rt", Warmup: 1, Measure: 2}
+	if _, err := runCells(o3, mkCells(&reran)); err != nil {
+		t.Fatal(err)
+	}
+	if reran.Load() != 4 {
+		t.Errorf("%d cells re-ran after config change, want all 4", reran.Load())
+	}
+	if res.Mismatched.Load() != 4 {
+		t.Errorf("mismatched = %d, want 4", res.Mismatched.Load())
+	}
+}
+
+// TestInjectStallProducesDiagnosticDump drives a real simulation through
+// the "stall" injection mode: the watchdog must trip, the cell must fail
+// with a StallError, and the failure record must reference a diagnostic
+// dump whose header identifies the stall.
+func TestInjectStallProducesDiagnosticDump(t *testing.T) {
+	dir := t.TempDir()
+	log := &FailureLog{}
+	o := Options{
+		Warmup: 1_000, Measure: 2_000, Workers: 1,
+		RetryBackoff: -1, FailBudget: 1,
+		Failures: log, DumpDir: dir, ExperimentID: "inj",
+		Inject: map[string]string{"gzip/W16": "stall"},
+	}
+	cells := []cell{{bench: "gzip", machine: pfe.Preset(pfe.W16), key: "W16"}}
+	got, err := runCells(o, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := got[[2]string{"gzip", "W16"}]; r == nil || !r.Failed {
+		t.Fatalf("injected cell result = %+v, want a Failed placeholder", r)
+	}
+	fails := log.All()
+	if len(fails) != 1 {
+		t.Fatalf("failure log has %d records, want 1", len(fails))
+	}
+	f := fails[0]
+	if !strings.Contains(f.Error, "no commit") {
+		t.Errorf("failure error %q does not describe the stall", f.Error)
+	}
+	if f.DumpPath == "" {
+		t.Fatal("stall failure has no diagnostic dump path")
+	}
+	b, err := os.ReadFile(f.DumpPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "pfe stall diagnostic v1\n") {
+		t.Errorf("dump does not start with the diagnostic header:\n%.200s", b)
+	}
+	if !strings.Contains(string(b), "reason: no-progress") {
+		t.Errorf("dump missing stall reason:\n%.400s", b)
+	}
+}
+
+// TestInjectPanicAndErrorModes covers the two remaining injection modes
+// through a real cell config: both must fail without retries (budget 2) and
+// be distinguishable in their records.
+func TestInjectPanicAndErrorModes(t *testing.T) {
+	log := &FailureLog{}
+	o := Options{
+		Warmup: 1_000, Measure: 2_000, Workers: 2,
+		RetryBackoff: -1, FailBudget: 2,
+		Failures: log, ExperimentID: "inj2",
+		Inject: map[string]string{
+			"gzip/a": "panic",
+			"mcf/b":  "error",
+		},
+	}
+	cells := []cell{
+		{bench: "gzip", machine: pfe.Preset(pfe.W16), key: "a"},
+		{bench: "mcf", machine: pfe.Preset(pfe.W16), key: "b"},
+	}
+	if _, err := runCells(o, cells); err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]obs.CellFailure{}
+	for _, f := range log.All() {
+		byKey[f.Key] = f
+	}
+	if f := byKey["a"]; !f.Panic || !strings.Contains(f.Error, "injected") {
+		t.Errorf("panic injection record = %+v", f)
+	}
+	if f := byKey["b"]; f.Panic || !strings.Contains(f.Error, "injected") {
+		t.Errorf("error injection record = %+v", f)
+	}
+}

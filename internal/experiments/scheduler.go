@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -79,7 +80,11 @@ func (d *shardDeque) push(tasks []int) {
 // concurrent use; exactly-once delivery holds because every task index
 // lives in exactly one deque and both take and steal remove under the
 // deque's lock.
-func runSharded(n, workers int, run func(idx int)) []ShardStat {
+//
+// Cancelling ctx drains the pool: each worker finishes the task it is
+// executing, then stops claiming new ones. Tasks never claimed are simply
+// not run — at-most-once under cancellation, exactly-once otherwise.
+func runSharded(ctx context.Context, n, workers int, run func(idx int)) []ShardStat {
 	if n <= 0 {
 		return nil
 	}
@@ -112,6 +117,9 @@ func runSharded(n, workers int, run func(idx int)) []ShardStat {
 			var emaNs float64
 			batchSize := 1
 			for {
+				if ctx.Err() != nil {
+					break
+				}
 				batch = self.takeFront(batch[:0], batchSize)
 				if len(batch) == 0 {
 					// Own deque dry: steal half of the first
@@ -134,13 +142,21 @@ func runSharded(n, workers int, run func(idx int)) []ShardStat {
 					}
 				}
 				start := time.Now()
+				ran := 0
 				for _, idx := range batch {
+					if ctx.Err() != nil {
+						break
+					}
 					run(idx)
+					ran++
 				}
 				d := time.Since(start)
 				busy += d
-				st.Ran += len(batch)
-				per := float64(d.Nanoseconds()) / float64(len(batch))
+				st.Ran += ran
+				if ran == 0 {
+					break // canceled before the batch started
+				}
+				per := float64(d.Nanoseconds()) / float64(ran)
 				if emaNs == 0 {
 					emaNs = per
 				} else {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -19,7 +20,7 @@ func TestRunShardedExactlyOnce(t *testing.T) {
 		for i := range counts {
 			counts[i].Store(0)
 		}
-		stats := runSharded(n, workers, func(i int) { counts[i].Add(1) })
+		stats := runSharded(context.Background(), n, workers, func(i int) { counts[i].Add(1) })
 		if len(stats) != workers {
 			t.Fatalf("workers=%d: %d shard stats", workers, len(stats))
 		}
@@ -42,17 +43,17 @@ func TestRunShardedExactlyOnce(t *testing.T) {
 // than tasks (clamped so no deque starts empty), and non-positive worker
 // counts (clamped to serial).
 func TestRunShardedBounds(t *testing.T) {
-	if stats := runSharded(0, 4, func(int) { t.Error("ran a task of zero") }); stats != nil {
+	if stats := runSharded(context.Background(), 0, 4, func(int) { t.Error("ran a task of zero") }); stats != nil {
 		t.Errorf("n=0: stats = %v, want nil", stats)
 	}
 	var ran atomic.Int32
-	stats := runSharded(3, 100, func(int) { ran.Add(1) })
+	stats := runSharded(context.Background(), 3, 100, func(int) { ran.Add(1) })
 	if len(stats) != 3 || ran.Load() != 3 {
 		t.Errorf("n=3 workers=100: %d shards, %d runs; want 3 and 3", len(stats), ran.Load())
 	}
 	for _, workers := range []int{0, -5} {
 		ran.Store(0)
-		stats := runSharded(4, workers, func(int) { ran.Add(1) })
+		stats := runSharded(context.Background(), 4, workers, func(int) { ran.Add(1) })
 		if len(stats) != 1 || stats[0].Ran != 4 || ran.Load() != 4 {
 			t.Errorf("workers=%d: stats %v, %d runs; want one serial shard of 4", workers, stats, ran.Load())
 		}
@@ -69,7 +70,7 @@ func TestRunShardedStealsSkewedWork(t *testing.T) {
 	const slow = 25 * time.Millisecond
 	var ran [8]atomic.Int32
 	start := time.Now()
-	stats := runSharded(len(ran), 2, func(i int) {
+	stats := runSharded(context.Background(), len(ran), 2, func(i int) {
 		ran[i].Add(1)
 		if i < 4 {
 			time.Sleep(slow) // worker 0's seeded block

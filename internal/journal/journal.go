@@ -1,0 +1,159 @@
+// Package journal is a crash-safe append-only JSONL write-ahead log for
+// experiment results: each record is one line carrying a CRC32 of its exact
+// payload bytes, and every append is fsynced before it is reported durable.
+// A process killed mid-write can therefore leave at most one torn final
+// line, which readers detect and drop; anything the journal acknowledged
+// survives the kill and is replayable with `pfe-bench -resume`.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/obs"
+)
+
+// line is the wire form of one record: crc is the IEEE CRC32 of the exact
+// bytes of d as they appear on the line.
+type line struct {
+	CRC string          `json:"crc"`
+	D   json.RawMessage `json:"d"`
+}
+
+// Writer appends checksummed records to a journal file. Append is safe for
+// concurrent use (experiment workers journal from many goroutines).
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	buf      bytes.Buffer
+	firstErr error
+
+	// FsyncHist, if non-nil, observes each append's fsync latency in
+	// seconds (pfe_journal_fsync_seconds).
+	FsyncHist *obs.Histogram
+}
+
+// Create opens path for appending, creating it if needed. An existing
+// journal is extended, never truncated — that is what makes resume append
+// new results to the same file it replayed.
+func Create(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{f: f}, nil
+}
+
+// Append marshals v, frames it with a checksum and fsyncs the record. When
+// Append returns nil the record is durable. The first error is also
+// retained for Err(), so fire-and-forget callers (the experiment hot path)
+// can surface a broken journal once at the end of the run.
+func (w *Writer) Append(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return w.fail(fmt.Errorf("journal: marshaling record: %w", err))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Reset()
+	fmt.Fprintf(&w.buf, `{"crc":"%08x","d":`, crc32.ChecksumIEEE(payload))
+	w.buf.Write(payload)
+	w.buf.WriteString("}\n")
+	if _, err := w.f.Write(w.buf.Bytes()); err != nil {
+		return w.failLocked(fmt.Errorf("journal: appending record: %w", err))
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return w.failLocked(fmt.Errorf("journal: fsync: %w", err))
+	}
+	if w.FsyncHist != nil {
+		w.FsyncHist.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+func (w *Writer) fail(err error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failLocked(err)
+}
+
+func (w *Writer) failLocked(err error) error {
+	if w.firstErr == nil {
+		w.firstErr = err
+	}
+	return err
+}
+
+// Err returns the first append error, if any. A non-nil Err means the
+// journal is missing records and must not be trusted as a resume base.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.firstErr
+}
+
+// Close closes the underlying file. Records already appended stay durable.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Scan reads a journal, calling fn with each record's payload bytes in
+// append order. It returns the number of valid records delivered and the
+// number of trailing lines dropped as torn (0 or 1 in practice).
+//
+// A checksum or framing failure on the *final* line is the expected
+// signature of a crash mid-append and is tolerated; the same failure
+// followed by further valid records means the file was corrupted at rest,
+// which Scan reports as an error rather than silently replaying around.
+func Scan(path string, fn func(payload []byte) error) (records, torn int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	badLine := 0 // 1-based line number of the first undecodable line
+	for sc.Scan() {
+		lineNo++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if badLine != 0 {
+			return records, 0, fmt.Errorf("journal: %s:%d: corrupt record followed by more data (not a torn tail)", path, badLine)
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			badLine = lineNo
+			continue
+		}
+		sum := fmt.Sprintf("%08x", crc32.ChecksumIEEE(l.D))
+		if sum != l.CRC {
+			badLine = lineNo
+			continue
+		}
+		if err := fn(l.D); err != nil {
+			return records, 0, err
+		}
+		records++
+	}
+	if err := sc.Err(); err != nil {
+		return records, 0, fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	if badLine != 0 {
+		torn = 1
+	}
+	return records, torn, nil
+}

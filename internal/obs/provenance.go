@@ -90,6 +90,22 @@ type Row struct {
 	Committed int64  `json:"committed"`
 }
 
+// CellFailure is one experiment cell that exhausted its retries: the
+// structured failure record the harness reports instead of aborting the
+// sweep. DumpPath, when set, references the stall diagnostic bundle
+// (flight-recorder events, per-stage occupancy, predictor state) written
+// for a watchdog trip.
+type CellFailure struct {
+	Experiment string `json:"experiment"`
+	Bench      string `json:"bench"`
+	Key        string `json:"config"`
+	Attempts   int    `json:"attempts"`
+	Error      string `json:"error"`
+	Panic      bool   `json:"panic,omitempty"`
+	Stack      string `json:"stack,omitempty"`
+	DumpPath   string `json:"dump_path,omitempty"`
+}
+
 // SchedulerReport summarizes how the work-stealing scheduler executed an
 // experiment's simulations: pool size, steal traffic, and how much of the
 // workers' combined wall time was spent running simulations (utilization).
@@ -125,6 +141,15 @@ type Report struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	TotalSims   int     `json:"total_sims"`
 	SimsPerSec  float64 `json:"sims_per_sec,omitempty"`
+
+	// Partial marks a report emitted by a run that did not complete every
+	// planned cell — an interrupted (SIGINT/SIGTERM-drained) sweep or one
+	// degraded by cell failures. Partial reports are still valid resume
+	// bases and comparator inputs for the rows they do contain.
+	Partial bool `json:"partial,omitempty"`
+
+	// Failures lists the cells that failed under the failure budget.
+	Failures []CellFailure `json:"failures,omitempty"`
 
 	// StageSeconds is the aggregate simulator self-profile (present only
 	// when runs were profiled).
@@ -261,6 +286,22 @@ func (b *ReportBuilder) AddScheduler(id string, workers, tasks, stolen int, busy
 	e.Scheduler.BusySeconds += busySeconds
 }
 
+// AddFailure records one failed cell in the report's failures block.
+func (b *ReportBuilder) AddFailure(f CellFailure) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rep.Failures = append(b.rep.Failures, f)
+	b.rep.Partial = true
+}
+
+// SetPartial marks the report as covering an incomplete run (e.g. a sweep
+// drained early by SIGINT/SIGTERM).
+func (b *ReportBuilder) SetPartial() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rep.Partial = true
+}
+
 // FinishExperiment records an experiment's wall time.
 func (b *ReportBuilder) FinishExperiment(id string, wall time.Duration) {
 	b.mu.Lock()
@@ -293,6 +334,16 @@ func (b *ReportBuilder) Finalize(totalWall time.Duration) *Report {
 		total += e.Sims
 		b.rep.Experiments = append(b.rep.Experiments, *e)
 	}
+	sort.Slice(b.rep.Failures, func(x, y int) bool {
+		fx, fy := b.rep.Failures[x], b.rep.Failures[y]
+		if fx.Experiment != fy.Experiment {
+			return fx.Experiment < fy.Experiment
+		}
+		if fx.Bench != fy.Bench {
+			return fx.Bench < fy.Bench
+		}
+		return fx.Key < fy.Key
+	})
 	b.rep.TotalSims = total
 	b.rep.WallSeconds = totalWall.Seconds()
 	if b.rep.WallSeconds > 0 {

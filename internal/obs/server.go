@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // NewMux builds the telemetry HTTP handler:
@@ -36,15 +38,72 @@ func NewMux(reg *Registry, tr *Tracker) *http.ServeMux {
 	return mux
 }
 
+// Server is a running telemetry server with an explicit shutdown path:
+// Shutdown stops the listener, lets in-flight scrapes finish, and only then
+// returns — so a final /metrics pull during process teardown is never cut
+// off mid-body.
+type Server struct {
+	srv  *http.Server
+	addr net.Addr
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // closed when the serve loop exits
+}
+
 // Serve starts the telemetry server on addr (e.g. ":6060") in a background
-// goroutine and returns the server plus the bound address. Callers should
-// Close the returned server when done.
-func Serve(addr string, reg *Registry, tr *Tracker) (*http.Server, net.Addr, error) {
+// goroutine. Callers must Shutdown (graceful) or Close (abrupt) the returned
+// server when done.
+func Serve(addr string, reg *Registry, tr *Tracker) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	srv := &http.Server{Handler: NewMux(reg, tr)}
-	go srv.Serve(ln)
-	return srv, ln.Addr(), nil
+	s := &Server{
+		srv:  &http.Server{Handler: NewMux(reg, tr)},
+		addr: ln.Addr(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.addr }
+
+// Shutdown gracefully stops the server: the listener closes immediately (no
+// new scrapes), in-flight requests run to completion (bounded by ctx), and
+// the serve loop has exited by the time Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.srv.Shutdown(ctx)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// Close abruptly closes the listener and every active connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.srv.Close()
 }

@@ -1,0 +1,117 @@
+package obs_test
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/obs"
+)
+
+// TestServerShutdownDrainsInFlightScrape pins the graceful-shutdown
+// contract: a /metrics scrape that is mid-flight when Shutdown is called
+// completes with a full body, the listener stops accepting new connections,
+// and Shutdown does not return before the request finishes.
+func TestServerShutdownDrainsInFlightScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("pfe_test_total", "test counter").Add(42)
+	// A scrape-time gauge that blocks until released, holding the scrape
+	// in flight across the Shutdown call.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	reg.GaugeFunc("pfe_slow_gauge", "blocks the first scrape", func() float64 {
+		if !once {
+			once = true
+			close(entered)
+			<-release
+		}
+		return 1
+	})
+
+	srv, err := obs.Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	type scrape struct {
+		body string
+		code int
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(b), code: resp.StatusCode, err: err}
+	}()
+
+	<-entered // the scrape is now blocked inside the handler
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// Shutdown must wait for the in-flight request, not race past it.
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned (%v) while a scrape was still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("in-flight scrape failed: %v", s.err)
+	}
+	if s.code != http.StatusOK {
+		t.Fatalf("in-flight scrape status = %d, want 200", s.code)
+	}
+	if !strings.Contains(s.body, "pfe_test_total 42") {
+		t.Errorf("scrape body incomplete:\n%s", s.body)
+	}
+
+	// The listener is closed: new connections are refused.
+	if conn, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		conn.Close()
+		t.Error("listener still accepting connections after Shutdown")
+	}
+
+	// Shutdown is idempotent.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Errorf("Shutdown after Close: %v", err)
+	}
+}

@@ -1,5 +1,9 @@
 package obs
 
+// journalFsyncBounds are the pfe_journal_fsync_seconds bucket upper edges:
+// sub-100µs (page cache), the common SSD range, and pathological stalls.
+var journalFsyncBounds = []float64{1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1}
+
 // SimCounters is the live telemetry a running simulation feeds: aggregate
 // counters shared by every concurrent simulation in the process, flushed in
 // batches from the cycle loop (see internal/sim). All fields are safe for
@@ -27,6 +31,19 @@ type SimCounters struct {
 	// the pools avoided.
 	PoolGets   *Counter
 	PoolMisses *Counter
+
+	// WatchdogTrips counts forward-progress watchdog trips (deadlocked,
+	// livelocked or MaxCycles-exhausted runs).
+	WatchdogTrips *Counter
+
+	// CellRetries and CellFailures count experiment-harness cell retry
+	// attempts and cells that exhausted their retries.
+	CellRetries  *Counter
+	CellFailures *Counter
+
+	// JournalFsync observes the crash-safe journal's per-record fsync
+	// latency in seconds.
+	JournalFsync *Histogram
 
 	// Prof attributes the simulator's own wall time per pipeline stage;
 	// shared by every simulation that runs with these counters attached.
@@ -59,7 +76,9 @@ func (s *SimCounters) PoolReuseRatio() float64 {
 //	pfe_cycles_total, pfe_committed_instructions_total, pfe_squashes_total,
 //	pfe_redirects_total, pfe_sims_started_total, pfe_sims_completed_total,
 //	pfe_pool_gets_total, pfe_pool_misses_total, pfe_pool_reuse_ratio,
-//	pfe_running_ipc, pfe_stage_seconds_total{stage=...}
+//	pfe_running_ipc, pfe_stage_seconds_total{stage=...},
+//	pfe_watchdog_trips_total, pfe_cell_retries_total,
+//	pfe_cell_failures_total, pfe_journal_fsync_seconds
 func NewSimCounters(r *Registry) *SimCounters {
 	s := &SimCounters{Prof: NewStageProf(0)}
 	if r == nil {
@@ -71,6 +90,10 @@ func NewSimCounters(r *Registry) *SimCounters {
 		s.SimsCompleted = NewCounter()
 		s.PoolGets = NewCounter()
 		s.PoolMisses = NewCounter()
+		s.WatchdogTrips = NewCounter()
+		s.CellRetries = NewCounter()
+		s.CellFailures = NewCounter()
+		s.JournalFsync = NewHistogram(journalFsyncBounds)
 		return s
 	}
 	s.Cycles = r.Counter("pfe_cycles_total", "Simulated cycles across all runs (warmup included).")
@@ -81,6 +104,10 @@ func NewSimCounters(r *Registry) *SimCounters {
 	s.SimsCompleted = r.Counter("pfe_sims_completed_total", "Simulations completed.")
 	s.PoolGets = r.Counter("pfe_pool_gets_total", "Free-list gets across all runs (simulator object recycling).")
 	s.PoolMisses = r.Counter("pfe_pool_misses_total", "Free-list gets that had to allocate (no recycled object available).")
+	s.WatchdogTrips = r.Counter("pfe_watchdog_trips_total", "Forward-progress watchdog trips (deadlocked, livelocked or MaxCycles-exhausted runs).")
+	s.CellRetries = r.Counter("pfe_cell_retries_total", "Experiment cell retry attempts after a failed or panicked run.")
+	s.CellFailures = r.Counter("pfe_cell_failures_total", "Experiment cells that exhausted their retries and were recorded as failures.")
+	s.JournalFsync = r.Histogram("pfe_journal_fsync_seconds", "Crash-safe journal per-record fsync latency.", journalFsyncBounds)
 	r.GaugeFunc("pfe_pool_reuse_ratio", "Fraction of free-list gets satisfied by a recycled object.", s.PoolReuseRatio)
 	r.GaugeFunc("pfe_running_ipc", "Aggregate committed instructions per simulated cycle across all runs.", s.RunningIPC)
 	for _, st := range Stages() {

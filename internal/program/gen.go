@@ -108,8 +108,25 @@ type gen struct {
 	labelSeq   int
 }
 
-// Build generates, links and validates the benchmark described by spec.
-func Build(spec Spec) (*Program, error) {
+// genError carries a generation failure up from deep inside the emitters
+// (which have no error returns) to Build's API boundary, where it becomes an
+// ordinary error. Any other panic value is re-raised untouched.
+type genError struct{ err error }
+
+// Build generates, links and validates the benchmark described by spec. All
+// failure modes — a malformed spec, a layout overflow during generation, a
+// link or encode error — come back as errors, never as panics: a bad spec
+// must cost one experiment cell, not the whole process.
+func Build(spec Spec) (p *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ge, ok := r.(genError)
+			if !ok {
+				panic(r)
+			}
+			p, err = nil, ge.err
+		}
+	}()
 	if err := checkSpec(spec); err != nil {
 		return nil, err
 	}
@@ -127,8 +144,8 @@ func Build(spec Spec) (*Program, error) {
 	// Layout: main, drivers, workers, helpers. main comes first so the
 	// entry PC is CodeBase.
 	g.genMain()
-	for p := 0; p < spec.Phases; p++ {
-		g.genDriver(p)
+	for ph := 0; ph < spec.Phases; ph++ {
+		g.genDriver(ph)
 	}
 	for w := 0; w < spec.Workers; w++ {
 		g.genWorker(w)
@@ -149,7 +166,7 @@ func Build(spec Spec) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("program %s: %w", spec.Name, err)
 	}
-	p := &Program{
+	p = &Program{
 		Name:     spec.Name,
 		Input:    spec.Input,
 		Code:     g.a.insts,
@@ -504,7 +521,8 @@ func (g *gen) allocTable(k int) int {
 	off := g.nextTable
 	g.nextTable += k * 4
 	if g.nextTable > heapDataOff {
-		panic(fmt.Sprintf("program %s: jump-table region overflow (%d bytes)", g.spec.Name, g.nextTable))
+		panic(genError{fmt.Errorf("program %s: jump-table region overflow (%d bytes > %d available)",
+			g.spec.Name, g.nextTable-jumpTableBase, heapDataOff-jumpTableBase)})
 	}
 	return off
 }

@@ -1,0 +1,49 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildOverflowIsErrorNotPanic pins the generator's failure contract: a
+// spec whose jump tables cannot fit the data-segment region must come back
+// from Build as an error (which the experiment harness turns into a cell
+// failure), never as a panic that would abort a whole sweep.
+func TestBuildOverflowIsErrorNotPanic(t *testing.T) {
+	spec := TestSpec()
+	spec.Name = "overflow"
+	// Each switch allocates SwitchWays*4 bytes of jump table; the region
+	// holds heapDataOff-jumpTableBase bytes. Force every worker to emit a
+	// maximal switch so the second one overflows.
+	spec.SwitchWays = 16384 // 64 KiB of table per switch
+	spec.SwitchFrac = 1.0
+	spec.IndirectCallFrac = 0
+	spec.Workers = 6
+
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Build panicked: %v", r)
+		}
+	}()
+	p, err := Build(spec)
+	if err == nil {
+		t.Fatalf("Build succeeded (%d insts) on an overflowing spec", len(p.Code))
+	}
+	if !strings.Contains(err.Error(), "jump-table region overflow") {
+		t.Errorf("error %q does not describe the overflow", err)
+	}
+}
+
+// TestBuildUnrelatedPanicsStillPropagate makes sure the recover in Build is
+// scoped to generator errors only: checkSpec rejections still flow as plain
+// errors, and valid specs still build.
+func TestBuildValidSpecUnaffectedByRecover(t *testing.T) {
+	if _, err := Build(TestSpec()); err != nil {
+		t.Fatalf("valid spec failed: %v", err)
+	}
+	bad := TestSpec()
+	bad.Name = ""
+	if _, err := Build(bad); err == nil {
+		t.Fatal("nameless spec accepted")
+	}
+}

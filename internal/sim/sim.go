@@ -34,6 +34,18 @@ type Config struct {
 	MeasureInsts int64
 	MaxCycles    uint64
 
+	// NoProgressCycles is the forward-progress watchdog threshold: a run
+	// that commits nothing for this many consecutive cycles is declared
+	// stalled and ends with a *StallError carrying a diagnostic bundle.
+	// 0 means DefaultNoProgressCycles.
+	NoProgressCycles uint64
+
+	// FlightRecorder, when positive, attaches a fixed-size ring retaining
+	// the last N pipeline events (in addition to any Events sink); the
+	// ring's contents go into the stall diagnostic when the watchdog
+	// trips. Emission into the ring never allocates.
+	FlightRecorder int
+
 	// CommitHook, if set, observes every committed instruction in
 	// program order (correctness tests compare this stream against the
 	// functional emulator).
@@ -127,6 +139,7 @@ type Sim struct {
 	stream *core.Stream
 	be     *backend.Backend
 	fe     *core.Unit
+	ring   *trace.RingSink // flight recorder (nil unless configured)
 
 	now          uint64
 	measuring    bool
@@ -158,6 +171,18 @@ func New(p *program.Program, cfg Config) (*Sim, error) {
 	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = uint64(cfg.WarmupInsts+cfg.MeasureInsts)*40 + 1_000_000
+	}
+	if cfg.NoProgressCycles == 0 {
+		cfg.NoProgressCycles = DefaultNoProgressCycles
+	}
+	var ring *trace.RingSink
+	if cfg.FlightRecorder > 0 {
+		ring = trace.NewRingSink(cfg.FlightRecorder)
+		if cfg.Events != nil {
+			cfg.Events = trace.TeeSink{cfg.Events, ring}
+		} else {
+			cfg.Events = ring
+		}
 	}
 
 	met := cfg.Metrics
@@ -192,7 +217,7 @@ func New(p *program.Program, cfg Config) (*Sim, error) {
 
 	s := &Sim{
 		cfg: cfg, p: p,
-		met: met, prof: prof, hier: hier, stream: stream, be: be, fe: fe,
+		met: met, prof: prof, hier: hier, stream: stream, be: be, fe: fe, ring: ring,
 		measuring: cfg.WarmupInsts == 0,
 		target:    cfg.WarmupInsts + cfg.MeasureInsts,
 	}
@@ -326,13 +351,14 @@ func (s *Sim) Step() bool {
 		s.stopped = true
 		return false
 	}
-	if now-s.lastProgress > 200_000 {
+	if now-s.lastProgress > cfg.NoProgressCycles {
 		pendDesc := "no pending redirect"
 		if pend := s.stream.Pending(); pend != nil {
 			pendDesc = fmt.Sprintf("pending redirect culprit=%d", pend.CulpritSeq)
 		}
-		s.err = fmt.Errorf("sim: %s/%s deadlocked at cycle %d (committed %d; %s; %s; drained=%v)",
-			cfg.FrontEnd.Name, s.p.Name, now, committed, s.be.DebugHead(), pendDesc, s.fe.Drained())
+		s.err = s.stall("no-progress",
+			fmt.Sprintf("sim: %s/%s deadlocked at cycle %d (no commit for %d cycles; committed %d; %s; %s; drained=%v)",
+				cfg.FrontEnd.Name, s.p.Name, now, now-s.lastProgress, committed, s.be.DebugHead(), pendDesc, s.fe.Drained()))
 		s.stopped = true
 		return false
 	}
@@ -362,7 +388,8 @@ func (s *Sim) Result() (*Result, error) {
 		}
 	}
 	if s.now >= cfg.MaxCycles {
-		s.err = fmt.Errorf("sim: %s/%s exceeded MaxCycles=%d", cfg.FrontEnd.Name, s.p.Name, cfg.MaxCycles)
+		s.err = s.stall("max-cycles",
+			fmt.Sprintf("sim: %s/%s exceeded MaxCycles=%d", cfg.FrontEnd.Name, s.p.Name, cfg.MaxCycles))
 		return nil, s.err
 	}
 	if !s.measuring {

@@ -49,6 +49,18 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
+// WriteText writes events one per line in their debug String form — the
+// human-readable export used by flight-recorder dumps.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		if _, err := fmt.Fprintln(bw, ev.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // Chrome trace_event format (the JSON Array/Object format consumed by
 // chrome://tracing and https://ui.perfetto.dev). Each pipeline stage gets
 // one "thread" per lane; events become "X" (complete) slices one cycle wide

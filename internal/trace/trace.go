@@ -185,6 +185,16 @@ func (r *RingSink) Dropped() uint64 {
 	return r.n - uint64(len(r.buf))
 }
 
+// Tail returns the most recent n retained events oldest-first (a copy).
+// n larger than the retained count returns everything retained.
+func (r *RingSink) Tail(n int) []Event {
+	evs := r.Events()
+	if n >= 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
 // Events returns the retained events oldest-first (a copy).
 func (r *RingSink) Events() []Event {
 	size := uint64(len(r.buf))

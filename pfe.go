@@ -215,6 +215,17 @@ type RunOptions struct {
 	// Result.StageSeconds. Off by default; the sampled timers cost a few
 	// time.Now calls per 64 cycles when on.
 	SelfProfile bool
+
+	// NoProgressCycles is the forward-progress watchdog threshold: a run
+	// that commits nothing for this many consecutive cycles ends with a
+	// stall error carrying a diagnostic bundle (see internal/sim). 0 means
+	// the 200 000-cycle default.
+	NoProgressCycles uint64
+
+	// FlightRecorder, when positive, retains the last N pipeline events in
+	// a fixed ring whose contents go into the stall diagnostic when the
+	// watchdog trips. Costs one ring write per event, no allocations.
+	FlightRecorder int
 }
 
 // DefaultRunOptions returns the harness defaults: 100 K instructions of
@@ -258,16 +269,18 @@ func runProgram(p *program.Program, m Machine, opts RunOptions) (*Result, error)
 		opts.MeasureInsts = def.MeasureInsts
 	}
 	cfg := sim.Config{
-		FrontEnd:     m.frontEnd,
-		Backend:      m.backend,
-		Mem:          m.memory,
-		WarmupInsts:  opts.WarmupInsts,
-		MeasureInsts: opts.MeasureInsts,
-		Trace:        opts.Trace,
-		TraceCycles:  opts.TraceCycles,
-		Events:       opts.Events,
-		Obs:          opts.Obs,
-		SelfProfile:  opts.SelfProfile,
+		FrontEnd:         m.frontEnd,
+		Backend:          m.backend,
+		Mem:              m.memory,
+		WarmupInsts:      opts.WarmupInsts,
+		MeasureInsts:     opts.MeasureInsts,
+		Trace:            opts.Trace,
+		TraceCycles:      opts.TraceCycles,
+		Events:           opts.Events,
+		Obs:              opts.Obs,
+		SelfProfile:      opts.SelfProfile,
+		NoProgressCycles: opts.NoProgressCycles,
+		FlightRecorder:   opts.FlightRecorder,
 	}
 	r, err := sim.Run(p, cfg)
 	if err != nil {

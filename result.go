@@ -13,6 +13,12 @@ type Result struct {
 	Bench  string
 	Config string
 
+	// Failed marks a zero-valued placeholder standing in for a cell that
+	// exhausted its retries under the experiment harness's failure budget.
+	// Renderers print its metrics as zeros; the structured failure record
+	// lives in the run report's failures block.
+	Failed bool
+
 	Cycles    uint64
 	Committed int64
 	IPC       float64
