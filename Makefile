@@ -7,6 +7,8 @@
 #   make test-robust   tier 1.5: fault-tolerance suite under -race (panic
 #                      isolation, retries, budget, watchdog, journal/resume,
 #                      SIGKILL + resume round trip, graceful shutdown)
+#   make vet           static hygiene: go vet + gofmt -l (fails on diff);
+#                      runs as part of `make test`
 #   make race          tier 2: vet + race detector over the short suite
 #   make fuzz          tier 3: short-budget fuzz smokes (differential targets)
 #   make bench         front-end comparison benchmarks (no -race)
@@ -24,13 +26,20 @@ BENCH_WARMUP  ?= 20000
 BENCH_MEASURE ?= 60000
 GIT_SHA       := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all test test-alloc test-robust race fuzz bench bench-stat bench-json bench-compare fmt
+.PHONY: all test test-alloc test-robust vet race fuzz bench bench-stat bench-json bench-compare fmt
 
 all: test test-alloc race fuzz
 
-test: test-robust
+test: vet test-robust
 	$(GO) build ./...
 	$(GO) test ./...
+
+# Static hygiene gate: go vet plus a gofmt cleanliness check that fails (and
+# names the offending files) if any file needs reformatting.
+vet:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Fault-tolerance tier, always under -race: the retry/journal/drain paths
 # are exactly the ones that run concurrently, so exercising them without the

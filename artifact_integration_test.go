@@ -1,0 +1,123 @@
+package pfe
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/artifact"
+	"github.com/parallel-frontend/pfe/internal/program"
+	"github.com/parallel-frontend/pfe/internal/trace"
+)
+
+// eventHash folds every pipeline event into an FNV hash: two runs with the
+// same hash behaved identically cycle by cycle, not just in their final
+// statistics.
+type eventHash struct {
+	h uint64
+}
+
+func (e *eventHash) Emit(ev trace.Event) {
+	f := fnv.New64a()
+	fmt.Fprintf(f, "%+v|%d", ev, e.h)
+	e.h = f.Sum64()
+}
+
+// TestArtifactCrossPathGolden is the tentpole determinism guarantee: for
+// every front-end preset, a run served from the artifact cache (shared
+// program image + oracle tape replay) is bit-identical to a cold run (fresh
+// build + live emulation) — same Result down to the histograms, and the
+// same per-cycle event stream.
+func TestArtifactCrossPathGolden(t *testing.T) {
+	cache := artifact.New(0)
+	for _, fe := range AllFrontEnds() {
+		fe := fe
+		t.Run(string(fe), func(t *testing.T) {
+			m := Preset(fe)
+
+			coldEvents := &eventHash{}
+			cold, err := Run("gzip", m, RunOptions{
+				WarmupInsts: 10_000, MeasureInsts: 30_000, Events: coldEvents,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cachedEvents := &eventHash{}
+			cached, err := Run("gzip", m, RunOptions{
+				WarmupInsts: 10_000, MeasureInsts: 30_000, Events: cachedEvents,
+				Artifacts: cache,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if coldEvents.h != cachedEvents.h {
+				t.Errorf("event streams diverged: cold %#x, cached %#x", coldEvents.h, cachedEvents.h)
+			}
+			if !reflect.DeepEqual(cold, cached) {
+				t.Errorf("results diverged:\n cold:   %+v\n cached: %+v", cold, cached)
+			}
+		})
+	}
+	s := cache.Stats()
+	if s.ProgramMisses != 1 || s.TapeMisses != 1 {
+		t.Errorf("cache should have built gzip once (program misses %d, tape misses %d)",
+			s.ProgramMisses, s.TapeMisses)
+	}
+	if s.TapeFallbackSteps != 0 {
+		t.Errorf("tape slack too small: %d instructions served by live fallback", s.TapeFallbackSteps)
+	}
+}
+
+// TestSharedProgramNotMutated proves the cache may hand the same *Program
+// to concurrent simulations: a fleet of cached runs across presets leaves
+// every byte of the shared image (code, encoded image, data segment)
+// untouched.
+func TestSharedProgramNotMutated(t *testing.T) {
+	spec, err := program.SpecByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := artifact.New(0)
+	p, err := cache.Program(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fingerprint := func() [32]byte {
+		h := sha256.New()
+		h.Write(p.Image)
+		h.Write(p.Data)
+		fmt.Fprintf(h, "%v|%d|%d", p.Code, p.EntryPC, p.DataSize)
+		var out [32]byte
+		copy(out[:], h.Sum(nil))
+		return out
+	}
+	before := fingerprint()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(AllFrontEnds()))
+	for _, fe := range AllFrontEnds() {
+		fe := fe
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := Run("gzip", Preset(fe), RunOptions{
+				WarmupInsts: 5_000, MeasureInsts: 10_000, Artifacts: cache,
+			})
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", fe, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if after := fingerprint(); after != before {
+		t.Fatal("a simulation mutated the shared Program image")
+	}
+}

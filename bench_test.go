@@ -13,6 +13,7 @@ package pfe_test
 import (
 	"testing"
 
+	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/experiments"
 )
 
@@ -109,6 +110,42 @@ func BenchmarkFig10PredictorSizeSensitivity(b *testing.B) {
 	last := res.At("PR-2x8w", 256<<10)
 	gain := (last/first - 1) / 4 * 100 // four doublings
 	b.ReportMetric(gain, "gainPerDoublingPct")
+}
+
+// BenchmarkSweepWorkloadReuse measures cross-cell workload reuse on the
+// figure sweeps that share a config grid (fig4, fig5, fig8 all evaluate the
+// same machine configurations over the same benchmarks). The cold variant is
+// what `-no-artifact-cache` does: every cell rebuilds its benchmark,
+// re-emulates from instruction zero, and re-simulates. The cached variant
+// shares program images and oracle tapes and serves duplicate cells from the
+// result memo — a fresh cache per iteration, so reuse within one sweep
+// sequence is what is being measured, not leftover state.
+func BenchmarkSweepWorkloadReuse(b *testing.B) {
+	ids := []string{"fig4", "fig5", "fig8"}
+	run := func(b *testing.B, cached bool) {
+		for i := 0; i < b.N; i++ {
+			opts := benchOpts()
+			if cached {
+				opts.Artifacts = artifact.New(256 << 20)
+			}
+			for _, id := range ids {
+				exp, err := experiments.ByID(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := exp.Run(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if cached && i == 0 {
+				s := opts.Artifacts.Stats()
+				b.ReportMetric(float64(s.ResultHits), "memoHits")
+				b.ReportMetric(float64(s.TapeBytes)/(1<<20), "tapeMiB")
+			}
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("artifact-cache", func(b *testing.B) { run(b, true) })
 }
 
 func BenchmarkFragmentConstruction(b *testing.B) {

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/experiments"
 	"github.com/parallel-frontend/pfe/internal/journal"
 	"github.com/parallel-frontend/pfe/internal/obs"
@@ -70,6 +71,9 @@ func run() int {
 		stallCycles = flag.Uint64("stall-cycles", 0, "watchdog threshold: fail a simulation after this many cycles without a commit (0 = simulator default)")
 		flightRec   = flag.Int("flight-recorder", 0, "keep the last N pipeline events per simulation for stall diagnostics (0 = off)")
 		inject      = flag.String("inject", "", "fault injection: comma-separated bench/key=mode with mode panic|error|stall (testing the harness itself)")
+
+		artifactMem = flag.Int64("artifact-mem", 256, "artifact cache cap in MiB (shared program images, oracle tapes, memoized cell results; LRU past the cap; 0 = unbounded)")
+		noArtifacts = flag.Bool("no-artifact-cache", false, "disable cross-cell workload reuse: every cell rebuilds its benchmark and re-emulates from instruction zero")
 	)
 	flag.Parse()
 
@@ -101,6 +105,9 @@ func run() int {
 		}
 		opts.Inject = m
 	}
+	if !*noArtifacts {
+		opts.Artifacts = artifact.New(*artifactMem << 20)
+	}
 
 	// SIGINT/SIGTERM drain the sweep instead of killing it: workers finish
 	// the cells they are running, the journal stays consistent, and a
@@ -131,6 +138,9 @@ func run() int {
 	}
 	if *httpAddr != "" || *selfProf {
 		opts.Sim = obs.NewSimCounters(reg)
+	}
+	if reg != nil && opts.Artifacts != nil {
+		opts.Artifacts.Register(reg)
 	}
 	tracker := obs.NewTracker(reg)
 	if *progress {
@@ -246,6 +256,23 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "resume: re-ran %d cell(s) whose journaled config hash did not match\n", n)
 		}
 	}
+	if opts.Artifacts != nil {
+		if s := opts.Artifacts.Stats(); s.Hits()+s.Misses() > 0 {
+			fmt.Fprintf(os.Stderr,
+				"artifacts: %d reused / %d built (programs %d/%d, tapes %d/%d, results %d/%d), %.1f MiB cached (%.1f MiB tapes)\n",
+				s.Hits(), s.Misses(),
+				s.ProgramHits, s.ProgramMisses, s.TapeHits, s.TapeMisses, s.ResultHits, s.ResultMisses,
+				float64(s.Bytes)/(1<<20), float64(s.TapeBytes)/(1<<20))
+			if s.Evictions > 0 {
+				fmt.Fprintf(os.Stderr, "artifacts: %d eviction(s) under the %d MiB -artifact-mem cap\n",
+					s.Evictions, s.MaxBytes>>20)
+			}
+			if s.TapeFallbackSteps > 0 {
+				fmt.Fprintf(os.Stderr, "artifacts: %d instruction(s) served by tape live-fallback (recording budget outrun)\n",
+					s.TapeFallbackSteps)
+			}
+		}
+	}
 	if opts.Journal != nil {
 		if err := opts.Journal.Err(); err != nil {
 			fmt.Fprintf(os.Stderr, "pfe-bench: journal unreliable (do not resume from it): %v\n", err)
@@ -261,6 +288,9 @@ func run() int {
 		}
 		if interrupted {
 			report.SetPartial()
+		}
+		if opts.Artifacts != nil {
+			report.SetArtifacts(artifactsReport(opts.Artifacts.Stats()))
 		}
 		rep := report.Finalize(time.Since(runStart))
 		if err := obs.WriteReportFile(*jsonOut, rep); err != nil {
@@ -286,6 +316,23 @@ func run() int {
 		}
 	}
 	return exit
+}
+
+// artifactsReport converts a cache snapshot into the report's reuse block.
+func artifactsReport(s artifact.Stats) obs.ArtifactsReport {
+	return obs.ArtifactsReport{
+		ProgramHits:       s.ProgramHits,
+		ProgramMisses:     s.ProgramMisses,
+		TapeHits:          s.TapeHits,
+		TapeMisses:        s.TapeMisses,
+		ResultHits:        s.ResultHits,
+		ResultMisses:      s.ResultMisses,
+		Evictions:         s.Evictions,
+		Bytes:             s.Bytes,
+		TapeBytes:         s.TapeBytes,
+		MaxBytes:          s.MaxBytes,
+		TapeFallbackSteps: s.TapeFallbackSteps,
+	}
 }
 
 // parseInject parses "bench/key=mode,..." into the harness's fault

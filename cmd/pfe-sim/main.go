@@ -1,9 +1,12 @@
 // pfe-sim runs one front-end configuration on one benchmark and prints
-// detailed statistics.
+// detailed statistics. With a comma-separated -frontend list it compares
+// several configurations on the same workload, sharing the built program
+// image and the recorded oracle tape across runs (see internal/artifact).
 //
 // Usage:
 //
 //	pfe-sim -bench gcc -frontend PR-2x8w
+//	pfe-sim -bench gcc -frontend W16,TC,PR-2x8w    # one workload, many configs
 //	pfe-sim -bench gzip -frontend TC -l1i 32 -measure 500000
 //	pfe-sim -bench gcc -http :6060 -measure 5000000   # live /metrics + pprof
 //	pfe-sim -bench gcc -selfprofile                   # where does sim time go?
@@ -14,16 +17,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/obs"
 )
 
 func main() {
 	var (
 		bench    = flag.String("bench", "gcc", "benchmark name (see -listbenches)")
-		frontend = flag.String("frontend", "PR-2x8w", "front-end: W16, TC, TC2x, PF-2x8w, PF-4x4w, PR-2x8w, PR-4x4w, TC+PR-2x8w, TC+PR-4x4w")
+		frontend = flag.String("frontend", "PR-2x8w", "front-end(s), comma-separated: W16, TC, TC2x, PF-2x8w, PF-4x4w, PR-2x8w, PR-4x4w, TC+PR-2x8w, TC+PR-4x4w")
 		l1iKB    = flag.Int("l1i", 0, "override total L1 instruction storage in KB (0 = preset default)")
 		predEnt  = flag.Int("pred", 0, "override fragment predictor primary entries (0 = 64K)")
 		warmup   = flag.Int64("warmup", 100_000, "warmup instructions")
@@ -32,6 +37,9 @@ func main() {
 		trace    = flag.Uint64("trace", 0, "print a per-cycle pipeline trace for the first N cycles")
 		httpAddr = flag.String("http", "", "serve live telemetry on this address (/metrics, /status, /debug/pprof)")
 		selfProf = flag.Bool("selfprofile", false, "attribute the simulator's own wall time per pipeline stage (sampled)")
+
+		artifactMem = flag.Int64("artifact-mem", 256, "artifact cache cap in MiB when several front-ends share a workload (0 = unbounded)")
+		noArtifacts = flag.Bool("no-artifact-cache", false, "disable workload reuse across the -frontend list (rebuild + re-emulate per run)")
 	)
 	flag.Parse()
 
@@ -42,22 +50,22 @@ func main() {
 		return
 	}
 
-	m := pfe.Preset(pfe.FrontEnd(*frontend))
-
-	if *l1iKB > 0 {
-		m = m.WithTotalL1I(*l1iKB)
-	}
-	if *predEnt > 0 {
-		m = m.WithPredictorEntries(*predEnt)
-	}
+	frontends := strings.Split(*frontend, ",")
 	opts := pfe.RunOptions{WarmupInsts: *warmup, MeasureInsts: *measure, SelfProfile: *selfProf}
 	if *trace > 0 {
 		opts.Trace = os.Stdout
 		opts.TraceCycles = *trace
 	}
+	// Reuse only pays off when several runs share the workload: a single
+	// run would record a tape and then replay it once.
+	if len(frontends) > 1 && !*noArtifacts {
+		opts.Artifacts = artifact.New(*artifactMem << 20)
+	}
+	var reg *obs.Registry
 	if *httpAddr != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		opts.Obs = obs.NewSimCounters(reg)
+		opts.Artifacts.Register(reg) // nil-safe
 		srv, err := obs.Serve(*httpAddr, reg, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfe-sim: telemetry server:", err)
@@ -70,12 +78,33 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics  /debug/pprof/\n", srv.Addr())
 	}
-	res, err := pfe.Run(*bench, m, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 
+	for i, fe := range frontends {
+		m := pfe.Preset(pfe.FrontEnd(strings.TrimSpace(fe)))
+		if *l1iKB > 0 {
+			m = m.WithTotalL1I(*l1iKB)
+		}
+		if *predEnt > 0 {
+			m = m.WithPredictorEntries(*predEnt)
+		}
+		res, err := pfe.Run(*bench, m, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(res)
+	}
+	if opts.Artifacts != nil {
+		s := opts.Artifacts.Stats()
+		fmt.Fprintf(os.Stderr, "artifacts: %d reused / %d built, %.1f MiB cached (%.1f MiB tapes)\n",
+			s.Hits(), s.Misses(), float64(s.Bytes)/(1<<20), float64(s.TapeBytes)/(1<<20))
+	}
+}
+
+func printResult(res *pfe.Result) {
 	fmt.Println(res)
 	fmt.Printf("  fetch slot utilization: %.3f\n", res.FetchSlotUtilization)
 	fmt.Printf("  fragment prediction:    %.3f (of generated fragments, wrong-path included)\n", res.FragPredAccuracy)

@@ -1,0 +1,166 @@
+package artifact
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+func gccSpec(t *testing.T) program.Spec {
+	t.Helper()
+	spec, err := program.SpecByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestCacheSingleFlight hammers one key from many goroutines: everyone gets
+// the same shared *Program, and the build ran exactly once (one miss, the
+// rest hits).
+func TestCacheSingleFlight(t *testing.T) {
+	c := New(0)
+	spec := gccSpec(t)
+	const n = 16
+	progs := make([]*program.Program, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := c.Program(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if progs[i] != progs[0] {
+			t.Fatalf("caller %d got a different *Program than caller 0", i)
+		}
+	}
+	s := c.Stats()
+	if s.ProgramMisses != 1 || s.ProgramHits != n-1 {
+		t.Fatalf("program traffic: %d misses / %d hits, want 1 / %d", s.ProgramMisses, s.ProgramHits, n-1)
+	}
+}
+
+// TestCacheTapeSharesProgram verifies the tape build goes through the same
+// cache for its program, and tape bytes are accounted separately.
+func TestCacheTapeSharesProgram(t *testing.T) {
+	c := New(0)
+	spec := gccSpec(t)
+	tape1, err := c.Tape(spec, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape2, err := c.Tape(spec, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tape1 != tape2 {
+		t.Fatal("same (spec, budget) returned distinct tapes")
+	}
+	s := c.Stats()
+	if s.TapeMisses != 1 || s.TapeHits != 1 {
+		t.Fatalf("tape traffic: %d misses / %d hits, want 1 / 1", s.TapeMisses, s.TapeHits)
+	}
+	if s.ProgramMisses != 1 {
+		t.Fatalf("tape recording should have built the program once, got %d misses", s.ProgramMisses)
+	}
+	if s.TapeBytes <= 0 || s.TapeBytes >= s.Bytes {
+		t.Fatalf("tape bytes accounting: tape=%d total=%d", s.TapeBytes, s.Bytes)
+	}
+}
+
+// TestCacheLRUEviction fills a tiny cache with results and checks the cap
+// holds, oldest-first, while the most recent entry always survives.
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(1024)
+	for i := 0; i < 8; i++ {
+		c.PutResult(fmt.Sprintf("k%d", i), i, 256)
+	}
+	s := c.Stats()
+	if s.Bytes > 1024 {
+		t.Fatalf("cache holds %d bytes, cap is 1024", s.Bytes)
+	}
+	if s.Evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", s.Evictions)
+	}
+	if _, ok := c.GetResult("k0"); ok {
+		t.Fatal("oldest entry k0 survived eviction")
+	}
+	if v, ok := c.GetResult("k7"); !ok || v.(int) != 7 {
+		t.Fatalf("newest entry k7 missing (ok=%v v=%v)", ok, v)
+	}
+}
+
+// TestCacheResultRoundTrip covers the memoization surface incl. the miss
+// counter and the keep-first semantics.
+func TestCacheResultRoundTrip(t *testing.T) {
+	c := New(0)
+	if _, ok := c.GetResult("cell"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.PutResult("cell", "first", 100)
+	c.PutResult("cell", "second", 100)
+	v, ok := c.GetResult("cell")
+	if !ok || v.(string) != "first" {
+		t.Fatalf("got (%v, %v), want (first, true)", v, ok)
+	}
+	s := c.Stats()
+	if s.ResultMisses != 1 || s.ResultHits != 1 {
+		t.Fatalf("result traffic: %d misses / %d hits, want 1 / 1", s.ResultMisses, s.ResultHits)
+	}
+}
+
+// TestNilCache ensures the optional-cache idiom holds: a nil *Cache builds
+// cold and never panics.
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if _, err := c.Program(gccSpec(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.GetResult("x"); ok {
+		t.Fatal("nil cache returned a hit")
+	}
+	c.PutResult("x", 1, 1)
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", s)
+	}
+	c.Register(nil)
+}
+
+// TestCacheMetrics registers the cache on a registry and checks the scrape
+// carries the advertised series.
+func TestCacheMetrics(t *testing.T) {
+	c := New(0)
+	if _, err := c.Tape(gccSpec(t), 1_000); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.Register(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`pfe_artifact_hits_total{kind="tape"}`,
+		`pfe_artifact_misses_total{kind="program"} 1`,
+		`pfe_artifact_tape_bytes`,
+		`pfe_artifact_evictions_total`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package artifact is the cross-cell workload reuse layer: a
+// content-addressed, concurrency-safe cache of the expensive inputs a sweep
+// cell needs — built program images, oracle tapes of the emulator's dynamic
+// stream, and memoized cell results — shared read-only across work-stealing
+// workers so a multi-config sweep pays each workload's functional cost once
+// instead of once per cell.
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/isa"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// TapeSlack is how many instructions beyond a cell's commit budget a tape
+// records. The stream's fetch machinery reads ahead of the commit point —
+// bounded by the backend window (256), the fragment buffers (16 × 32
+// instructions) and the oracle lookahead ring (128) — so the slack covers
+// the deepest possible read-ahead many times over. A reader that outruns
+// the tape anyway degrades gracefully to live emulation (see Reader.Step).
+const TapeSlack = 8192
+
+// Tape is a compact recording of a program's true dynamic instruction
+// stream, replayable as an emu.Oracle. Only the dynamic information that
+// cannot be reconstructed from the static code image is stored:
+//
+//   - one bit per conditional branch (taken/not-taken),
+//   - a uvarint per indirect jump (the target PC),
+//   - a zigzag-varint per memory op (effective-address delta from the
+//     previous memory op).
+//
+// Everything else — opcodes, immediates, fall-through and direct-jump
+// targets — replays from the shared Program, so the typical instruction
+// costs zero tape bytes and the stream averages well under one byte per
+// instruction. Tapes are immutable after Record and safe to share across
+// any number of concurrent Readers.
+type Tape struct {
+	prog    *program.Program
+	startPC uint64
+	count   uint64 // recorded instructions
+	halted  bool   // the recording ended at OpHalt (vs. the budget)
+
+	taken []byte // packed taken bits, one per conditional branch
+	aux   []byte // varint stream: indirect targets and EA deltas in program order
+
+	// fallbackSteps counts instructions served by the live-emulation
+	// fallback across all Readers of this tape (tape exhausted before the
+	// consumer was done). sink, when set by the owning cache, aggregates
+	// the same count cache-wide.
+	fallbackSteps atomic.Int64
+	sink          *atomic.Int64
+}
+
+// Record executes p on a fresh emulator for up to maxInsts instructions (or
+// until halt) and returns the recording.
+func Record(p *program.Program, maxInsts uint64) (*Tape, error) {
+	t := &Tape{prog: p, startPC: p.EntryPC}
+	m := emu.New(p)
+	var bitBuf byte
+	var bitN uint
+	var prevEA uint64
+	var buf [binary.MaxVarintLen64]byte
+	for t.count < maxInsts && !m.Halted() {
+		d, err := m.Step()
+		if err != nil {
+			return nil, fmt.Errorf("artifact: recording %s: %w", p.Name, err)
+		}
+		in := d.Inst
+		switch {
+		case in.IsCondBranch():
+			if d.Taken {
+				bitBuf |= 1 << bitN
+			}
+			if bitN++; bitN == 8 {
+				t.taken = append(t.taken, bitBuf)
+				bitBuf, bitN = 0, 0
+			}
+		case in.IsIndirect():
+			n := binary.PutUvarint(buf[:], d.NextPC)
+			t.aux = append(t.aux, buf[:n]...)
+		case in.IsMem():
+			n := binary.PutVarint(buf[:], int64(d.EA)-int64(prevEA))
+			t.aux = append(t.aux, buf[:n]...)
+			prevEA = d.EA
+		}
+		t.count++
+	}
+	if bitN > 0 {
+		t.taken = append(t.taken, bitBuf)
+	}
+	t.halted = m.Halted()
+	return t, nil
+}
+
+// Len returns the number of recorded instructions.
+func (t *Tape) Len() uint64 { return t.count }
+
+// Halted reports whether the recording reached OpHalt (as opposed to the
+// recording budget).
+func (t *Tape) Halted() bool { return t.halted }
+
+// Bytes returns the tape's encoded payload size.
+func (t *Tape) Bytes() int64 { return int64(len(t.taken) + len(t.aux)) }
+
+// FallbackSteps returns how many instructions Readers of this tape have
+// served via the live-emulation fallback.
+func (t *Tape) FallbackSteps() int64 { return t.fallbackSteps.Load() }
+
+// NewReader returns a fresh replay cursor positioned at the program entry.
+// Each simulation needs its own Reader; Readers of one tape may run
+// concurrently.
+func (r *Tape) NewReader() *Reader {
+	return &Reader{t: r, pc: r.startPC}
+}
+
+// Reader replays a Tape as an emu.Oracle, reproducing the live emulator's
+// DynInst stream bit for bit. If a consumer reads past the recorded end of
+// a truncated (non-halted) tape, the Reader transparently falls back to a
+// fresh emulator fast-forwarded to the tape's end, so correctness never
+// depends on the recording budget.
+type Reader struct {
+	t      *Tape
+	pc     uint64
+	seq    uint64
+	bitPos uint64 // next taken-bit index
+	auxOff int    // next aux byte
+	prevEA uint64
+	halted bool
+
+	live *emu.Machine // non-nil once the fallback engaged
+}
+
+// Halted reports whether the replayed program has executed OpHalt.
+func (r *Reader) Halted() bool { return r.halted }
+
+// Step returns the next instruction of the true dynamic stream.
+func (r *Reader) Step() (emu.DynInst, error) {
+	if r.halted {
+		return emu.DynInst{}, emu.ErrHalted
+	}
+	if r.live != nil || r.seq >= r.t.count {
+		return r.stepLive()
+	}
+	in, ok := r.t.prog.InstAt(r.pc)
+	if !ok {
+		return emu.DynInst{}, fmt.Errorf("artifact: replay PC %#x outside code image", r.pc)
+	}
+	d := emu.DynInst{Seq: r.seq, PC: r.pc, Inst: in}
+	next := r.pc + isa.InstBytes
+	switch {
+	case in.IsCondBranch():
+		if r.t.taken[r.bitPos>>3]>>(r.bitPos&7)&1 != 0 {
+			d.Taken = true
+			next = uint64(int64(r.pc) + isa.InstBytes + int64(in.Imm)*isa.InstBytes)
+		}
+		r.bitPos++
+	case in.IsDirectJump():
+		next = uint64(in.Imm) * isa.InstBytes
+	case in.IsIndirect():
+		v, n := binary.Uvarint(r.t.aux[r.auxOff:])
+		if n <= 0 {
+			return emu.DynInst{}, fmt.Errorf("artifact: corrupt tape (indirect target at seq %d)", r.seq)
+		}
+		r.auxOff += n
+		next = v
+	case in.IsMem():
+		delta, n := binary.Varint(r.t.aux[r.auxOff:])
+		if n <= 0 {
+			return emu.DynInst{}, fmt.Errorf("artifact: corrupt tape (EA delta at seq %d)", r.seq)
+		}
+		r.auxOff += n
+		d.EA = uint64(int64(r.prevEA) + delta)
+		r.prevEA = d.EA
+	case in.Op == isa.OpHalt:
+		next = r.pc
+		r.halted = true
+	}
+	d.NextPC = next
+	r.pc = next
+	r.seq++
+	return d, nil
+}
+
+// stepLive serves instructions past the recorded end: a fresh emulator is
+// fast-forwarded through the recorded prefix once, then stepped live.
+func (r *Reader) stepLive() (emu.DynInst, error) {
+	if r.live == nil {
+		r.live = emu.New(r.t.prog)
+		if _, err := r.live.Run(r.t.count); err != nil {
+			return emu.DynInst{}, fmt.Errorf("artifact: tape fallback fast-forward: %w", err)
+		}
+	}
+	d, err := r.live.Step()
+	if err != nil {
+		return d, err
+	}
+	if r.live.Halted() {
+		r.halted = true
+	}
+	r.seq = d.Seq + 1
+	r.t.fallbackSteps.Add(1)
+	if r.t.sink != nil {
+		r.t.sink.Add(1)
+	}
+	return d, nil
+}
+
+var _ emu.Oracle = (*Reader)(nil)

@@ -26,7 +26,7 @@ func testProgram(t *testing.T) *program.Program {
 
 func newTestStream(t *testing.T, p *program.Program) *Stream {
 	t.Helper()
-	return NewStream(p, bpred.New(bpred.Config{PrimaryEntries: 4096, SecondaryEntries: 1024}), frag.DefaultHeuristics())
+	return NewStream(p, bpred.New(bpred.Config{PrimaryEntries: 4096, SecondaryEntries: 1024}), frag.DefaultHeuristics(), nil)
 }
 
 // drainCorrect pulls fragments from the stream, resolving each divergence

@@ -30,7 +30,7 @@ import (
 // checkpoint.
 type Stream struct {
 	prog *program.Program
-	mach *emu.Machine
+	mach emu.Oracle
 	pred *bpred.TracePredictor
 	heur frag.Heuristics
 
@@ -117,12 +117,19 @@ type FetchedFrag struct {
 // idles; the pending redirect will restart fetch.
 var ErrNoFragment = errors.New("core: no fragment available")
 
-// NewStream builds a stream over a fresh emulator for p. A zero Heuristics
-// value selects the paper's fragment selection.
-func NewStream(p *program.Program, pred *bpred.TracePredictor, h frag.Heuristics) *Stream {
+// NewStream builds a stream over the given oracle for p; a nil oracle means
+// a fresh live emulator (the cold path). An artifact-cache tape reader
+// passed here replays a recorded dynamic stream instead — bit-identical by
+// the tape package's contract, so the rest of the front-end cannot tell the
+// difference. A zero Heuristics value selects the paper's fragment
+// selection.
+func NewStream(p *program.Program, pred *bpred.TracePredictor, h frag.Heuristics, oracle emu.Oracle) *Stream {
+	if oracle == nil {
+		oracle = emu.New(p)
+	}
 	s := &Stream{
 		prog:     p,
-		mach:     emu.New(p),
+		mach:     oracle,
 		pred:     pred,
 		heur:     h,
 		nextSeq:  1,

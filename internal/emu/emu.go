@@ -18,6 +18,17 @@ import (
 // ErrHalted is returned by Step once the program has executed OpHalt.
 var ErrHalted = errors.New("emu: program halted")
 
+// Oracle is the dynamic-stream source the timing simulator consumes: the
+// live Machine, or any replacement producing the identical stream (e.g. an
+// artifact-cache tape replayer). Step returns the next executed instruction;
+// Halted reports that the program has executed OpHalt. Implementations must
+// be bit-exact with Machine: the simulator's determinism guarantees are
+// defined against its stream.
+type Oracle interface {
+	Step() (DynInst, error)
+	Halted() bool
+}
+
 // DynInst is one executed instruction of the true dynamic stream.
 type DynInst struct {
 	Seq    uint64   // dynamic sequence number, starting at 0
@@ -270,3 +281,5 @@ func (m *Machine) Run(maxInsts uint64) (uint64, error) {
 	}
 	return n, nil
 }
+
+var _ Oracle = (*Machine)(nil)

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/artifact"
+)
+
+// TestSweepArtifactEquivalence runs the same experiment three ways — cold,
+// with a fresh artifact cache (program + tape reuse within the sweep), and
+// again on the warm cache (every cell served from the result memo) — and
+// requires the rendered artifact to be identical each time. This is the
+// sweep-level face of the cross-path golden guarantee.
+func TestSweepArtifactEquivalence(t *testing.T) {
+	base := CI()
+	base.Benchmarks = []string{"gzip", "mcf"}
+	fig8, err := ByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := fig8.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cached := base
+	cached.Artifacts = artifact.New(0)
+	warm1, err := fig8.Run(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm1.String() {
+		t.Fatalf("cached sweep diverged from cold sweep:\ncold:\n%s\ncached:\n%s", cold, warm1)
+	}
+	s := cached.Artifacts.Stats()
+	if s.ResultHits != 0 {
+		t.Fatalf("first sweep has no duplicate cells, yet %d result hits", s.ResultHits)
+	}
+	if s.ProgramMisses != 2 || s.TapeMisses != 2 {
+		t.Fatalf("two benchmarks should build two programs and two tapes, got %d / %d misses",
+			s.ProgramMisses, s.TapeMisses)
+	}
+
+	warm2, err := fig8.Run(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm2.String() {
+		t.Fatalf("memoized sweep diverged from cold sweep:\ncold:\n%s\nmemoized:\n%s", cold, warm2)
+	}
+	s2 := cached.Artifacts.Stats()
+	if got := s2.ResultHits - s.ResultHits; got != 14 {
+		// fig8: 7 configs × 2 benches, all served from the memo.
+		t.Fatalf("second sweep served %d cells from the result memo, want 14", got)
+	}
+}

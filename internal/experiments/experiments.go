@@ -13,6 +13,7 @@ import (
 	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/journal"
 	"github.com/parallel-frontend/pfe/internal/obs"
 )
@@ -110,6 +111,15 @@ type Options struct {
 	// "stall") injected into that cell — the harness's own fault-tolerance
 	// test hook, reachable via pfe-bench -inject.
 	Inject map[string]string
+
+	// Artifacts, if non-nil, is the cross-cell workload reuse cache:
+	// program images and oracle tapes are shared across every cell of the
+	// same benchmark (see pfe.RunOptions.Artifacts), and completed cell
+	// results are memoized under their config hash so an identical cell in
+	// a later experiment of the same run (Fig 4/5/8 share most of their
+	// grid) is served without re-simulating. Results are bit-identical
+	// with or without it.
+	Artifacts *artifact.Cache
 }
 
 // Default returns the harness budgets used for the recorded results in
@@ -139,6 +149,7 @@ func (o Options) runOpts() pfe.RunOptions {
 		SelfProfile:      o.SelfProfile,
 		NoProgressCycles: o.NoProgressCycles,
 		FlightRecorder:   o.FlightRecorder,
+		Artifacts:        o.Artifacts,
 	}
 }
 

@@ -106,6 +106,26 @@ type CellFailure struct {
 	DumpPath   string `json:"dump_path,omitempty"`
 }
 
+// ArtifactsReport summarizes the run's cross-cell workload reuse: traffic
+// and footprint of the content-addressed artifact cache (shared program
+// images, oracle tapes, memoized cell results). Hits are work the run did
+// not repeat; tape_fallback_steps counts instructions a tape reader served
+// by live emulation after outrunning a truncated recording (0 in healthy
+// runs).
+type ArtifactsReport struct {
+	ProgramHits       int64 `json:"program_hits"`
+	ProgramMisses     int64 `json:"program_misses"`
+	TapeHits          int64 `json:"tape_hits"`
+	TapeMisses        int64 `json:"tape_misses"`
+	ResultHits        int64 `json:"result_hits"`
+	ResultMisses      int64 `json:"result_misses"`
+	Evictions         int64 `json:"evictions,omitempty"`
+	Bytes             int64 `json:"bytes"`
+	TapeBytes         int64 `json:"tape_bytes"`
+	MaxBytes          int64 `json:"max_bytes,omitempty"`
+	TapeFallbackSteps int64 `json:"tape_fallback_steps,omitempty"`
+}
+
 // SchedulerReport summarizes how the work-stealing scheduler executed an
 // experiment's simulations: pool size, steal traffic, and how much of the
 // workers' combined wall time was spent running simulations (utilization).
@@ -154,6 +174,11 @@ type Report struct {
 	// StageSeconds is the aggregate simulator self-profile (present only
 	// when runs were profiled).
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+
+	// Artifacts is the workload-reuse summary (present only when the run
+	// used the artifact cache). Additive and omitted when absent, so the
+	// schema version is unchanged.
+	Artifacts *ArtifactsReport `json:"artifacts,omitempty"`
 
 	Experiments []ExperimentReport `json:"experiments"`
 }
@@ -292,6 +317,13 @@ func (b *ReportBuilder) AddFailure(f CellFailure) {
 	defer b.mu.Unlock()
 	b.rep.Failures = append(b.rep.Failures, f)
 	b.rep.Partial = true
+}
+
+// SetArtifacts records the workload-reuse summary in the report.
+func (b *ReportBuilder) SetArtifacts(a ArtifactsReport) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rep.Artifacts = &a
 }
 
 // SetPartial marks the report as covering an incomplete run (e.g. a sweep

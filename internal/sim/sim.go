@@ -13,6 +13,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/backend"
 	"github.com/parallel-frontend/pfe/internal/bpred"
 	"github.com/parallel-frontend/pfe/internal/core"
+	"github.com/parallel-frontend/pfe/internal/emu"
 	"github.com/parallel-frontend/pfe/internal/mem"
 	"github.com/parallel-frontend/pfe/internal/metrics"
 	"github.com/parallel-frontend/pfe/internal/obs"
@@ -82,6 +83,12 @@ type Config struct {
 	// is set. When false but Obs is set, the shared Obs.Prof is fed
 	// directly so /metrics still carries live stage times.
 	SelfProfile bool
+
+	// Oracle, if non-nil, replaces the live functional emulator as the
+	// source of the true dynamic stream (an artifact-cache tape reader).
+	// It must produce the exact stream emu.New(p) would; each simulation
+	// needs its own instance (the stream is consumed statefully).
+	Oracle emu.Oracle
 }
 
 // Result is one simulation's measurements (post-warmup).
@@ -205,7 +212,7 @@ func New(p *program.Program, cfg Config) (*Sim, error) {
 
 	hier := mem.NewHierarchy(cfg.Mem)
 	pred := bpred.New(cfg.FrontEnd.Predictor)
-	stream := core.NewStream(p, pred, cfg.FrontEnd.FragHeuristics)
+	stream := core.NewStream(p, pred, cfg.FrontEnd.FragHeuristics, cfg.Oracle)
 	be := backend.New(cfg.Backend, hier.L1D)
 	be.CommitHook = cfg.CommitHook
 	be.Sink = cfg.Events

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/backend"
 	"github.com/parallel-frontend/pfe/internal/bpred"
 	"github.com/parallel-frontend/pfe/internal/core"
+	"github.com/parallel-frontend/pfe/internal/emu"
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/mem"
 	"github.com/parallel-frontend/pfe/internal/obs"
@@ -226,6 +228,16 @@ type RunOptions struct {
 	// a fixed ring whose contents go into the stall diagnostic when the
 	// watchdog trips. Costs one ring write per event, no allocations.
 	FlightRecorder int
+
+	// Artifacts, if non-nil, is the cross-run workload reuse cache: the
+	// benchmark's built program image is shared read-only with every other
+	// run of the same spec, and the functional emulator is replaced by a
+	// replay of a recorded oracle tape (first run records, later runs
+	// replay). Results are bit-identical with or without it — the tape
+	// reproduces the emulator's stream exactly — it only removes redundant
+	// build + emulation work from multi-config sweeps. Safe to share
+	// across concurrent runs; see internal/artifact.
+	Artifacts *artifact.Cache
 }
 
 // DefaultRunOptions returns the harness defaults: 100 K instructions of
@@ -253,14 +265,40 @@ func Run(benchmark string, m Machine, opts RunOptions) (*Result, error) {
 func Benchmarks() []string { return program.SuiteNames() }
 
 func runSpec(spec program.Spec, m Machine, opts RunOptions) (*Result, error) {
-	p, err := program.Build(spec)
-	if err != nil {
-		return nil, err
+	if opts.MeasureInsts == 0 {
+		// Fill in only the budgets, preserving any tracing fields the
+		// caller set. Normalized here (not in runProgram) because the
+		// artifact tape's recording budget derives from them.
+		def := DefaultRunOptions()
+		opts.WarmupInsts = def.WarmupInsts
+		opts.MeasureInsts = def.MeasureInsts
 	}
-	return runProgram(p, m, opts)
+	var p *program.Program
+	var oracle emu.Oracle
+	var err error
+	if opts.Artifacts != nil {
+		p, err = opts.Artifacts.Program(spec)
+		if err != nil {
+			return nil, err
+		}
+		// The tape must cover the stream's fetch-ahead past the commit
+		// budget; TapeSlack over-provisions that, and a reader running
+		// past the recording falls back to live emulation regardless.
+		tape, terr := opts.Artifacts.Tape(spec, uint64(opts.WarmupInsts+opts.MeasureInsts)+artifact.TapeSlack)
+		if terr != nil {
+			return nil, terr
+		}
+		oracle = tape.NewReader()
+	} else {
+		p, err = program.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runProgram(p, m, opts, oracle)
 }
 
-func runProgram(p *program.Program, m Machine, opts RunOptions) (*Result, error) {
+func runProgram(p *program.Program, m Machine, opts RunOptions, oracle emu.Oracle) (*Result, error) {
 	if opts.MeasureInsts == 0 {
 		// Fill in only the budgets, preserving any tracing fields the
 		// caller set.
@@ -281,6 +319,7 @@ func runProgram(p *program.Program, m Machine, opts RunOptions) (*Result, error)
 		SelfProfile:      opts.SelfProfile,
 		NoProgressCycles: opts.NoProgressCycles,
 		FlightRecorder:   opts.FlightRecorder,
+		Oracle:           oracle,
 	}
 	r, err := sim.Run(p, cfg)
 	if err != nil {
