@@ -7,6 +7,9 @@
 #   make test-robust   tier 1.5: fault-tolerance suite under -race (panic
 #                      isolation, retries, budget, watchdog, journal/resume,
 #                      SIGKILL + resume round trip, graceful shutdown)
+#   make test-sample   tier 1.5: tape-acceleration suite (sampled-vs-full
+#                      statistical gate, sliced determinism across worker
+#                      counts, zero-alloc tape seek/replay guards)
 #   make vet           static hygiene: go vet + gofmt -l (fails on diff);
 #                      runs as part of `make test`
 #   make race          tier 2: vet + race detector over the short suite
@@ -26,11 +29,11 @@ BENCH_WARMUP  ?= 20000
 BENCH_MEASURE ?= 60000
 GIT_SHA       := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all test test-alloc test-robust vet race fuzz bench bench-stat bench-json bench-compare fmt
+.PHONY: all test test-alloc test-robust test-sample vet race fuzz bench bench-stat bench-json bench-compare fmt
 
 all: test test-alloc race fuzz
 
-test: vet test-robust
+test: vet test-robust test-sample
 	$(GO) build ./...
 	$(GO) test ./...
 
@@ -51,6 +54,17 @@ test-robust:
 		./internal/experiments/ -run 'Robust|Retri|Budget|Cancel|Resume|Inject|Kill|Sigint|Journal'
 	$(GO) test -race -count=1 ./internal/sim/ -run 'Watchdog|Stall'
 	$(GO) test -race -count=1 ./internal/obs/ -run 'Shutdown|Close'
+
+# Tape-acceleration tier: the statistical gate behind the sampled numbers
+# (every benchmark's sampled-vs-full error within its own 95% CI on a suite
+# subset), the sliced determinism suite (bit-identical results across slice
+# and worker counts), and the zero-alloc tape seek/replay guards. The full
+# 12-benchmark gate at paper budgets is `pfe-bench -validate-sampling`.
+test-sample:
+	$(GO) test -count=1 . -run 'TestSample|TestSampled|TestSliced'
+	$(GO) test -count=1 ./internal/experiments/ -run ValidateSampling
+	$(GO) test -count=1 ./internal/artifact/ -run 'TestTapeSeek'
+	$(GO) test -count=1 ./internal/stats/ -run 'TestSummarize|TestSampleWindows|TestTCrit95'
 
 # Allocation guards, run on their own so a perf PR can iterate on just
 # them: the steady-state cycle loop must not allocate at all, and a

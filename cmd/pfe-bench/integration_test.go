@@ -207,6 +207,63 @@ func TestInjectedFaultsStayUnderBudget(t *testing.T) {
 	}
 }
 
+// TestSampleSlicesUsageError pins the flag gate end to end: -sample
+// combined with -slices > 1 is a usage error (exit 2) diagnosed before any
+// simulation starts, with an explanation on stderr.
+func TestSampleSlicesUsageError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	pb := bin(t)
+	out, err := exec.Command(pb, benchArgs("-sample", "-slices", "4")...).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v, want usage error code 2\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "mutually exclusive") {
+		t.Errorf("stderr does not explain the conflict:\n%s", out)
+	}
+}
+
+// TestSampledSweepReport smokes the sampled sweep end to end: -sample runs
+// the experiment over tape windows, and the report's run spec records the
+// sampling parameters so its rows are never mistaken for exact IPCs.
+func TestSampledSweepReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	pb := bin(t)
+	jsonOut := filepath.Join(t.TempDir(), "sampled.json")
+	args := []string{
+		"-exp", "fig4", "-benches", "gzip,mcf",
+		"-warmup", "3000", "-measure", "30000",
+		"-sample", "-sample-unit", "1000", "-sample-period", "5000", "-sample-warmup", "1500",
+		"-progress=false", "-json", jsonOut,
+	}
+	if out, err := exec.Command(pb, args...).CombinedOutput(); err != nil {
+		t.Fatalf("sampled sweep: %v\n%s", err, out)
+	}
+	rep, err := obs.ReadReportFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Options.SampleUnit != 1000 || rep.Options.SamplePeriod != 5000 || rep.Options.SampleWarmup != 1500 {
+		t.Errorf("report run spec lost the sampling parameters: %+v", rep.Options)
+	}
+	var rows int
+	for _, e := range rep.Experiments {
+		for _, r := range e.Rows {
+			rows++
+			if r.IPC <= 0 {
+				t.Errorf("%s/%s: sampled IPC %v, want positive", r.Bench, r.Config, r.IPC)
+			}
+		}
+	}
+	if rows == 0 {
+		t.Error("sampled sweep produced no rows")
+	}
+}
+
 // TestSigintWritesPartialReport pins graceful shutdown end to end: SIGINT
 // mid-sweep exits 130 with a valid JSON report marked partial.
 func TestSigintWritesPartialReport(t *testing.T) {

@@ -15,6 +15,17 @@
 //	pfe-bench -exp all -resume run.wal          # replay it after a crash/kill
 //	pfe-bench -exp fig8 -max-retries 2 -fail-budget 3
 //	pfe-bench -tol 0.5 -compare old.json new.json
+//	pfe-bench -exp fig8 -sample                 # systematic sampling (IPC ± CI)
+//	pfe-bench -exp fig8 -slices 8               # time-parallel slicing
+//	pfe-bench -validate-sampling                # sampled-vs-full error gate
+//
+// -sample and -slices accelerate every simulation of a sweep by replaying
+// oracle tapes: sampling simulates detailed windows (-sample-unit every
+// -sample-period, after -sample-warmup) and fast-forwards the gaps;
+// slicing cuts each measured stream into -slices pieces simulated
+// concurrently. The two are mutually exclusive. -validate-sampling runs
+// the accuracy gate behind the sampled numbers: full vs sampled on every
+// selected benchmark, failing when an error exceeds its 95% CI.
 //
 // -compare exits 0 when every matched benchmark row is within tolerance
 // (improvements included), 1 on an IPC or throughput regression, 2 on a
@@ -75,6 +86,15 @@ func run() int {
 		artifactMem = flag.Int64("artifact-mem", 256, "artifact cache cap in MiB (shared program images, oracle tapes, memoized cell results; LRU past the cap; 0 = unbounded)")
 		noArtifacts = flag.Bool("no-artifact-cache", false, "disable cross-cell workload reuse: every cell rebuilds its benchmark and re-emulates from instruction zero")
 	)
+	var accel accelFlags
+	ds := pfe.DefaultSampleSpec()
+	flag.BoolVar(&accel.Sample, "sample", false, "systematic sampling: simulate detailed windows over the oracle tape, fast-forward the gaps, report IPC estimates with 95% confidence intervals")
+	flag.Int64Var(&accel.Unit, "sample-unit", ds.Unit, "instructions per detailed sampling window")
+	flag.Int64Var(&accel.Period, "sample-period", ds.Period, "instructions from one window start to the next (>= warmup+unit)")
+	flag.Int64Var(&accel.Warmup, "sample-warmup", ds.Warmup, "detailed warmup instructions preceding each window")
+	flag.IntVar(&accel.Slices, "slices", 0, "time-parallel slicing: cut each measured stream into this many tape-indexed slices simulated concurrently (0 or 1 = off)")
+	flag.Int64Var(&accel.SliceWmp, "slice-warmup", 0, "overlapped detailed warmup instructions per interior slice (0 = -warmup)")
+	flag.BoolVar(&accel.Validate, "validate-sampling", false, "run the sampled-vs-full validation suite on every selected benchmark and exit (0 = every error within its confidence interval)")
 	flag.Parse()
 
 	if *list {
@@ -86,6 +106,11 @@ func run() int {
 
 	if *compare {
 		return runCompare(flag.Args(), *tol, *ttol)
+	}
+
+	if err := accel.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+		return 2
 	}
 
 	opts := experiments.Options{
@@ -108,6 +133,7 @@ func run() int {
 	if !*noArtifacts {
 		opts.Artifacts = artifact.New(*artifactMem << 20)
 	}
+	accel.apply(&opts)
 
 	// SIGINT/SIGTERM drain the sweep instead of killing it: workers finish
 	// the cells they are running, the journal stays consistent, and a
@@ -115,6 +141,10 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts.Ctx = ctx
+
+	if accel.Validate {
+		return runValidateSampling(accel.spec(), opts)
+	}
 
 	var todo []experiments.Experiment
 	if *exp == "all" {
@@ -197,13 +227,15 @@ func run() int {
 		for i, e := range todo {
 			ids[i] = e.ID
 		}
-		report = obs.NewReportBuilder("pfe-bench", obs.RunSpec{
+		spec := obs.RunSpec{
 			WarmupInsts:  *warmup,
 			MeasureInsts: *measure,
 			Benchmarks:   opts.Benchmarks,
 			Workers:      *workers,
 			Experiments:  ids,
-		})
+		}
+		accel.stamp(&spec)
+		report = obs.NewReportBuilder("pfe-bench", spec)
 	}
 
 	runStart := time.Now()
@@ -415,6 +447,27 @@ func (c *cellObserver) Completed(bench, key string, wall time.Duration, r *pfe.R
 		Committed:        r.Committed,
 	})
 	c.report.AddStageSeconds(r.StageSeconds)
+}
+
+// runValidateSampling runs the sampled-vs-full validation suite on the
+// paper's headline machine (PR-2x8w) and prints its error table. Exit 0
+// means every benchmark's sampled IPC landed within its own 95% confidence
+// interval of the exact IPC; 1 means the statistical gate failed.
+func runValidateSampling(spec pfe.SampleSpec, opts experiments.Options) int {
+	v, err := experiments.ValidateSampling(pfe.Preset(pfe.PR2x8w), spec, opts)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "pfe-bench: validation interrupted:", err)
+		return 130
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+		return 1
+	}
+	fmt.Print(v.String())
+	if !v.Passed {
+		return 1
+	}
+	return 0
 }
 
 func runCompare(args []string, tol, ttol float64) int {

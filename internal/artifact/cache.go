@@ -132,7 +132,7 @@ func (c *Cache) Tape(spec program.Spec, minInsts uint64) (*Tape, error) {
 			return nil, 0, err
 		}
 		t.sink = &c.tapeFallback
-		return t, t.Bytes() + 64, nil
+		return t, t.Bytes() + t.IndexBytes() + 64, nil
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,257 @@
+package artifact
+
+import (
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/emu"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// seekAndCompare positions one reader via Seek(at) and another by stepping a
+// fresh reader from zero, then drains both in lockstep for n instructions.
+// This is the contract every sampling window and slice boundary relies on:
+// a seek is indistinguishable from a from-zero replay advanced to the same
+// sequence index.
+func seekAndCompare(t *testing.T, tape *Tape, at, n uint64) {
+	t.Helper()
+	sought := tape.NewReader()
+	if err := sought.Seek(at); err != nil {
+		t.Fatalf("Seek(%d): %v", at, err)
+	}
+	if got := sought.Pos(); got != at && at < tape.Len() {
+		t.Fatalf("Seek(%d): Pos() = %d", at, got)
+	}
+	walked := tape.NewReader()
+	for walked.Pos() < at && !walked.Halted() {
+		if _, err := walked.Step(); err != nil {
+			t.Fatalf("walk to %d: %v", at, err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if walked.Halted() != sought.Halted() {
+			t.Fatalf("seek %d + %d: halted walked=%v sought=%v", at, i, walked.Halted(), sought.Halted())
+		}
+		if walked.Halted() {
+			break
+		}
+		want, werr := walked.Step()
+		got, gerr := sought.Step()
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("seek %d + %d: err walked=%v sought=%v", at, i, werr, gerr)
+		}
+		if werr != nil {
+			break
+		}
+		if got != want {
+			t.Fatalf("seek %d + %d: diverged:\n walked %+v\n sought %+v", at, i, want, got)
+		}
+	}
+}
+
+// TestTapeSeekBitIdentical seeks to positions straddling every interesting
+// boundary — block starts, mid-block, the recorded end, past the end — on a
+// truncated recording of each suite benchmark, and requires the sought
+// reader to produce the identical stream a from-zero walk produces.
+func TestTapeSeekBitIdentical(t *testing.T) {
+	for _, name := range program.SuiteNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			spec, err := program.SpecByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := program.Build(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const budget = 3 * IndexStride
+			tape, err := Record(p, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			targets := []uint64{
+				0, 1, 17,
+				IndexStride - 1, IndexStride, IndexStride + 1,
+				2*IndexStride + 100,
+				tape.Len() - 1, tape.Len(), // last recorded inst; live fallback
+				tape.Len() + 500, // deep into the fallback region
+			}
+			for _, at := range targets {
+				seekAndCompare(t, tape, at, 600)
+			}
+		})
+	}
+}
+
+// TestTapeSeekHalted covers seeks on a recording that reached OpHalt: in-tape
+// positions replay exactly, and seeks at or past the end land the reader in
+// the halted end-of-stream state instead of engaging the live fallback.
+func TestTapeSeekHalted(t *testing.T) {
+	p, err := program.Build(program.TestSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape, err := Record(p, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tape.Halted() {
+		t.Fatalf("test spec should halt within the budget (recorded %d)", tape.Len())
+	}
+	seekAndCompare(t, tape, 0, tape.Len()+10)
+	seekAndCompare(t, tape, tape.Len()/2, tape.Len())
+	seekAndCompare(t, tape, tape.Len()-1, 10)
+	for _, at := range []uint64{tape.Len(), tape.Len() + 99} {
+		r := tape.NewReader()
+		if err := r.Seek(at); err != nil {
+			t.Fatalf("Seek(%d) on halted tape: %v", at, err)
+		}
+		if !r.Halted() {
+			t.Fatalf("Seek(%d) on halted tape: not halted", at)
+		}
+	}
+	if got := tape.FallbackSteps(); got != 0 {
+		t.Fatalf("halted-tape seeks used the live fallback: %d steps", got)
+	}
+}
+
+// TestTapeSeekBackward rewinds a reader that has already advanced and checks
+// the rebuilt cursor replays the earlier region identically — slices and
+// sampling windows reuse one reader across non-monotonic positions.
+func TestTapeSeekBackward(t *testing.T) {
+	spec, err := program.SpecByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := program.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape, err := Record(p, 2*IndexStride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tape.NewReader()
+	if err := r.Seek(IndexStride + 700); err != nil {
+		t.Fatal(err)
+	}
+	first := make([]emu.DynInst, 50)
+	for i := range first {
+		d, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[i] = d
+	}
+	if err := r.Seek(IndexStride + 700); err != nil {
+		t.Fatalf("backward Seek: %v", err)
+	}
+	for i := range first {
+		d, err := r.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != first[i] {
+			t.Fatalf("replay after backward seek diverged at +%d:\n first  %+v\n second %+v", i, first[i], d)
+		}
+	}
+}
+
+// TestTapeSeekAllocs is the steady-state allocation guard for the seek +
+// fast-forward path: positioning a reader anywhere inside the recording must
+// not allocate, matching the replay guarantee Step already pins.
+func TestTapeSeekAllocs(t *testing.T) {
+	spec, err := program.SpecByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := program.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape, err := Record(p, 4*IndexStride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tape.NewReader()
+	targets := []uint64{IndexStride / 2, 3*IndexStride + 1000, 100, 2 * IndexStride}
+	allocs := testing.AllocsPerRun(20, func() {
+		for _, at := range targets {
+			if err := r.Seek(at); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				if _, err := r.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("in-tape seek + fast-forward allocates %.1f objects/run, want 0", allocs)
+	}
+}
+
+// FuzzTapeSeekReplay feeds random seek offsets (including past-the-end and
+// backward positions) into a truncated recording and requires the sought
+// reader to replay bit-identically to a from-zero replay advanced to the
+// same instruction index.
+func FuzzTapeSeekReplay(f *testing.F) {
+	spec, err := program.SpecByName("gcc")
+	if err != nil {
+		f.Fatal(err)
+	}
+	p, err := program.Build(spec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tape, err := Record(p, 2*IndexStride+137)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(IndexStride), uint64(IndexStride-1))
+	f.Add(tape.Len()-1, tape.Len()+50)
+	f.Add(uint64(123456789), uint64(42))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		// Bound fallback fast-forwards so a huge random offset doesn't
+		// emulate for minutes; in-tape offsets are used as-is.
+		const span = 4 * IndexStride
+		a %= span
+		b %= span
+		r := tape.NewReader()
+		ref := tape.NewReader()
+		for _, at := range []uint64{a, b} { // second seek exercises reuse + backward
+			if err := r.Seek(at); err != nil {
+				t.Fatalf("Seek(%d): %v", at, err)
+			}
+			if err := ref.Seek(0); err != nil {
+				t.Fatal(err)
+			}
+			for ref.Pos() < at && !ref.Halted() {
+				if _, err := ref.Step(); err != nil {
+					t.Fatalf("walk to %d: %v", at, err)
+				}
+			}
+			for i := 0; i < 64; i++ {
+				if r.Halted() != ref.Halted() {
+					t.Fatalf("seek %d + %d: halted sought=%v walked=%v", at, i, r.Halted(), ref.Halted())
+				}
+				if r.Halted() {
+					break
+				}
+				got, gerr := r.Step()
+				want, werr := ref.Step()
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("seek %d + %d: err sought=%v walked=%v", at, i, gerr, werr)
+				}
+				if werr != nil {
+					break
+				}
+				if got != want {
+					t.Fatalf("seek %d + %d: diverged:\n walked %+v\n sought %+v", at, i, want, got)
+				}
+			}
+		}
+	})
+}

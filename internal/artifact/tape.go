@@ -24,6 +24,23 @@ import (
 // the tape anyway degrades gracefully to live emulation (see Reader.Step).
 const TapeSlack = 8192
 
+// IndexStride is how many instructions separate consecutive index blocks in
+// a recording. Seek jumps to the nearest preceding block in O(1) and decodes
+// at most IndexStride-1 instructions forward, so positioning a reader
+// anywhere in a tape costs a constant bounded by the stride — not a replay
+// from instruction zero. The stride trades index footprint (32 bytes per
+// block, ~0.008 B/inst) against that decode bound.
+const IndexStride = 4096
+
+// seekPoint is one index block: the complete replay-cursor state as of the
+// instruction whose sequence index is a multiple of IndexStride.
+type seekPoint struct {
+	pc     uint64 // next PC at this point
+	bitPos uint64 // taken bits consumed
+	auxOff int    // aux bytes consumed
+	prevEA uint64 // last memory effective address seen
+}
+
 // Tape is a compact recording of a program's true dynamic instruction
 // stream, replayable as an emu.Oracle. Only the dynamic information that
 // cannot be reconstructed from the static code image is stored:
@@ -47,6 +64,11 @@ type Tape struct {
 	taken []byte // packed taken bits, one per conditional branch
 	aux   []byte // varint stream: indirect targets and EA deltas in program order
 
+	// index holds one seekPoint per IndexStride instructions (index[i] is
+	// the cursor state just before instruction i*IndexStride), giving Seek
+	// its O(1) block jump.
+	index []seekPoint
+
 	// fallbackSteps counts instructions served by the live-emulation
 	// fallback across all Readers of this tape (tape exhausted before the
 	// consumer was done). sink, when set by the owning cache, aggregates
@@ -62,9 +84,15 @@ func Record(p *program.Program, maxInsts uint64) (*Tape, error) {
 	m := emu.New(p)
 	var bitBuf byte
 	var bitN uint
+	var bits uint64 // total taken bits recorded
 	var prevEA uint64
 	var buf [binary.MaxVarintLen64]byte
 	for t.count < maxInsts && !m.Halted() {
+		if t.count%IndexStride == 0 {
+			t.index = append(t.index, seekPoint{
+				pc: m.PC(), bitPos: bits, auxOff: len(t.aux), prevEA: prevEA,
+			})
+		}
 		d, err := m.Step()
 		if err != nil {
 			return nil, fmt.Errorf("artifact: recording %s: %w", p.Name, err)
@@ -75,6 +103,7 @@ func Record(p *program.Program, maxInsts uint64) (*Tape, error) {
 			if d.Taken {
 				bitBuf |= 1 << bitN
 			}
+			bits++
 			if bitN++; bitN == 8 {
 				t.taken = append(t.taken, bitBuf)
 				bitBuf, bitN = 0, 0
@@ -103,8 +132,12 @@ func (t *Tape) Len() uint64 { return t.count }
 // recording budget).
 func (t *Tape) Halted() bool { return t.halted }
 
-// Bytes returns the tape's encoded payload size.
+// Bytes returns the tape's encoded payload size (excluding the seek index;
+// see IndexBytes).
 func (t *Tape) Bytes() int64 { return int64(len(t.taken) + len(t.aux)) }
+
+// IndexBytes returns the resident footprint of the tape's seek index.
+func (t *Tape) IndexBytes() int64 { return int64(len(t.index)) * 32 }
 
 // FallbackSteps returns how many instructions Readers of this tape have
 // served via the live-emulation fallback.
@@ -136,6 +169,57 @@ type Reader struct {
 
 // Halted reports whether the replayed program has executed OpHalt.
 func (r *Reader) Halted() bool { return r.halted }
+
+// Pos returns the sequence index of the next instruction Step will produce.
+func (r *Reader) Pos() uint64 { return r.seq }
+
+// Seek positions the reader so the next Step produces the instruction with
+// sequence index seq, replaying neither the simulator nor the emulator
+// through the skipped region: it jumps to the nearest preceding index block
+// and decodes at most IndexStride-1 instructions forward — a zero-allocation
+// fast-forward. Seeking backward is allowed (the cursor state is rebuilt
+// from the block, not rewound).
+//
+// Seeking at or past the end of a halted recording leaves the reader at
+// end-of-stream (Halted reports true). Seeking past the end of a truncated
+// (non-halted) recording falls back to a fresh emulator fast-forwarded to
+// seq, exactly as Step's past-the-end fallback would.
+func (r *Reader) Seek(seq uint64) error {
+	t := r.t
+	if seq >= t.count && !t.halted {
+		// Beyond a truncated recording: the tape cannot reconstruct this
+		// region, so engage the live fallback immediately, fast-forwarded
+		// to the target.
+		live := emu.New(t.prog)
+		if _, err := live.Run(seq); err != nil {
+			return fmt.Errorf("artifact: seek fallback fast-forward: %w", err)
+		}
+		r.live = live
+		r.seq = seq
+		r.halted = live.Halted()
+		return nil
+	}
+	if seq > t.count {
+		seq = t.count // halted recording: clamp to end-of-stream
+	}
+	r.live = nil
+	r.halted = false
+	b := seq / IndexStride
+	if n := uint64(len(t.index)); b >= n {
+		// seq == count on an exact multiple of the stride records no
+		// trailing block; decode forward from the last one.
+		b = n - 1
+	}
+	sp := t.index[b]
+	r.pc, r.seq = sp.pc, b*IndexStride
+	r.bitPos, r.auxOff, r.prevEA = sp.bitPos, sp.auxOff, sp.prevEA
+	for r.seq < seq {
+		if _, err := r.Step(); err != nil {
+			return fmt.Errorf("artifact: seek decode at seq %d: %w", r.seq, err)
+		}
+	}
+	return nil
+}
 
 // Step returns the next instruction of the true dynamic stream.
 func (r *Reader) Step() (emu.DynInst, error) {

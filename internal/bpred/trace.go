@@ -203,7 +203,12 @@ func (p *TracePredictor) Predict(h *History) Prediction {
 // history restore plus retraining, as in the paper.
 func (p *TracePredictor) Update(h *History, actual frag.ID) {
 	p.updates++
-	if pred := p.peek(h); pred.Valid && pred.ID == actual {
+	// The history is hashed once and the indices shared between the
+	// accuracy peek and the training writes — Update is called once per
+	// true-path fragment by the simulator and the functional warmer alike,
+	// and the DOLC fold is the predictor's hottest computation.
+	pi, si := p.primaryIndex(h), p.secondaryIndex(h)
+	if pred := p.peekAt(pi, si); pred.Valid && pred.ID == actual {
 		p.correct++
 	}
 	train := func(e *entry) {
@@ -220,18 +225,18 @@ func (p *TracePredictor) Update(h *History, actual frag.ID) {
 		e.id = actual
 		e.ctr = 1
 	}
-	train(&p.primary[p.primaryIndex(h)])
-	train(&p.secondary[p.secondaryIndex(h)])
+	train(&p.primary[pi])
+	train(&p.secondary[si])
 }
 
-// peek is Predict without statistics, used for accuracy accounting inside
-// Update.
-func (p *TracePredictor) peek(h *History) Prediction {
-	pe := p.primary[p.primaryIndex(h)]
+// peekAt is Predict without statistics over already-computed table indices,
+// used for accuracy accounting inside Update.
+func (p *TracePredictor) peekAt(pi, si int) Prediction {
+	pe := p.primary[pi]
 	if pe.ctr >= 2 && !pe.id.Zero() {
 		return Prediction{ID: pe.id, Valid: true}
 	}
-	se := p.secondary[p.secondaryIndex(h)]
+	se := p.secondary[si]
 	if !se.id.Zero() {
 		return Prediction{ID: se.id, Valid: true, FromSecondary: true}
 	}

@@ -31,6 +31,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/metrics"
 	"github.com/parallel-frontend/pfe/internal/obs"
 	"github.com/parallel-frontend/pfe/internal/rename"
+	"github.com/parallel-frontend/pfe/internal/tcache"
 	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
@@ -146,6 +147,18 @@ type Config struct {
 	// rename at the Unit level, plus the parallel renamer's phase-1/
 	// phase-2 split. A nil profiler costs one branch per cycle.
 	Prof *obs.StageProf
+
+	// LiveOutPred, if non-nil, is an externally built live-out predictor
+	// used instead of constructing one from LiveOut (RenameParallel only)
+	// — the seam through which sampled and time-parallel runs carry
+	// functionally trained predictor state into a detailed window. It must
+	// not be shared with a concurrent run.
+	LiveOutPred *rename.LiveOutPredictor
+
+	// TC, if non-nil, is an externally built trace cache used instead of
+	// constructing one from TraceCache (FetchTraceCache only) — the same
+	// warmed-state seam as LiveOutPred.
+	TC *tcache.Cache
 }
 
 // Validate checks internal consistency.
@@ -215,6 +228,29 @@ type Stats struct {
 	// DelayedForMapping counts rename slots lost waiting for an older
 	// fragment's register mapping (RenameDelayed only).
 	DelayedForMapping int64
+}
+
+// Add accumulates o's counters into s — the piecewise aggregation behind
+// sampled and time-parallel runs, where one logical run's statistics are the
+// sum of its windows' or slices'.
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.FetchSlots += o.FetchSlots
+	s.FetchedFromCache += o.FetchedFromCache
+	s.Fetched += o.Fetched
+	s.Renamed += o.Renamed
+	s.FragAllocs += o.FragAllocs
+	s.FragReuses += o.FragReuses
+	s.FragCompleteAtRename += o.FragCompleteAtRename
+	s.FragReadByRename += o.FragReadByRename
+	s.LiveOutPredicted += o.LiveOutPredicted
+	s.LiveOutMispredict += o.LiveOutMispredict
+	s.LiveOutMisses += o.LiveOutMisses
+	s.BankConflicts += o.BankConflicts
+	s.ConflictTrunc += o.ConflictTrunc
+	s.Redirects += o.Redirects
+	s.InstrsRenamedBeforeSource += o.InstrsRenamedBeforeSource
+	s.DelayedForMapping += o.DelayedForMapping
 }
 
 // SlotUtilization returns FetchedFromCache/FetchSlots (Fig 4).

@@ -82,7 +82,10 @@ func NewUnit(cfg Config, stream *Stream, ic *ICache, be ExecBackend) (*Unit, err
 	case FetchSequential:
 		u.engine = newSeqFetch(ic, stream, &u.stats, &u.obs, u.fsp, cfg.FetchWidth)
 	case FetchTraceCache:
-		u.tc = tcache.New(tcache.Config{SizeBytes: cfg.TraceCache, Ways: 2})
+		u.tc = cfg.TC
+		if u.tc == nil {
+			u.tc = tcache.New(tcache.Config{SizeBytes: cfg.TraceCache, Ways: 2})
+		}
 		u.engine = newTCFetch(ic, u.tc, stream, &u.stats, &u.obs, u.fsp, cfg.FetchWidth)
 	case FetchParallel:
 		u.pool = frag.NewPool(cfg.FragBuffers)
@@ -95,7 +98,10 @@ func NewUnit(cfg Config, stream *Stream, ic *ICache, be ExecBackend) (*Unit, err
 	case RenameSequential:
 		u.stage = newSequentialRename(cfg.RenameWidth, be, &u.stats, &u.obs)
 	case RenameParallel:
-		lo := rename.NewLiveOutPredictor(cfg.LiveOut)
+		lo := cfg.LiveOutPred
+		if lo == nil {
+			lo = rename.NewLiveOutPredictor(cfg.LiveOut)
+		}
 		u.pr = newParallelRename(cfg.Renamers, cfg.RenWidth, lo, be, &u.stats, &u.obs)
 		u.pr.prof = cfg.Prof
 		u.stage = u.pr

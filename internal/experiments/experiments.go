@@ -112,6 +112,20 @@ type Options struct {
 	// test hook, reachable via pfe-bench -inject.
 	Inject map[string]string
 
+	// Sample, if non-nil, runs every cell in systematic-sampling mode
+	// (detailed windows over an oracle tape; see pfe.RunOptions.Sample).
+	// Requires Artifacts. Reported IPCs are sampled estimates with
+	// confidence intervals in each Result.Sampling.
+	Sample *pfe.SampleSpec
+
+	// Slices, when positive, runs every cell in time-parallel mode: the
+	// measured stream is cut into Slices tape-indexed pieces simulated
+	// concurrently (see pfe.RunOptions.Slices). Mutually exclusive with
+	// Sample when greater than 1. SliceWarmup is the per-slice overlapped
+	// detailed warmup (0 = Warmup).
+	Slices      int
+	SliceWarmup int64
+
 	// Artifacts, if non-nil, is the cross-cell workload reuse cache:
 	// program images and oracle tapes are shared across every cell of the
 	// same benchmark (see pfe.RunOptions.Artifacts), and completed cell
@@ -150,6 +164,9 @@ func (o Options) runOpts() pfe.RunOptions {
 		NoProgressCycles: o.NoProgressCycles,
 		FlightRecorder:   o.FlightRecorder,
 		Artifacts:        o.Artifacts,
+		Sample:           o.Sample,
+		Slices:           o.Slices,
+		SliceWarmup:      o.SliceWarmup,
 	}
 }
 

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	pfe "github.com/parallel-frontend/pfe"
+)
+
+// TestValidateSampling runs the sampled-vs-full gate on a suite subset with
+// CI budgets: rows must be complete, internally consistent, and — the point
+// of the suite — every error within its own confidence interval.
+func TestValidateSampling(t *testing.T) {
+	o := CI()
+	o.Benchmarks = []string{"gcc", "twolf", "mcf"}
+	spec := pfe.SampleSpec{Unit: 2_000, Period: 6_000, Warmup: 3_000}
+	v, err := ValidateSampling(pfe.Preset(pfe.PR2x8w), spec, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) != len(o.Benchmarks) {
+		t.Fatalf("rows = %d, want %d", len(v.Rows), len(o.Benchmarks))
+	}
+	for _, r := range v.Rows {
+		if r.FullIPC <= 0 || r.SampledIPC <= 0 {
+			t.Errorf("%s: empty IPCs: full %v sampled %v", r.Bench, r.FullIPC, r.SampledIPC)
+		}
+		if r.Windows < 2 {
+			t.Errorf("%s: %d windows, want >= 2 for a CI", r.Bench, r.Windows)
+		}
+		if r.Detailed <= 0 || r.Skipped <= 0 {
+			t.Errorf("%s: detailed %d skipped %d, want both positive", r.Bench, r.Detailed, r.Skipped)
+		}
+		wantErr := 100 * (r.SampledIPC - r.FullIPC) / r.FullIPC
+		if math.Abs(wantErr-r.ErrPct) > 1e-9 {
+			t.Errorf("%s: ErrPct %v, want %v", r.Bench, r.ErrPct, wantErr)
+		}
+		if !r.Pass {
+			t.Errorf("%s: gate failed: err %.2f%% vs ci ±%.2f%%", r.Bench, r.ErrPct, r.CI95Pct)
+		}
+	}
+	if !v.Passed {
+		t.Error("suite did not pass")
+	}
+	if s := v.String(); s == "" {
+		t.Error("empty rendering")
+	}
+}
+
+// TestValidateSamplingRespectsCancel pins that a cancelled context aborts
+// before any simulation runs.
+func TestValidateSamplingRespectsCancel(t *testing.T) {
+	o := CI()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o.Ctx = ctx
+	if _, err := ValidateSampling(pfe.Preset(pfe.PR2x8w), pfe.DefaultSampleSpec(), o); err == nil {
+		t.Fatal("want context error, got nil")
+	}
+}

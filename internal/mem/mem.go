@@ -183,6 +183,11 @@ func (c *Cache) Reset() {
 	c.misses = 0
 }
 
+// ResetStats zeroes the access counters while keeping contents — used after
+// functional warming so a run's miss rates describe its own traffic, not the
+// warming replay's.
+func (c *Cache) ResetStats() { c.accesses, c.misses = 0, 0 }
+
 // AddTo dumps the cache's counters into a stats set under its name.
 func (c *Cache) AddTo(s *stats.Set) {
 	s.Add(c.name+".accesses", c.accesses)

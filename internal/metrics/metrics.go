@@ -154,6 +154,24 @@ func (h *Histogram) Reset() {
 	h.count, h.sum, h.max = 0, 0, 0
 }
 
+// Merge accumulates o's observations into h. The histograms must have the
+// same shape (bucket count and width); mismatched shapes are a programming
+// error and panic.
+func (h *Histogram) Merge(o *Histogram) {
+	if len(h.buckets) != len(o.buckets) || h.width != o.width {
+		panic(fmt.Sprintf("metrics: merging mismatched histograms %s (%d×%d) and %s (%d×%d)",
+			h.name, len(h.buckets)-1, h.width, o.name, len(o.buckets)-1, o.width))
+	}
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // String renders a compact one-line summary.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("%s: n=%d mean=%.2f p90<=%d max=%d", h.name, h.count, h.Mean(), h.Quantile(0.9), h.max)
@@ -194,6 +212,15 @@ func (p *Pipeline) Reset() {
 	p.FragLen.Reset()
 	p.BufResidency.Reset()
 	p.SquashDepth.Reset()
+}
+
+// Merge accumulates o's distributions into p — combining the measurement
+// windows of a sampled run, or the slices of a time-parallel one, into one
+// logical run's histograms.
+func (p *Pipeline) Merge(o *Pipeline) {
+	p.FragLen.Merge(o.FragLen)
+	p.BufResidency.Merge(o.BufResidency)
+	p.SquashDepth.Merge(o.SquashDepth)
 }
 
 // All returns the histograms in presentation order.

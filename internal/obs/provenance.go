@@ -68,6 +68,16 @@ type RunSpec struct {
 	Benchmarks   []string `json:"benchmarks,omitempty"`
 	Workers      int      `json:"workers,omitempty"`
 	Experiments  []string `json:"experiments"`
+
+	// Acceleration modes, present only when the run used them: sampled
+	// runs report estimates (not exact IPCs), sliced runs reconcile
+	// cycle counts at seams — a comparator reading two reports should
+	// know whether the numbers are commensurable.
+	SampleUnit   int64 `json:"sample_unit,omitempty"`
+	SamplePeriod int64 `json:"sample_period,omitempty"`
+	SampleWarmup int64 `json:"sample_warmup,omitempty"`
+	Slices       int   `json:"slices,omitempty"`
+	SliceWarmup  int64 `json:"slice_warmup,omitempty"`
 }
 
 // Row is one simulation's metrics inside a report: every per-benchmark

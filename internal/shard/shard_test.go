@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunExactlyOnce checks the pool's core contract under contention:
+// every task index runs exactly once, whatever the worker count, and the
+// per-shard Ran counts account for all of them. With -race this also
+// exercises the deque locking across take/steal/push. (The experiment-level
+// behaviour — determinism of sweep results across worker counts — is pinned
+// by internal/experiments' scheduler tests through the adapter.)
+func TestRunExactlyOnce(t *testing.T) {
+	const n = 5000
+	counts := make([]atomic.Int32, n)
+	for _, workers := range []int{1, 3, 8, 64} {
+		for i := range counts {
+			counts[i].Store(0)
+		}
+		stats := Run(context.Background(), n, workers, func(i int) { counts[i].Add(1) })
+		if len(stats) != workers {
+			t.Fatalf("workers=%d: %d shard stats", workers, len(stats))
+		}
+		total := 0
+		for _, s := range stats {
+			total += s.Ran
+		}
+		if total != n {
+			t.Errorf("workers=%d: shards report %d tasks ran, want %d", workers, total, n)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times, want exactly once", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestRunZeroAndNegative pins the edge cases: nothing to run returns no
+// stats, and degenerate worker counts clamp to one.
+func TestRunZeroAndNegative(t *testing.T) {
+	if st := Run(context.Background(), 0, 4, func(int) { t.Fatal("ran") }); st != nil {
+		t.Fatalf("n=0: got stats %v", st)
+	}
+	ran := 0
+	st := Run(context.Background(), 3, -2, func(int) { ran++ })
+	if len(st) != 1 || ran != 3 {
+		t.Fatalf("workers=-2: stats=%d ran=%d, want 1 worker running 3 tasks", len(st), ran)
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"github.com/parallel-frontend/pfe/internal/obs"
 	"github.com/parallel-frontend/pfe/internal/pool"
 	"github.com/parallel-frontend/pfe/internal/program"
+	"github.com/parallel-frontend/pfe/internal/rename"
+	"github.com/parallel-frontend/pfe/internal/tcache"
 	"github.com/parallel-frontend/pfe/internal/trace"
 )
 
@@ -89,6 +91,28 @@ type Config struct {
 	// It must produce the exact stream emu.New(p) would; each simulation
 	// needs its own instance (the stream is consumed statefully).
 	Oracle emu.Oracle
+
+	// Hier, if non-nil, is an externally built memory hierarchy the run
+	// uses instead of constructing its own — the seam through which the
+	// sampled and time-parallel modes carry functionally warmed cache
+	// contents into a detailed window. The hierarchy must match Mem's
+	// geometry and must not be shared with a concurrent run.
+	Hier *mem.Hierarchy
+
+	// Pred, if non-nil, is an externally built fragment predictor the run
+	// uses instead of constructing its own — the same seam as Hier, for
+	// predictor tables functionally trained over a skipped prefix. It must
+	// match FrontEnd.Predictor's geometry and must not be shared with a
+	// concurrent run.
+	Pred *bpred.TracePredictor
+
+	// LiveOut and TC are the remaining warmed-state seams: an externally
+	// built live-out predictor (parallel rename) and trace cache
+	// (trace-cache fetch), injected into the front-end instead of the
+	// cold structures it would otherwise build. Nil values keep the
+	// front-end self-contained.
+	LiveOut *rename.LiveOutPredictor
+	TC      *tcache.Cache
 }
 
 // Result is one simulation's measurements (post-warmup).
@@ -98,6 +122,10 @@ type Result struct {
 	Cycles    uint64
 	Committed int64
 	IPC       float64
+
+	// WarmupCycles is how many cycles the warmup phase consumed before
+	// measurement began — per-slice provenance for time-parallel runs.
+	WarmupCycles uint64
 
 	FrontEnd core.Stats
 
@@ -209,9 +237,17 @@ func New(p *program.Program, cfg Config) (*Sim, error) {
 	cfg.FrontEnd.Sink = cfg.Events
 	cfg.FrontEnd.Metrics = met
 	cfg.FrontEnd.Prof = prof
+	cfg.FrontEnd.LiveOutPred = cfg.LiveOut
+	cfg.FrontEnd.TC = cfg.TC
 
-	hier := mem.NewHierarchy(cfg.Mem)
-	pred := bpred.New(cfg.FrontEnd.Predictor)
+	hier := cfg.Hier
+	if hier == nil {
+		hier = mem.NewHierarchy(cfg.Mem)
+	}
+	pred := cfg.Pred
+	if pred == nil {
+		pred = bpred.New(cfg.FrontEnd.Predictor)
+	}
 	stream := core.NewStream(p, pred, cfg.FrontEnd.FragHeuristics, cfg.Oracle)
 	be := backend.New(cfg.Backend, hier.L1D)
 	be.CommitHook = cfg.CommitHook
@@ -408,11 +444,12 @@ func (s *Sim) Result() (*Result, error) {
 	}
 
 	res := &Result{
-		Bench:     s.p.Name,
-		Config:    cfg.FrontEnd.Name,
-		Cycles:    s.now - s.baseCycle,
-		Committed: s.be.Committed() - s.baseCommit,
-		FrontEnd:  subStats(*s.fe.Stats(), s.baseStats),
+		Bench:        s.p.Name,
+		Config:       cfg.FrontEnd.Name,
+		Cycles:       s.now - s.baseCycle,
+		Committed:    s.be.Committed() - s.baseCommit,
+		WarmupCycles: s.baseCycle,
+		FrontEnd:     subStats(*s.fe.Stats(), s.baseStats),
 	}
 	if res.Cycles > 0 {
 		res.IPC = float64(res.Committed) / float64(res.Cycles)

@@ -1,0 +1,111 @@
+// Package stats holds the statistical estimators behind sampled simulation:
+// summarizing per-window IPC observations into a mean with a 95% confidence
+// interval (SMARTS-style systematic sampling reports an estimate with a
+// quantified error bound instead of paying for exhaustive cycles), and
+// planning where the detailed windows fall in the instruction stream.
+package stats
+
+import "math"
+
+// Summary describes a set of observations by its first two moments and the
+// derived 95% confidence half-width for the mean.
+type Summary struct {
+	N        int     // observations
+	Mean     float64 // sample mean
+	Variance float64 // unbiased sample variance (n-1 denominator)
+	StdDev   float64
+	StdErr   float64 // standard error of the mean
+	CI95     float64 // 95% confidence half-width: t_{.975,n-1} * StdErr
+}
+
+// Summarize computes the Summary of xs. Degenerate inputs follow the
+// statistics rather than panicking: no observations yield a zero Summary;
+// a single observation has a defined mean but no variance estimate, so its
+// CI95 is +Inf (one window supports no error claim); zero-variance inputs
+// yield a zero-width interval.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N == 1 {
+		s.CI95 = math.Inf(1)
+		return s
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Variance = ss / float64(s.N-1)
+	s.StdDev = math.Sqrt(s.Variance)
+	s.StdErr = s.StdDev / math.Sqrt(float64(s.N))
+	s.CI95 = TCrit95(s.N-1) * s.StdErr
+	return s
+}
+
+// tTable holds two-sided 97.5th-percentile Student-t critical values for
+// degrees of freedom 1..30.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom. Exact table values cover df 1..30; beyond that the standard
+// coarse table rows (40, 60, 120, ∞) apply, rounding df down so the returned
+// interval is never narrower than the exact one.
+func TCrit95(df int) float64 {
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df <= len(tTable):
+		return tTable[df-1]
+	case df < 60:
+		return 2.021 // df 40 row
+	case df < 120:
+		return 2.000 // df 60 row
+	case df < 1000:
+		return 1.980 // df 120 row
+	default:
+		return 1.960 // normal limit
+	}
+}
+
+// Window is one detailed-simulation region of a systematic sampling plan,
+// in measured-stream instruction offsets.
+type Window struct {
+	Start uint64 // offset of the first measured instruction
+	Len   uint64 // instructions to measure in detail
+}
+
+// SampleWindows plans systematic sampling over a stream of total
+// instructions: a detailed window of unit instructions begins every period
+// instructions, starting at offset zero, with the final window truncated at
+// the stream's end. A period smaller than the unit (or zero) degenerates to
+// back-to-back windows covering the whole stream; total of zero plans
+// nothing. The plan depends only on (total, unit, period) — systematic, not
+// random — so a sampled run is reproducible by construction.
+func SampleWindows(total, unit, period uint64) []Window {
+	if total == 0 || unit == 0 {
+		return nil
+	}
+	if period < unit {
+		period = unit
+	}
+	ws := make([]Window, 0, total/period+1)
+	for start := uint64(0); start < total; start += period {
+		n := unit
+		if rest := total - start; n > rest {
+			n = rest
+		}
+		ws = append(ws, Window{Start: start, Len: n})
+	}
+	return ws
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestSummarize drives the estimator through its table of regular and
+// degenerate inputs: empty, one window (no variance estimate, infinite CI),
+// zero-variance windows (zero-width CI), and hand-checked small sets.
+func TestSummarize(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{name: "empty", xs: nil, want: Summary{}},
+		{
+			name: "one window",
+			xs:   []float64{2.5},
+			want: Summary{N: 1, Mean: 2.5, CI95: math.Inf(1)},
+		},
+		{
+			name: "zero variance",
+			xs:   []float64{1.25, 1.25, 1.25, 1.25},
+			want: Summary{N: 4, Mean: 1.25},
+		},
+		{
+			name: "two windows",
+			xs:   []float64{1, 3},
+			// variance 2, stderr 1, t(1) = 12.706
+			want: Summary{N: 2, Mean: 2, Variance: 2, StdDev: math.Sqrt2,
+				StdErr: 1, CI95: 12.706},
+		},
+		{
+			name: "five windows",
+			xs:   []float64{2, 4, 4, 4, 6},
+			// mean 4, ss = 8, variance 2, stderr sqrt(2/5), t(4) = 2.776
+			want: Summary{N: 5, Mean: 4, Variance: 2, StdDev: math.Sqrt2,
+				StdErr: math.Sqrt(0.4), CI95: 2.776 * math.Sqrt(0.4)},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Summarize(tc.xs)
+			if got.N != tc.want.N ||
+				!close(got.Mean, tc.want.Mean) ||
+				!close(got.Variance, tc.want.Variance) ||
+				!close(got.StdDev, tc.want.StdDev) ||
+				!close(got.StdErr, tc.want.StdErr) ||
+				!close(got.CI95, tc.want.CI95) {
+				t.Fatalf("Summarize(%v) =\n %+v, want\n %+v", tc.xs, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTCrit95 pins the table boundaries and the coarse rows beyond it; the
+// critical value must never increase with more degrees of freedom.
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{-1, math.Inf(1)}, {0, math.Inf(1)},
+		{1, 12.706}, {2, 4.303}, {30, 2.042},
+		{31, 2.021}, {59, 2.021}, {60, 2.000}, {119, 2.000},
+		{120, 1.980}, {999, 1.980}, {1000, 1.960}, {1 << 20, 1.960},
+	}
+	for _, tc := range cases {
+		if got := TCrit95(tc.df); !close(got, tc.want) {
+			t.Errorf("TCrit95(%d) = %v, want %v", tc.df, got, tc.want)
+		}
+	}
+	prev := math.Inf(1)
+	for df := 1; df <= 2000; df++ {
+		v := TCrit95(df)
+		if v > prev {
+			t.Fatalf("TCrit95 not monotone: df=%d gives %v after %v", df, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestSampleWindows is the planner's table: regular plans, a truncated tail
+// window, the period-smaller-than-unit degenerate (back-to-back coverage),
+// window size exceeding the instruction count (one truncated window), and
+// empty streams.
+func TestSampleWindows(t *testing.T) {
+	cases := []struct {
+		name                string
+		total, unit, period uint64
+		want                []Window
+	}{
+		{name: "empty stream", total: 0, unit: 10, period: 100, want: nil},
+		{name: "zero unit", total: 100, unit: 0, period: 10, want: nil},
+		{
+			name: "regular", total: 250, unit: 10, period: 100,
+			want: []Window{{0, 10}, {100, 10}, {200, 10}},
+		},
+		{
+			name: "truncated tail", total: 205, unit: 10, period: 100,
+			want: []Window{{0, 10}, {100, 10}, {200, 5}},
+		},
+		{
+			name: "unit exceeds total", total: 7, unit: 100, period: 1000,
+			want: []Window{{0, 7}},
+		},
+		{
+			name: "period below unit covers stream", total: 25, unit: 10, period: 3,
+			want: []Window{{0, 10}, {10, 10}, {20, 5}},
+		},
+		{
+			name: "zero period covers stream", total: 20, unit: 10, period: 0,
+			want: []Window{{0, 10}, {10, 10}},
+		},
+		{
+			name: "exact fit", total: 200, unit: 10, period: 100,
+			want: []Window{{0, 10}, {100, 10}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SampleWindows(tc.total, tc.unit, tc.period)
+			if len(got) != len(tc.want) {
+				t.Fatalf("SampleWindows(%d,%d,%d) = %v, want %v", tc.total, tc.unit, tc.period, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("SampleWindows(%d,%d,%d)[%d] = %v, want %v", tc.total, tc.unit, tc.period, i, got[i], tc.want[i])
+				}
+			}
+			var covered uint64
+			for _, w := range got {
+				covered += w.Len
+				if w.Start+w.Len > tc.total {
+					t.Fatalf("window %v overruns total %d", w, tc.total)
+				}
+			}
+			if covered > tc.total {
+				t.Fatalf("windows cover %d of %d instructions", covered, tc.total)
+			}
+		})
+	}
+}

@@ -229,6 +229,33 @@ type RunOptions struct {
 	// watchdog trips. Costs one ring write per event, no allocations.
 	FlightRecorder int
 
+	// Sample, if non-nil, switches Run to systematic sampling: only
+	// detailed windows of Sample.Unit instructions every Sample.Period are
+	// simulated cycle-accurately (each preceded by Sample.Warmup detailed
+	// instructions), and the gaps are skipped by seeking the oracle tape.
+	// Result.IPC becomes the sampled estimate and Result.Sampling carries
+	// the 95% confidence interval. Mutually exclusive with Slices > 1.
+	Sample *SampleSpec
+
+	// Slices, if positive, switches Run to time-parallel slicing: the
+	// measured stream is cut into Slices tape-indexed pieces simulated
+	// concurrently, each entered through functionally warmed caches and an
+	// overlapped detailed warmup, and the counters are reconciled at the
+	// seams (exact for committed counts — each measured instruction counts
+	// exactly once — bounded for cycles; see Result.Slices). Slices == 1
+	// is the serial run with slice provenance attached. Mutually exclusive
+	// with Sample when greater than 1.
+	Slices int
+
+	// SliceWarmup is the overlapped warmup region preceding each interior
+	// slice, in instructions. 0 means WarmupInsts (the same warmup the
+	// serial run gets).
+	SliceWarmup int64
+
+	// SliceWorkers bounds the goroutines simulating slices concurrently.
+	// 0 means one per slice.
+	SliceWorkers int
+
 	// Artifacts, if non-nil, is the cross-run workload reuse cache: the
 	// benchmark's built program image is shared read-only with every other
 	// run of the same spec, and the functional emulator is replaced by a
@@ -273,6 +300,19 @@ func runSpec(spec program.Spec, m Machine, opts RunOptions) (*Result, error) {
 		opts.WarmupInsts = def.WarmupInsts
 		opts.MeasureInsts = def.MeasureInsts
 	}
+	if opts.Sample != nil && opts.Slices > 1 {
+		return nil, fmt.Errorf("pfe: Sample and Slices > 1 are mutually exclusive")
+	}
+	if opts.Sample != nil || opts.Slices > 0 {
+		p, tape, err := tapeFor(spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		if opts.Sample != nil {
+			return runSampled(p, tape, m, opts)
+		}
+		return runSliced(p, tape, m, opts)
+	}
 	var p *program.Program
 	var oracle emu.Oracle
 	var err error
@@ -296,6 +336,34 @@ func runSpec(spec program.Spec, m Machine, opts RunOptions) (*Result, error) {
 		}
 	}
 	return runProgram(p, m, opts, oracle)
+}
+
+// tapeFor obtains the built program and its oracle tape for the sampled and
+// sliced run modes, which need random access to the dynamic stream: through
+// the artifact cache when one is attached (shared with every other run of
+// the spec), or built and recorded privately otherwise.
+func tapeFor(spec program.Spec, opts RunOptions) (*program.Program, *artifact.Tape, error) {
+	budget := uint64(opts.WarmupInsts+opts.MeasureInsts) + artifact.TapeSlack
+	if opts.Artifacts != nil {
+		p, err := opts.Artifacts.Program(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		tape, err := opts.Artifacts.Tape(spec, budget)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, tape, nil
+	}
+	p, err := program.Build(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	tape, err := artifact.Record(p, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, tape, nil
 }
 
 func runProgram(p *program.Program, m Machine, opts RunOptions, oracle emu.Oracle) (*Result, error) {

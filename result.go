@@ -65,6 +65,58 @@ type Result struct {
 	// RunOptions.SelfProfile was set. rename_phase1/2 are a
 	// sub-breakdown of rename, not additional time.
 	StageSeconds map[string]float64
+
+	// SampledIPC is the systematic-sampling IPC estimate (the mean of the
+	// per-window IPCs; equal to IPC on sampled runs). Zero on full runs.
+	SampledIPC float64
+
+	// Sampling carries the sampled run's estimator detail — window plan,
+	// confidence interval, detailed-vs-skipped instruction counts. Nil on
+	// full and sliced runs.
+	Sampling *SamplingInfo
+
+	// Slices carries per-slice provenance of a time-parallel run, in slice
+	// order. Nil on full and sampled runs.
+	Slices []SliceInfo
+}
+
+// SamplingInfo describes how a sampled run's IPC estimate was formed.
+type SamplingInfo struct {
+	Unit   int64 `json:"unit"`   // detailed instructions per window
+	Period int64 `json:"period"` // instructions between window starts
+	Warmup int64 `json:"warmup"` // detailed warmup before each window
+
+	Windows   int     `json:"windows"`
+	IPCMean   float64 `json:"ipc_mean"`
+	IPCStdDev float64 `json:"ipc_stddev"`
+	IPCStdErr float64 `json:"ipc_stderr"`
+
+	// IPCCI95 is the 95% confidence half-width of IPCMean under the
+	// Student-t systematic-sampling estimator. +Inf when only one window
+	// was simulated (a single observation supports no error claim).
+	IPCCI95 float64 `json:"ipc_ci95"`
+
+	// DetailedInsts counts instructions simulated cycle-accurately
+	// (per-window warmup included); SkippedInsts counts instructions
+	// fast-forwarded by tape seeks. Their ratio is the speedup lever.
+	DetailedInsts int64 `json:"detailed_insts"`
+	SkippedInsts  int64 `json:"skipped_insts"`
+
+	// WindowIPCs are the per-window observations behind the estimate.
+	WindowIPCs []float64 `json:"window_ipcs,omitempty"`
+}
+
+// SliceInfo is one slice's share of a time-parallel run.
+type SliceInfo struct {
+	Index        int     `json:"index"`
+	StartInst    int64   `json:"start_inst"`    // absolute stream position where measurement begins
+	WarmupInsts  int64   `json:"warmup_insts"`  // overlapped warmup preceding it
+	MeasureInsts int64   `json:"measure_insts"` // commit quota
+	Committed    int64   `json:"committed"`     // after seam reconciliation
+	Overshoot    int64   `json:"overshoot"`     // commits past the quota, trimmed at the seam
+	Cycles       uint64  `json:"cycles"`        // measured cycles
+	WarmupCycles uint64  `json:"warmup_cycles"`
+	IPC          float64 `json:"ipc"`
 }
 
 // Histograms renders the pipeline distributions as printable tables, one
