@@ -10,6 +10,11 @@
 #   make test-sample   tier 1.5: tape-acceleration suite (sampled-vs-full
 #                      statistical gate, sliced determinism across worker
 #                      counts, zero-alloc tape seek/replay guards)
+#   make test-obs      tier 1.5: observability suite (span tracer alloc guard
+#                      and ordered release, SSE /events ordering across worker
+#                      counts under -race, live scrape of accelerated runs,
+#                      Chrome trace round-trip + merge, traced-vs-untraced
+#                      determinism)
 #   make vet           static hygiene: go vet + gofmt -l (fails on diff);
 #                      runs as part of `make test`
 #   make race          tier 2: vet + race detector over the short suite
@@ -29,11 +34,11 @@ BENCH_WARMUP  ?= 20000
 BENCH_MEASURE ?= 60000
 GIT_SHA       := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all test test-alloc test-robust test-sample vet race fuzz bench bench-stat bench-json bench-compare fmt
+.PHONY: all test test-alloc test-robust test-sample test-obs vet race fuzz bench bench-stat bench-json bench-compare fmt
 
 all: test test-alloc race fuzz
 
-test: vet test-robust test-sample
+test: vet test-robust test-sample test-obs
 	$(GO) build ./...
 	$(GO) test ./...
 
@@ -65,6 +70,17 @@ test-sample:
 	$(GO) test -count=1 ./internal/experiments/ -run ValidateSampling
 	$(GO) test -count=1 ./internal/artifact/ -run 'TestTapeSeek'
 	$(GO) test -count=1 ./internal/stats/ -run 'TestSummarize|TestSampleWindows|TestTCrit95'
+
+# Observability tier: the sweep span tracer (nil-tracer alloc guard, ordered
+# head/tail release, Chrome/NDJSON round-trips), the /events SSE stream
+# (deterministic cell order across worker counts, under -race), the /metrics +
+# /status scrape of sampled and sliced runs under -race, the sweep/cycle trace
+# merge in pfe-trace, and the traced-vs-untraced bit-identity gate.
+test-obs:
+	$(GO) test -race -count=1 ./internal/obs/span/
+	$(GO) test -race -count=1 ./internal/obs/ -run 'TestEventsStream|TestLiveScrape'
+	$(GO) test -count=1 ./cmd/pfe-trace/ -run TestMerge
+	$(GO) test -count=1 ./cmd/pfe-bench/ -run 'TestTracing|TestSweepTrace'
 
 # Allocation guards, run on their own so a perf PR can iterate on just
 # them: the steady-state cycle loop must not allocate at all, and a

@@ -18,6 +18,8 @@
 //	pfe-bench -exp fig8 -sample                 # systematic sampling (IPC ± CI)
 //	pfe-bench -exp fig8 -slices 8               # time-parallel slicing
 //	pfe-bench -validate-sampling                # sampled-vs-full error gate
+//	pfe-bench -exp fig8 -sweep-trace sweep.json # Perfetto-loadable sweep trace
+//	pfe-bench -exp all -events                  # live /events SSE stream
 //
 // -sample and -slices accelerate every simulation of a sweep by replaying
 // oracle tapes: sampling simulates detailed windows (-sample-unit every
@@ -43,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +55,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/experiments"
 	"github.com/parallel-frontend/pfe/internal/journal"
 	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/obs/span"
 )
 
 func main() { os.Exit(run()) }
@@ -85,6 +89,9 @@ func run() int {
 
 		artifactMem = flag.Int64("artifact-mem", 256, "artifact cache cap in MiB (shared program images, oracle tapes, memoized cell results; LRU past the cap; 0 = unbounded)")
 		noArtifacts = flag.Bool("no-artifact-cache", false, "disable cross-cell workload reuse: every cell rebuilds its benchmark and re-emulates from instruction zero")
+
+		sweepTrace = flag.String("sweep-trace", "", "write the sweep's span trace to this file: Chrome trace_event JSON (load in Perfetto/chrome://tracing), or NDJSON when the name ends in .ndjson/.jsonl")
+		events     = flag.Bool("events", false, "serve the live sweep event stream at /events (SSE, deterministic cell order); implies -http localhost:0 when -http is unset")
 	)
 	var accel accelFlags
 	ds := pfe.DefaultSampleSpec()
@@ -158,6 +165,18 @@ func run() int {
 		todo = []experiments.Experiment{e}
 	}
 
+	// Sweep span tracing: created only when something consumes it (-sweep-trace
+	// file, the /events live stream, or the per-cell timing breakdown of a
+	// -json report). A nil tracer costs nothing on the hot path.
+	if *events && *httpAddr == "" {
+		*httpAddr = "localhost:0"
+	}
+	var spans *span.Tracer
+	if *sweepTrace != "" || *events || *jsonOut != "" {
+		spans = span.New()
+	}
+	opts.Spans = spans
+
 	// Telemetry: the tracker always exists (it backs the progress lines);
 	// the registry, live sim counters and HTTP server are pay-for-use.
 	// -selfprofile needs the shared counters too (per-run profiles merge
@@ -173,11 +192,16 @@ func run() int {
 		opts.Artifacts.Register(reg)
 	}
 	tracker := obs.NewTracker(reg)
+	if w := *workers; w > 0 {
+		tracker.SetWorkers(w)
+	} else {
+		tracker.SetWorkers(runtime.GOMAXPROCS(0))
+	}
 	if *progress {
 		tracker.SetLog(os.Stderr, time.Second)
 	}
 	if *httpAddr != "" {
-		srv, err := obs.Serve(*httpAddr, reg, tracker)
+		srv, err := obs.Serve(*httpAddr, reg, tracker, spans)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pfe-bench: telemetry server: %v\n", err)
 			return 2
@@ -188,7 +212,11 @@ func run() int {
 			defer cancel()
 			srv.Shutdown(sctx)
 		}()
-		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics  /status  /debug/pprof/\n", srv.Addr())
+		endpoints := "/metrics  /status  /debug/pprof/"
+		if spans != nil {
+			endpoints += "  /events"
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s%s\n", srv.Addr(), endpoints)
 	}
 
 	// Crash safety: -resume replays a journal's completed cells and appends
@@ -269,6 +297,23 @@ func run() int {
 		fmt.Printf("[%s completed in %v]\n\n", e.ID, wall.Round(time.Millisecond))
 	}
 
+	// End of sweep: closing the tracer ends every /events stream (subscribers
+	// see the channel close) and freezes the record set for export.
+	spans.Close()
+	if *sweepTrace != "" {
+		if err := writeSweepTrace(*sweepTrace, spans.Records()); err != nil {
+			fmt.Fprintf(os.Stderr, "pfe-bench: writing %s: %v\n", *sweepTrace, err)
+			if exit == 0 {
+				exit = 2
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "sweep trace: %s (%d spans)\n", *sweepTrace, len(spans.Records()))
+		}
+	}
+	if n := spans.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "events: %d event(s) dropped by slow subscribers\n", n)
+	}
+
 	// Failures under budget do not abort the run, but they are never
 	// silent: each becomes a record in the report's failures block and a
 	// stderr line.
@@ -324,6 +369,16 @@ func run() int {
 		if opts.Artifacts != nil {
 			report.SetArtifacts(artifactsReport(opts.Artifacts.Stats()))
 		}
+		// Per-cell timing breakdown from the span trace: where each row's
+		// wall time went (queue-wait, build, sim, overhead).
+		for _, ct := range span.CellTimings(spans.Records()) {
+			report.SetRowTiming(ct.Batch, ct.Bench, ct.Key, obs.RowTiming{
+				QueueWaitSeconds: ct.QueueWaitSeconds,
+				BuildSeconds:     ct.BuildSeconds,
+				SimSeconds:       ct.SimSeconds,
+				OverheadSeconds:  ct.OverheadSeconds,
+			})
+		}
 		rep := report.Finalize(time.Since(runStart))
 		if err := obs.WriteReportFile(*jsonOut, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "pfe-bench: writing %s: %v\n", *jsonOut, err)
@@ -348,6 +403,25 @@ func run() int {
 		}
 	}
 	return exit
+}
+
+// writeSweepTrace exports the sweep's span records: NDJSON (one record per
+// line) when the file name ends in .ndjson or .jsonl, Chrome trace_event JSON
+// (Perfetto / chrome://tracing) otherwise.
+func writeSweepTrace(path string, recs []span.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".ndjson") || strings.HasSuffix(path, ".jsonl") {
+		err = span.WriteNDJSON(f, recs)
+	} else {
+		err = span.WriteChromeTrace(f, recs)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // artifactsReport converts a cache snapshot into the report's reuse block.

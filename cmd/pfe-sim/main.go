@@ -66,7 +66,7 @@ func main() {
 		reg = obs.NewRegistry()
 		opts.Obs = obs.NewSimCounters(reg)
 		opts.Artifacts.Register(reg) // nil-safe
-		srv, err := obs.Serve(*httpAddr, reg, nil)
+		srv, err := obs.Serve(*httpAddr, reg, nil, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfe-sim: telemetry server:", err)
 			os.Exit(1)

@@ -9,6 +9,7 @@
 //	pfe-trace -bench gcc -frags 10        # first 10 dynamic fragments
 //	pfe-trace -bench gcc -fe PR-2x8w -chrome out.json   # Chrome trace
 //	pfe-trace -bench gcc -fe W16 -jsonl out.jsonl -hist # JSONL + histograms
+//	pfe-trace -merge-sweep sweep.json -merge-cycles cell.json -o merged.json
 package main
 
 import (
@@ -39,8 +40,25 @@ func main() {
 		histFlag = flag.Bool("hist", false, "print the pipeline histograms after simulating")
 		warm     = flag.Int64("warmup", 20_000, "warmup instructions before measurement (simulation mode)")
 		meas     = flag.Int64("measure", 60_000, "measured instructions (simulation mode)")
+
+		mergeSweep  = flag.String("merge-sweep", "", "sweep-level span trace (pfe-bench -sweep-trace) to merge with -merge-cycles")
+		mergeCycles = flag.String("merge-cycles", "", "per-cell cycle trace (pfe-trace -chrome) to merge with -merge-sweep")
+		mergeOut    = flag.String("o", "merged.json", "output file for the merged Chrome trace")
 	)
 	flag.Parse()
+
+	if *mergeSweep != "" || *mergeCycles != "" {
+		if *mergeSweep == "" || *mergeCycles == "" {
+			fmt.Fprintln(os.Stderr, "pfe-trace: -merge-sweep and -merge-cycles must be given together")
+			os.Exit(1)
+		}
+		if err := mergeFiles(*mergeSweep, *mergeCycles, *mergeOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pfe-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote merged Chrome trace to %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *mergeOut)
+		return
+	}
 
 	spec, err := program.SpecByName(*bench)
 	if err != nil {

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Merging: -merge-sweep takes a sweep-level span trace (pfe-bench
+// -sweep-trace), -merge-cycles a per-cell cycle trace (pfe-trace -chrome),
+// and -o gets one Chrome trace file containing both — the sweep's
+// worker/cell tracks first, the pipeline's stage tracks as separate
+// processes below them. Perfetto then shows the macro timeline (which
+// worker ran which cell when) and the micro timeline (what the pipeline
+// did inside one cell) in a single view.
+//
+// The two traces use different clocks (wall-clock microseconds vs.
+// simulated cycles-as-microseconds), so they are kept on separate process
+// tracks rather than time-aligned: the cycle trace's process ids are
+// shifted above the sweep's so no track collides.
+
+// genericTrace is the decoded Chrome trace_event JSON object format. Events
+// stay as raw maps so merging preserves fields this tool does not know about.
+type genericTrace struct {
+	TraceEvents     []map[string]any `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit,omitempty"`
+}
+
+// readTrace decodes a Chrome trace JSON object file.
+func readTrace(path string) (*genericTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var t genericTrace
+	if err := json.NewDecoder(bufio.NewReader(f)).Decode(&t); err != nil {
+		return nil, fmt.Errorf("%s: not a Chrome trace JSON object: %w", path, err)
+	}
+	if t.TraceEvents == nil {
+		return nil, fmt.Errorf("%s: no traceEvents array", path)
+	}
+	return &t, nil
+}
+
+// eventPID reads an event's pid, tolerating the number types JSON decoding
+// produces (float64) as well as ints from hand-built test fixtures.
+func eventPID(ev map[string]any) (int, bool) {
+	switch v := ev["pid"].(type) {
+	case float64:
+		return int(v), true
+	case int:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// mergeTraces combines the two traces: sweep events unchanged, cycle events
+// with their pids shifted above the sweep's highest pid, plus process_name
+// metadata naming each shifted cycle process. The inputs are not modified.
+func mergeTraces(sweep, cycles *genericTrace) *genericTrace {
+	maxPID := 0
+	for _, ev := range sweep.TraceEvents {
+		if pid, ok := eventPID(ev); ok && pid > maxPID {
+			maxPID = pid
+		}
+	}
+	offset := maxPID + 1
+
+	out := &genericTrace{
+		DisplayTimeUnit: sweep.DisplayTimeUnit,
+		TraceEvents:     make([]map[string]any, 0, len(sweep.TraceEvents)+len(cycles.TraceEvents)+4),
+	}
+	if out.DisplayTimeUnit == "" {
+		out.DisplayTimeUnit = cycles.DisplayTimeUnit
+	}
+	out.TraceEvents = append(out.TraceEvents, sweep.TraceEvents...)
+
+	// Name every shifted cycle process unless the cycle trace already names
+	// it (a process_name metadata event would be shifted along with the rest).
+	shifted := map[int]bool{}
+	named := map[int]bool{}
+	shiftedEvents := make([]map[string]any, 0, len(cycles.TraceEvents))
+	for _, ev := range cycles.TraceEvents {
+		ne := make(map[string]any, len(ev)+1)
+		for k, v := range ev {
+			ne[k] = v
+		}
+		if pid, ok := eventPID(ev); ok {
+			ne["pid"] = pid + offset
+			shifted[pid+offset] = true
+			if ev["name"] == "process_name" {
+				named[pid+offset] = true
+			}
+		}
+		shiftedEvents = append(shiftedEvents, ne)
+	}
+	pids := make([]int, 0, len(shifted))
+	for pid := range shifted {
+		if !named[pid] {
+			pids = append(pids, pid)
+		}
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		out.TraceEvents = append(out.TraceEvents, map[string]any{
+			"name": "process_name", "cat": "__metadata", "ph": "M",
+			"pid": pid, "tid": 0,
+			"args": map[string]any{"name": "cycle trace"},
+		})
+	}
+	out.TraceEvents = append(out.TraceEvents, shiftedEvents...)
+	return out
+}
+
+// mergeFiles reads both traces, merges them, and writes the result.
+func mergeFiles(sweepPath, cyclesPath, outPath string) error {
+	sweep, err := readTrace(sweepPath)
+	if err != nil {
+		return err
+	}
+	cycles, err := readTrace(cyclesPath)
+	if err != nil {
+		return err
+	}
+	merged := mergeTraces(sweep, cycles)
+	return writeFile(outPath, func(f *os.File) error {
+		bw := bufio.NewWriter(f)
+		if err := json.NewEncoder(bw).Encode(merged); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/obs/span"
+	"github.com/parallel-frontend/pfe/internal/trace"
+)
+
+// syntheticSweepTrace builds a small sweep span trace the way pfe-bench
+// does — tracer, batch, two cells on two workers with phase children — and
+// exports it as Chrome trace JSON.
+func syntheticSweepTrace(t *testing.T) []byte {
+	t.Helper()
+	tr := span.New()
+	b := tr.StartBatch("fig8", 2)
+	for i := 0; i < 2; i++ {
+		cs := b.StartCell(i, "gcc", "PR-2x8w", i)
+		ps := cs.Child(span.KindPhase, "sim")
+		ps.Int("cycles", 1000)
+		ps.End()
+		cs.End()
+	}
+	b.End()
+	tr.Close()
+	var buf bytes.Buffer
+	if err := span.WriteChromeTrace(&buf, tr.Records()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// syntheticCycleTrace builds a tiny pipeline event trace the way pfe-trace
+// -chrome does and exports it as Chrome trace JSON.
+func syntheticCycleTrace(t *testing.T) []byte {
+	t.Helper()
+	events := []trace.Event{
+		{Cycle: 1, Kind: trace.KindFetch, Seq: 1, N: 2, Lane: 0},
+		{Cycle: 2, Kind: trace.KindRenamePhase2, Seq: 1, N: 2, Lane: 0},
+		{Cycle: 3, Kind: trace.KindCommit, Seq: 1, N: 2, Lane: 0},
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatalf("trace.WriteChromeTrace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMergeSyntheticTraces is the end-to-end merge gate: a sweep span trace
+// and a per-cell cycle trace, both produced by the real exporters, merge
+// into one file that still parses as Chrome trace JSON, keeps every event
+// from both inputs, and puts the cycle trace's tracks on process ids that do
+// not collide with the sweep's.
+func TestMergeSyntheticTraces(t *testing.T) {
+	dir := t.TempDir()
+	sweepPath := filepath.Join(dir, "sweep.json")
+	cyclesPath := filepath.Join(dir, "cycles.json")
+	outPath := filepath.Join(dir, "merged.json")
+	if err := os.WriteFile(sweepPath, syntheticSweepTrace(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cyclesPath, syntheticCycleTrace(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := mergeFiles(sweepPath, cyclesPath, outPath); err != nil {
+		t.Fatalf("mergeFiles: %v", err)
+	}
+
+	sweep, err := readTrace(sweepPath)
+	if err != nil {
+		t.Fatalf("sweep trace does not round-trip as Chrome trace JSON: %v", err)
+	}
+	cycles, err := readTrace(cyclesPath)
+	if err != nil {
+		t.Fatalf("cycle trace does not round-trip as Chrome trace JSON: %v", err)
+	}
+	merged, err := readTrace(outPath)
+	if err != nil {
+		t.Fatalf("merged trace does not parse as Chrome trace JSON: %v", err)
+	}
+
+	want := len(sweep.TraceEvents) + len(cycles.TraceEvents)
+	if got := len(merged.TraceEvents); got < want {
+		t.Errorf("merged trace has %d events, want at least %d (all inputs)", got, want)
+	}
+
+	sweepPIDs := map[int]bool{}
+	maxSweep := 0
+	for _, ev := range sweep.TraceEvents {
+		if pid, ok := eventPID(ev); ok {
+			sweepPIDs[pid] = true
+			if pid > maxSweep {
+				maxSweep = pid
+			}
+		}
+	}
+	// Sweep: pid 0 = harness, pids 1.. = workers (two workers here).
+	for _, pid := range []int{0, 1, 2} {
+		if !sweepPIDs[pid] {
+			t.Errorf("sweep trace missing pid %d track (harness + one per worker)", pid)
+		}
+	}
+
+	mergedPIDs := map[int]bool{}
+	for _, ev := range merged.TraceEvents {
+		if pid, ok := eventPID(ev); ok {
+			mergedPIDs[pid] = true
+		}
+	}
+	for pid := range sweepPIDs {
+		if !mergedPIDs[pid] {
+			t.Errorf("merged trace lost sweep pid %d", pid)
+		}
+	}
+	// Cycle events (originally all pid 0) must have moved above the sweep's
+	// highest pid, and the original cycle pid range must not gain events.
+	foundShifted := false
+	for pid := range mergedPIDs {
+		if pid > maxSweep {
+			foundShifted = true
+		}
+	}
+	if !foundShifted {
+		t.Error("merged trace has no cycle-trace tracks above the sweep's pid range")
+	}
+
+	// The shifted cycle process is named so Perfetto labels the track group.
+	namedShifted := false
+	for _, ev := range merged.TraceEvents {
+		if ev["name"] == "process_name" {
+			if pid, ok := eventPID(ev); ok && pid > maxSweep {
+				namedShifted = true
+			}
+		}
+	}
+	if !namedShifted {
+		t.Error("merged trace has no process_name metadata for the shifted cycle trace")
+	}
+
+	// Event identity check: every cycle event's name survives the merge.
+	mergedNames := map[string]int{}
+	for _, ev := range merged.TraceEvents {
+		if n, ok := ev["name"].(string); ok {
+			mergedNames[n]++
+		}
+	}
+	for _, ev := range cycles.TraceEvents {
+		n, ok := ev["name"].(string)
+		if !ok {
+			continue
+		}
+		if mergedNames[n] == 0 {
+			t.Errorf("cycle event %q missing from merged trace", n)
+		}
+	}
+}
+
+// TestMergeRejectsNonTrace ensures malformed input fails loudly instead of
+// producing a silently empty merge.
+func TestMergeRejectsNonTrace(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"hello":"world"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readTrace(bad); err == nil {
+		t.Error("readTrace accepted JSON without a traceEvents array")
+	}
+	if _, err := readTrace(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("readTrace accepted a missing file")
+	}
+}
+
+// TestMergedTraceWellFormedEvents spot-checks that merged events keep the
+// Chrome trace_event required fields (ph, pid, tid present; X events have
+// ts) so Perfetto will render them.
+func TestMergedTraceWellFormedEvents(t *testing.T) {
+	dir := t.TempDir()
+	sweepPath := filepath.Join(dir, "sweep.json")
+	cyclesPath := filepath.Join(dir, "cycles.json")
+	outPath := filepath.Join(dir, "merged.json")
+	if err := os.WriteFile(sweepPath, syntheticSweepTrace(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cyclesPath, syntheticCycleTrace(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergeFiles(sweepPath, cyclesPath, outPath); err != nil {
+		t.Fatalf("mergeFiles: %v", err)
+	}
+	raw, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("merged output is not valid JSON: %v", err)
+	}
+	for i, ev := range parsed.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event %d has no ph field: %v", i, ev)
+		}
+		if _, ok := eventPID(ev); !ok {
+			t.Fatalf("event %d has no numeric pid: %v", i, ev)
+		}
+		if _, ok := ev["tid"]; !ok {
+			t.Fatalf("event %d has no tid: %v", i, ev)
+		}
+		if ph == "X" {
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("complete event %d has no numeric ts: %v", i, ev)
+			}
+		}
+	}
+}

@@ -95,13 +95,29 @@ func SpecHash(spec program.Spec) string {
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
+// Info describes how one artifact lookup was served, for span annotation:
+// the content address used and whether the cache satisfied it (single-flight
+// waiters that shared an in-progress build count as hits).
+type Info struct {
+	Key string
+	Hit bool
+}
+
 // Program returns the built image for spec, building it on first use and
 // sharing the same read-only *program.Program with every subsequent caller.
 func (c *Cache) Program(spec program.Spec) (*program.Program, error) {
+	p, _, err := c.ProgramInfo(spec)
+	return p, err
+}
+
+// ProgramInfo is Program plus cache-hit provenance.
+func (c *Cache) ProgramInfo(spec program.Spec) (*program.Program, Info, error) {
 	if c == nil {
-		return program.Build(spec)
+		p, err := program.Build(spec)
+		return p, Info{}, err
 	}
-	v, err := c.get("prog:"+SpecHash(spec), kindProgram, func() (any, int64, error) {
+	key := "prog:" + SpecHash(spec)
+	v, hit, err := c.get(key, kindProgram, func() (any, int64, error) {
 		p, err := program.Build(spec)
 		if err != nil {
 			return nil, 0, err
@@ -109,20 +125,26 @@ func (c *Cache) Program(spec program.Spec) (*program.Program, error) {
 		return p, programBytes(p), nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, Info{Key: key}, err
 	}
-	return v.(*program.Program), nil
+	return v.(*program.Program), Info{Key: key, Hit: hit}, nil
 }
 
 // Tape returns a recording of spec's dynamic stream covering at least
 // minInsts instructions (or to halt), recording it on first use. The shared
 // program image comes from the same cache.
 func (c *Cache) Tape(spec program.Spec, minInsts uint64) (*Tape, error) {
+	t, _, err := c.TapeInfo(spec, minInsts)
+	return t, err
+}
+
+// TapeInfo is Tape plus cache-hit provenance.
+func (c *Cache) TapeInfo(spec program.Spec, minInsts uint64) (*Tape, Info, error) {
 	if c == nil {
-		return nil, fmt.Errorf("artifact: nil cache")
+		return nil, Info{}, fmt.Errorf("artifact: nil cache")
 	}
 	key := fmt.Sprintf("tape:%s:%d", SpecHash(spec), minInsts)
-	v, err := c.get(key, kindTape, func() (any, int64, error) {
+	v, hit, err := c.get(key, kindTape, func() (any, int64, error) {
 		p, err := c.Program(spec)
 		if err != nil {
 			return nil, 0, err
@@ -135,9 +157,9 @@ func (c *Cache) Tape(spec program.Spec, minInsts uint64) (*Tape, error) {
 		return t, t.Bytes() + t.IndexBytes() + 64, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, Info{Key: key}, err
 	}
-	return v.(*Tape), nil
+	return v.(*Tape), Info{Key: key, Hit: hit}, nil
 }
 
 // GetResult returns a previously memoized cell result (see PutResult). The
@@ -180,9 +202,10 @@ var closedCh = func() chan struct{} { ch := make(chan struct{}); close(ch); retu
 
 // get returns the artifact for key, running build exactly once per key even
 // under concurrent callers (waiters block until the builder finishes and
-// count as hits — they shared the one build). Build errors are returned to
-// every waiter but not cached.
-func (c *Cache) get(key string, kind int, build func() (any, int64, error)) (any, error) {
+// count as hits — they shared the one build). The second return reports
+// whether the lookup was a hit. Build errors are returned to every waiter
+// but not cached.
+func (c *Cache) get(key string, kind int, build func() (any, int64, error)) (any, bool, error) {
 	c.mu.Lock()
 	if e := c.entries[key]; e != nil {
 		if e.elem != nil {
@@ -191,7 +214,7 @@ func (c *Cache) get(key string, kind int, build func() (any, int64, error)) (any
 		c.hits[kind]++
 		c.mu.Unlock()
 		<-e.ready
-		return e.val, e.err
+		return e.val, true, e.err
 	}
 	e := &entry{kind: kind, key: key, ready: make(chan struct{})}
 	c.entries[key] = e
@@ -209,7 +232,7 @@ func (c *Cache) get(key string, kind int, build func() (any, int64, error)) (any
 	}
 	c.mu.Unlock()
 	close(e.ready)
-	return val, err
+	return val, false, err
 }
 
 // insertReadyLocked accounts a completed entry and applies the byte cap.

@@ -164,11 +164,17 @@ type Reader struct {
 	prevEA uint64
 	halted bool
 
-	live *emu.Machine // non-nil once the fallback engaged
+	live     *emu.Machine // non-nil once the fallback engaged
+	fallback int64        // instructions this reader served via the fallback
 }
 
 // Halted reports whether the replayed program has executed OpHalt.
 func (r *Reader) Halted() bool { return r.halted }
+
+// FallbackSteps returns how many instructions this reader (as opposed to the
+// whole tape — see Tape.FallbackSteps) served through the live-emulation
+// fallback, for per-run metrics and span annotations.
+func (r *Reader) FallbackSteps() int64 { return r.fallback }
 
 // Pos returns the sequence index of the next instruction Step will produce.
 func (r *Reader) Pos() uint64 { return r.seq }
@@ -286,6 +292,7 @@ func (r *Reader) stepLive() (emu.DynInst, error) {
 		r.halted = true
 	}
 	r.seq = d.Seq + 1
+	r.fallback++
 	r.t.fallbackSteps.Add(1)
 	if r.t.sink != nil {
 		r.t.sink.Add(1)

@@ -16,6 +16,8 @@ import (
 	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/journal"
 	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/obs/span"
+	"github.com/parallel-frontend/pfe/internal/shard"
 )
 
 // Observer receives cell-level lifecycle callbacks from an experiment run:
@@ -53,6 +55,14 @@ type Options struct {
 	// Sim, if non-nil, receives live telemetry from every simulation
 	// (cycles, committed, squashes) for /metrics exposition.
 	Sim *obs.SimCounters
+
+	// Spans, if non-nil, receives hierarchical sweep spans: one sweep span
+	// per batch of cells, a cell span per simulation (worker-attributed),
+	// attempt spans under it, and run-phase spans below those (program/tape
+	// builds, sim, sampled windows, slices). Steal events stream as they
+	// happen; cell-scoped events stream in deterministic cell order. Nil
+	// disables tracing at ~zero cost.
+	Spans *span.Tracer
 
 	// SelfProfile enables per-run wall-time attribution of the simulator
 	// itself, surfaced in each Result.StageSeconds.
@@ -163,6 +173,7 @@ func (o Options) runOpts() pfe.RunOptions {
 		SelfProfile:      o.SelfProfile,
 		NoProgressCycles: o.NoProgressCycles,
 		FlightRecorder:   o.FlightRecorder,
+		Spans:            o.Spans,
 		Artifacts:        o.Artifacts,
 		Sample:           o.Sample,
 		Slices:           o.Slices,
@@ -219,10 +230,13 @@ func runCells(o Options, cells []cell) (map[[2]string]*pfe.Result, error) {
 	ctx := o.ctx()
 	ro := o.runOpts()
 	outs := make([]cellOutcome, len(cells))
+	batch := o.Spans.StartBatch(o.ExperimentID, len(cells))
 	start := time.Now()
-	stats := runSharded(ctx, len(cells), o.workers(), func(i int) {
-		outs[i] = o.runCell(ctx, &cells[i], ro)
-	})
+	stats := runShardedHooked(ctx, len(cells), o.workers(), shard.Hooks{OnSteal: batch.Steal},
+		func(w, i int) {
+			outs[i] = o.runCell(ctx, &cells[i], ro, batch, w, i)
+		})
+	batch.End()
 	if so, ok := o.Observer.(ShardObserver); ok {
 		so.Sharded(time.Since(start), stats)
 	}

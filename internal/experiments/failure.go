@@ -15,6 +15,7 @@ import (
 
 	pfe "github.com/parallel-frontend/pfe"
 	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/obs/span"
 	"github.com/parallel-frontend/pfe/internal/sim"
 )
 
@@ -86,10 +87,20 @@ func cellHash(c *cell, ro pfe.RunOptions) string {
 // journaled (fsynced) before it is observable; exhaustion produces a
 // structured failure, writing the watchdog diagnostic bundle to DumpDir
 // when the error carries one.
-func (o Options) runCell(ctx context.Context, c *cell, ro pfe.RunOptions) cellOutcome {
+//
+// batch, worker, and idx scope the cell's span (batch may come from a nil
+// tracer, in which case every span call is a free no-op): the cell span
+// carries the memo/resume short-circuits, retry causes and backoff, and
+// watchdog dump paths as typed annotations, with attempt spans nested under
+// it and the run's phase spans under those.
+func (o Options) runCell(ctx context.Context, c *cell, ro pfe.RunOptions, batch span.Batch, worker, idx int) cellOutcome {
 	hash := cellHash(c, ro)
+	cs := batch.StartCell(idx, c.bench, c.key, worker)
+	defer cs.End()
+	cs.Str("cell_hash", hash)
 	if o.Resume != nil {
 		if r, ok := o.Resume.lookup(o.ExperimentID, c.bench, c.key, hash); ok {
+			cs.Str("source", "resume-replay")
 			if o.Observer != nil {
 				o.Observer.Completed(c.bench, c.key, 0, r)
 			}
@@ -107,9 +118,8 @@ func (o Options) runCell(ctx context.Context, c *cell, ro pfe.RunOptions) cellOu
 	if memoize {
 		if v, ok := o.Artifacts.GetResult(hash); ok {
 			r := v.(*pfe.Result)
-			if o.Journal != nil {
-				o.Journal.Append(newCellRecord(o.ExperimentID, c, hash, 0, r))
-			}
+			cs.Str("source", "memo-hit")
+			o.journalCell(cs, newCellRecord(o.ExperimentID, c, hash, 0, r))
 			if o.Observer != nil {
 				o.Observer.Completed(c.bench, c.key, 0, r)
 			}
@@ -136,27 +146,38 @@ func (o Options) runCell(ctx context.Context, c *cell, ro pfe.RunOptions) cellOu
 		}
 		attempts = attempt
 		cellStart := time.Now()
-		r, err, panicked, stack := safeRun(c, ro, inject)
+		as := cs.Child(span.KindAttempt, "attempt")
+		as.Int("attempt", int64(attempt))
+		rc := ro
+		rc.SpanParent = as.ID()
+		r, err, panicked, stack := safeRun(c, rc, inject)
 		if err == nil {
+			as.End()
 			if memoize {
 				o.Artifacts.PutResult(hash, r, memoResultBytes)
 			}
-			if o.Journal != nil {
-				// Journal before reporting: a record exists for every cell
-				// an observer (and thus a report) has seen complete.
-				o.Journal.Append(newCellRecord(o.ExperimentID, c, hash, attempt, r))
+			// Journal before reporting: a record exists for every cell
+			// an observer (and thus a report) has seen complete.
+			o.journalCell(cs, newCellRecord(o.ExperimentID, c, hash, attempt, r))
+			if attempt > 1 {
+				cs.Int("retries", int64(attempt-1))
 			}
 			if o.Observer != nil {
 				o.Observer.Completed(c.bench, c.key, time.Since(cellStart), r)
 			}
 			return cellOutcome{r: r}
 		}
+		as.Str("cause", failureCause(err, panicked))
+		as.Str("error", firstLine(err.Error()))
+		as.End()
 		lastErr, lastPanic, lastStack = err, panicked, stack
 		if attempt <= o.MaxRetries {
 			if o.Sim != nil {
 				o.Sim.CellRetries.Inc()
 			}
+			bs := cs.Child(span.KindPhase, "retry-backoff")
 			sleepBackoff(ctx, o.RetryBackoff, attempt)
+			bs.End()
 		}
 	}
 	if lastErr == nil {
@@ -172,11 +193,15 @@ func (o Options) runCell(ctx context.Context, c *cell, ro pfe.RunOptions) cellOu
 		Panic:      lastPanic,
 		Stack:      lastStack,
 	}
+	cs.Str("outcome", "failed")
+	cs.Int("attempts", int64(attempts))
 	var stall *sim.StallError
 	if errors.As(lastErr, &stall) && stall.Diag != nil {
+		cs.Str("cause", "watchdog-stall")
 		path := o.dumpPath(c)
 		if werr := stall.Diag.WriteFile(path); werr == nil {
 			f.DumpPath = path
+			cs.Str("stall_dump", path)
 		}
 	}
 	if o.Sim != nil {
@@ -186,6 +211,38 @@ func (o Options) runCell(ctx context.Context, c *cell, ro pfe.RunOptions) cellOu
 		o.Failures.add(*f)
 	}
 	return cellOutcome{fail: f}
+}
+
+// journalCell appends a completed-cell record to the crash-safe journal (a
+// no-op without one), wrapped in a phase span so fsync stalls are visible in
+// the sweep timeline.
+func (o Options) journalCell(cs span.Span, rec any) {
+	if o.Journal == nil {
+		return
+	}
+	js := cs.Child(span.KindPhase, "journal-append")
+	o.Journal.Append(rec)
+	js.End()
+}
+
+// failureCause classifies an attempt error for span annotation.
+func failureCause(err error, panicked bool) string {
+	if panicked {
+		return "panic"
+	}
+	var stall *sim.StallError
+	if errors.As(err, &stall) {
+		return "watchdog-stall"
+	}
+	return "error"
+}
+
+// firstLine truncates a (possibly multi-line) error message for annotation.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // safeRun executes one attempt behind a recover barrier, converting a panic

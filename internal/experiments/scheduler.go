@@ -18,3 +18,9 @@ type ShardStat = shard.Stat
 func runSharded(ctx context.Context, n, workers int, run func(idx int)) []ShardStat {
 	return shard.Run(ctx, n, workers, run)
 }
+
+// runShardedHooked is runSharded with worker attribution and steal hooks,
+// for span-traced sweeps; see internal/shard.RunHooked.
+func runShardedHooked(ctx context.Context, n, workers int, h shard.Hooks, run func(worker, idx int)) []ShardStat {
+	return shard.RunHooked(ctx, n, workers, h, run)
+}

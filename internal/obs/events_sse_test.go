@@ -1,0 +1,178 @@
+package obs_test
+
+// SSE ordering test: an /events client must observe cell timelines in
+// deterministic cell order — cell 0's events, then cell 1's, ... — no matter
+// how many workers execute the sweep or which worker steals which cell. The
+// test runs the same sweep work-stolen under 1, 4, and 8 workers and asserts
+// the cell-scoped event stream is identical across all three.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/obs/span"
+	"github.com/parallel-frontend/pfe/internal/shard"
+)
+
+// collectSSE connects to url and decodes every SSE message until the server
+// closes the stream (tracer Close) or the timeout hits.
+func collectSSE(t *testing.T, url string) []span.Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /events: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("GET /events: Content-Type %q, want text/event-stream", ct)
+	}
+	var events []span.Event
+	var evType string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			evType = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev span.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+			if ev.Type != evType {
+				t.Errorf("SSE event field %q disagrees with payload type %q", evType, ev.Type)
+			}
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+// runTracedSweep executes one synthetic work-stolen sweep of n cells under
+// the given worker count, streaming to an /events client, and returns the
+// events the client observed.
+func runTracedSweep(t *testing.T, n, workers int) []span.Event {
+	t.Helper()
+	tr := span.New()
+	srv := httptest.NewServer(obs.NewMux(nil, nil, tr))
+	defer srv.Close()
+
+	done := make(chan []span.Event, 1)
+	go func() { done <- collectSSE(t, srv.URL+"/events") }()
+	// Give the client a beat to subscribe so it sees the whole stream.
+	time.Sleep(50 * time.Millisecond)
+
+	b := tr.StartBatch("sse-sweep", n)
+	shard.RunHooked(context.Background(), n, workers, shard.Hooks{OnSteal: b.Steal},
+		func(worker, i int) {
+			cs := b.StartCell(i, fmt.Sprintf("bench%d", i%3), "PR-2x8w", worker)
+			ps := cs.Child(span.KindPhase, "sim")
+			// Deterministically uneven work so later cells often finish
+			// before earlier ones under multiple workers.
+			time.Sleep(time.Duration((n-i)%5) * time.Millisecond)
+			ps.Int("cycles", int64(1000+i))
+			ps.End()
+			cs.Str("source", "fresh")
+			cs.End()
+		})
+	b.End()
+	tr.Close()
+
+	select {
+	case evs := <-done:
+		return evs
+	case <-time.After(30 * time.Second):
+		t.Fatal("SSE client never saw the stream end")
+		return nil
+	}
+}
+
+// cellScopedSignature reduces an event stream to the deterministic part: the
+// ordered (type, kind, name, cell) tuples of cell-scoped span events.
+// Timestamps, worker attribution, and steal events legitimately vary.
+func cellScopedSignature(events []span.Event) []string {
+	var sig []string
+	for _, ev := range events {
+		if ev.Span == nil || ev.Span.Cell < 0 {
+			continue
+		}
+		sig = append(sig, fmt.Sprintf("%s/%s/%s/cell%d", ev.Type, ev.Span.Kind, ev.Span.Name, ev.Span.Cell))
+	}
+	return sig
+}
+
+func TestEventsStreamDeterministicCellOrder(t *testing.T) {
+	const n = 12
+	var first []string
+	for _, workers := range []int{1, 4, 8} {
+		events := runTracedSweep(t, n, workers)
+
+		// Cells must be released strictly in index order: each cell-scoped
+		// event's cell is >= the previous one's, covering 0..n-1.
+		last := -1
+		seen := map[int]bool{}
+		for _, ev := range events {
+			if ev.Span == nil || ev.Span.Cell < 0 {
+				continue
+			}
+			c := ev.Span.Cell
+			if c < last {
+				t.Fatalf("workers=%d: cell %d event arrived after cell %d (out of order)", workers, c, last)
+			}
+			last = c
+			seen[c] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("workers=%d: saw events for %d cells, want %d", workers, len(seen), n)
+		}
+
+		// Progress events count up monotonically to n.
+		prev := 0
+		for _, ev := range events {
+			if ev.Type != "progress" {
+				continue
+			}
+			if ev.Done != prev+1 {
+				t.Fatalf("workers=%d: progress jumped %d -> %d", workers, prev, ev.Done)
+			}
+			prev = ev.Done
+		}
+		if prev != n {
+			t.Fatalf("workers=%d: final progress %d, want %d", workers, prev, n)
+		}
+
+		// The cell-scoped stream is bit-for-bit the same for every worker
+		// count: same events, same order.
+		sig := cellScopedSignature(events)
+		if first == nil {
+			first = sig
+			continue
+		}
+		if len(sig) != len(first) {
+			t.Fatalf("workers=%d: %d cell-scoped events, want %d (same as workers=1)", workers, len(sig), len(first))
+		}
+		for i := range sig {
+			if sig[i] != first[i] {
+				t.Fatalf("workers=%d: event %d = %q, want %q (stream must not depend on worker count)", workers, i, sig[i], first[i])
+			}
+		}
+	}
+}

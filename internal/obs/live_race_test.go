@@ -43,7 +43,7 @@ func TestLiveScrapeDuringSimulation(t *testing.T) {
 	reg := obs.NewRegistry()
 	sc := obs.NewSimCounters(reg)
 	tr := obs.NewTracker(reg)
-	srv := httptest.NewServer(obs.NewMux(reg, tr))
+	srv := httptest.NewServer(obs.NewMux(reg, tr, nil))
 	defer srv.Close()
 
 	opts := pfe.RunOptions{WarmupInsts: 5_000, MeasureInsts: 20_000, Obs: sc, SelfProfile: true}

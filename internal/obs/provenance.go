@@ -98,6 +98,24 @@ type Row struct {
 
 	Cycles    uint64 `json:"cycles"`
 	Committed int64  `json:"committed"`
+
+	// Timing is the cell's wall-time breakdown from the sweep span trace
+	// (present only when the run traced spans): where this cell's wall time
+	// went between waiting for a worker, building the workload, and simulating.
+	Timing *RowTiming `json:"timing,omitempty"`
+}
+
+// RowTiming decomposes one cell's wall time, derived from its span timeline:
+// queue-wait is the delay between sweep start and the cell being claimed by a
+// worker; build covers program-build and tape-build/replay phases; sim covers
+// the detailed simulation (including sampled windows, gap warming, and
+// time-parallel slices); overhead is the remainder (scheduling, journaling,
+// memo lookups, retry backoff).
+type RowTiming struct {
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	BuildSeconds     float64 `json:"build_seconds"`
+	SimSeconds       float64 `json:"sim_seconds"`
+	OverheadSeconds  float64 `json:"overhead_seconds"`
 }
 
 // CellFailure is one experiment cell that exhausted its retries: the
@@ -282,6 +300,26 @@ func (b *ReportBuilder) AddRow(id string, row Row) {
 	if e := b.byID[id]; e != nil {
 		e.Rows = append(e.Rows, row)
 		e.Sims++
+	}
+}
+
+// SetRowTiming attaches a span-derived wall-time breakdown to the matching
+// row of an experiment (the first row for that bench/config still missing
+// one). Call before Finalize; rows without trace coverage keep Timing nil.
+func (b *ReportBuilder) SetRowTiming(id, bench, config string, t RowTiming) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.byID[id]
+	if e == nil {
+		return
+	}
+	for i := range e.Rows {
+		r := &e.Rows[i]
+		if r.Bench == bench && r.Config == config && r.Timing == nil {
+			tc := t
+			r.Timing = &tc
+			return
+		}
 	}
 }
 

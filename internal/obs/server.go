@@ -3,18 +3,23 @@ package obs
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+
+	"github.com/parallel-frontend/pfe/internal/obs/span"
 )
 
 // NewMux builds the telemetry HTTP handler:
 //
 //	/metrics        Prometheus text exposition of reg (404 when reg is nil)
 //	/status         JSON experiment progress + ETA from tr (404 when nil)
+//	/events         live span/progress event stream via SSE (404 when spans
+//	                is nil); see handleEvents
 //	/debug/pprof/*  the standard runtime profiles (CPU, heap, goroutine, ...)
-func NewMux(reg *Registry, tr *Tracker) *http.ServeMux {
+func NewMux(reg *Registry, tr *Tracker, spans *span.Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	if reg != nil {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -30,12 +35,61 @@ func NewMux(reg *Registry, tr *Tracker) *http.ServeMux {
 			enc.Encode(tr.Status())
 		})
 	}
+	if spans != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			handleEvents(w, r, spans)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// handleEvents streams the sweep tracer's live feed as Server-Sent Events:
+// one message per span open/close, steal, or progress event, with the event
+// type in the SSE "event:" field and the span.Event JSON in "data:". Events
+// arrive in deterministic cell order (the tracer's head/tail ordered-release
+// discipline) even though cells execute work-stolen. The stream ends when
+// the tracer closes (end of run) or the client disconnects; a subscriber
+// that cannot keep up misses events rather than stalling the harness.
+func handleEvents(w http.ResponseWriter, r *http.Request, spans *span.Tracer) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, cancel := spans.Subscribe(4096)
+	defer cancel()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				return // tracer closed: end of run
+			}
+			if _, err := io.WriteString(w, "event: "+ev.Type+"\ndata: "); err != nil {
+				return
+			}
+			if err := enc.Encode(ev); err != nil { // Encode appends the final \n
+				return
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }
 
 // Server is a running telemetry server with an explicit shutdown path:
@@ -52,15 +106,15 @@ type Server struct {
 }
 
 // Serve starts the telemetry server on addr (e.g. ":6060") in a background
-// goroutine. Callers must Shutdown (graceful) or Close (abrupt) the returned
-// server when done.
-func Serve(addr string, reg *Registry, tr *Tracker) (*Server, error) {
+// goroutine. spans, when non-nil, enables the /events SSE stream. Callers
+// must Shutdown (graceful) or Close (abrupt) the returned server when done.
+func Serve(addr string, reg *Registry, tr *Tracker, spans *span.Tracer) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		srv:  &http.Server{Handler: NewMux(reg, tr)},
+		srv:  &http.Server{Handler: NewMux(reg, tr, spans)},
 		addr: ln.Addr(),
 		done: make(chan struct{}),
 	}

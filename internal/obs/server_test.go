@@ -33,7 +33,7 @@ func TestServerShutdownDrainsInFlightScrape(t *testing.T) {
 		return 1
 	})
 
-	srv, err := obs.Serve("127.0.0.1:0", reg, nil)
+	srv, err := obs.Serve("127.0.0.1:0", reg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestServerShutdownDrainsInFlightScrape(t *testing.T) {
 }
 
 func TestServerCloseIdempotent(t *testing.T) {
-	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), nil)
+	srv, err := obs.Serve("127.0.0.1:0", obs.NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

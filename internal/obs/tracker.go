@@ -16,6 +16,7 @@ type Tracker struct {
 	startedAt time.Time
 	order     []string
 	exps      map[string]*expState
+	workers   int // configured worker-pool size (SetWorkers), for ETA scaling
 
 	logW     io.Writer
 	logEvery time.Duration
@@ -34,6 +35,15 @@ type expState struct {
 	startedAt time.Time
 	running   bool
 	wall      time.Duration
+
+	// ETA inputs. Memoized (or resume-replayed) cells complete in
+	// microseconds and are reported with wall == 0 — the documented
+	// convention for "this cell did not simulate" — so averaging them into a
+	// throughput makes the ETA for the remaining cold cells wildly
+	// optimistic. coldEMA tracks only real simulations.
+	memoized int     // completions reported with wall == 0
+	coldEMA  float64 // EMA of non-memoized cell wall seconds
+	coldSeen int     // non-memoized completions
 
 	// Work-stealing scheduler stats, accumulated across batches (reported
 	// after each batch completes, so they cover finished batches only).
@@ -60,6 +70,16 @@ func NewTracker(r *Registry) *Tracker {
 			[]float64{1, 2, 3, 4, 5, 6, 8, 10})
 	}
 	return t
+}
+
+// SetWorkers records the configured worker-pool size, which scales the
+// cold-cell ETA before the first batch's scheduler stats arrive.
+func (t *Tracker) SetWorkers(n int) {
+	t.mu.Lock()
+	if n > 0 {
+		t.workers = n
+	}
+	t.mu.Unlock()
 }
 
 // SetLog makes the tracker print one-line progress updates to w on
@@ -122,9 +142,22 @@ func (t *Tracker) SimDone(id string, ipc float64, wall time.Duration) {
 	if e.completedG != nil {
 		e.completedG.Set(float64(e.completed))
 	}
+	if wall == 0 {
+		// The harness reports exactly 0 for memoized and resume-replayed
+		// cells (no simulation happened); real runs always measure > 0.
+		e.memoized++
+	} else {
+		s := wall.Seconds()
+		if e.coldSeen == 0 {
+			e.coldEMA = s
+		} else {
+			e.coldEMA = 0.7*e.coldEMA + 0.3*s
+		}
+		e.coldSeen++
+	}
 	line := ""
 	if t.logW != nil && (e.completed == e.planned || time.Since(t.lastLog) >= t.logEvery) {
-		line = progressLine(e)
+		line = t.progressLine(e)
 		t.lastLog = time.Now()
 	}
 	w := t.logW
@@ -156,7 +189,7 @@ func (t *Tracker) ShardingDone(id string, workers, stolen int, busySeconds, wall
 	// utilization) cannot flood the log.
 	line := ""
 	if t.logW != nil {
-		line = progressLine(e)
+		line = t.progressLine(e)
 	}
 	w := t.logW
 	t.mu.Unlock()
@@ -175,7 +208,37 @@ func (t *Tracker) FinishExperiment(id string) {
 	}
 }
 
-func progressLine(e *expState) string {
+// etas returns both remaining-time estimates for an experiment, in seconds
+// (0 = unknown): naive extrapolates the overall completion rate — which
+// near-instant memoized cells skew wildly optimistic — while cold scales the
+// EMA of real simulation durations by the cells left and the worker pool
+// executing them. Callers hold t.mu.
+func (t *Tracker) etas(e *expState) (naive, cold float64) {
+	remaining := e.planned - e.completed
+	if !e.running || remaining <= 0 {
+		return 0, 0
+	}
+	elapsed := time.Since(e.startedAt).Seconds()
+	if elapsed > 0 && e.completed > 0 {
+		naive = float64(remaining) * elapsed / float64(e.completed)
+	}
+	if e.coldSeen > 0 {
+		workers := e.workers
+		if workers <= 0 {
+			workers = t.workers
+		}
+		if workers <= 0 {
+			workers = 1
+		}
+		if workers > remaining {
+			workers = remaining
+		}
+		cold = e.coldEMA * float64(remaining) / float64(workers)
+	}
+	return naive, cold
+}
+
+func (t *Tracker) progressLine(e *expState) string {
 	elapsed := time.Since(e.startedAt)
 	rate := 0.0
 	if s := elapsed.Seconds(); s > 0 {
@@ -185,13 +248,22 @@ func progressLine(e *expState) string {
 	eta := "?"
 	if e.planned > 0 {
 		pct = 100 * float64(e.completed) / float64(e.planned)
-		if rate > 0 {
-			d := time.Duration(float64(e.planned-e.completed) / rate * float64(time.Second))
-			eta = d.Round(time.Second).String()
+		naive, cold := t.etas(e)
+		// The cold estimate is the honest one once memoized cells are in the
+		// mix; before any real simulation finishes, fall back to the naive
+		// rate extrapolation.
+		if best := cold; best > 0 || naive > 0 {
+			if best == 0 {
+				best = naive
+			}
+			eta = time.Duration(best * float64(time.Second)).Round(time.Second).String()
 		}
 	}
 	line := fmt.Sprintf("[%s] %d/%d sims (%.0f%%)  elapsed %s  %.1f sims/s  eta %s",
 		e.id, e.completed, e.planned, pct, elapsed.Round(100*time.Millisecond), rate, eta)
+	if e.memoized > 0 {
+		line += fmt.Sprintf("  (%d memoized)", e.memoized)
+	}
 	if e.workers > 0 && e.shardWall > 0 {
 		line += fmt.Sprintf("  util %.0f%%/%dw (%d stolen)",
 			100*e.busySec/(float64(e.workers)*e.shardWall), e.workers, e.stolen)
@@ -208,7 +280,22 @@ type ExpStatus struct {
 	Running        bool    `json:"running"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	SimsPerSec     float64 `json:"sims_per_sec"`
-	ETASeconds     float64 `json:"eta_seconds"`
+
+	// ETASeconds is the best remaining-time estimate: the cold-cell estimate
+	// when at least one real simulation has completed, otherwise the naive
+	// rate extrapolation. Both inputs are also exposed: ETANaiveSeconds
+	// extrapolates the overall completion rate (memoized cells skew it
+	// optimistic), ETAColdSeconds scales the EMA of non-memoized simulation
+	// durations (ColdSimSeconds) by the remaining cells over the worker pool.
+	ETASeconds      float64 `json:"eta_seconds"`
+	ETANaiveSeconds float64 `json:"eta_naive_seconds,omitempty"`
+	ETAColdSeconds  float64 `json:"eta_cold_seconds,omitempty"`
+
+	// MemoizedSims counts completions served from the memo/resume caches
+	// (reported with zero wall time); ColdSimSeconds is the EMA duration of
+	// the real simulations.
+	MemoizedSims   int     `json:"memoized_sims,omitempty"`
+	ColdSimSeconds float64 `json:"cold_sim_seconds,omitempty"`
 
 	// Work-stealing scheduler stats for completed batches (absent until the
 	// first batch finishes).
@@ -244,8 +331,16 @@ func (t *Tracker) Status() Status {
 		if es.ElapsedSeconds > 0 {
 			es.SimsPerSec = float64(e.completed) / es.ElapsedSeconds
 		}
-		if e.running && es.SimsPerSec > 0 && e.planned > e.completed {
-			es.ETASeconds = float64(e.planned-e.completed) / es.SimsPerSec
+		naive, cold := t.etas(e)
+		es.ETANaiveSeconds = naive
+		es.ETAColdSeconds = cold
+		es.ETASeconds = cold
+		if es.ETASeconds == 0 {
+			es.ETASeconds = naive
+		}
+		es.MemoizedSims = e.memoized
+		if e.coldSeen > 0 {
+			es.ColdSimSeconds = e.coldEMA
 		}
 		if e.workers > 0 && e.shardWall > 0 {
 			es.Workers = e.workers

@@ -69,6 +69,14 @@ func (d *deque) push(tasks []int) {
 	d.mu.Unlock()
 }
 
+// Hooks observes scheduling decisions without influencing them. All callbacks
+// may be nil and must be safe for concurrent use — they run on worker
+// goroutines.
+type Hooks struct {
+	// OnSteal fires after a successful steal: thief took n tasks from victim.
+	OnSteal func(thief, victim, n int)
+}
+
 // Run executes run(i) exactly once for every i in [0, n), across up to
 // workers goroutines, with work stealing: each worker owns a deque seeded
 // with a contiguous block of task indices; a worker whose deque runs dry
@@ -91,6 +99,14 @@ func (d *deque) push(tasks []int) {
 // executing, then stops claiming new ones. Tasks never claimed are simply
 // not run — at-most-once under cancellation, exactly-once otherwise.
 func Run(ctx context.Context, n, workers int, run func(idx int)) []Stat {
+	return RunHooked(ctx, n, workers, Hooks{}, func(_, idx int) { run(idx) })
+}
+
+// RunHooked is Run with two observability extensions: run receives the
+// worker index executing the task (for span/worker attribution — scheduling
+// is still by task index, so this cannot perturb results), and h's callbacks
+// fire on scheduling events.
+func RunHooked(ctx context.Context, n, workers int, h Hooks, run func(worker, idx int)) []Stat {
 	if n <= 0 {
 		return nil
 	}
@@ -139,6 +155,9 @@ func Run(ctx context.Context, n, workers int, run func(idx int)) []Stat {
 						if got := deques[v].stealHalf(nil); len(got) > 0 {
 							st.Stolen += len(got)
 							self.push(got)
+							if h.OnSteal != nil {
+								h.OnSteal(w, v, len(got))
+							}
 							break
 						}
 					}
@@ -153,7 +172,7 @@ func Run(ctx context.Context, n, workers int, run func(idx int)) []Stat {
 					if ctx.Err() != nil {
 						break
 					}
-					run(idx)
+					run(w, idx)
 					ran++
 				}
 				d := time.Since(start)

@@ -38,6 +38,46 @@ func TestRunExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestRunHookedWorkerAttribution checks the observability extensions: the
+// worker index handed to run is the goroutine that executed the task (its
+// Ran count must match), and OnSteal totals agree with the Stolen stats.
+func TestRunHookedWorkerAttribution(t *testing.T) {
+	const n = 2000
+	for _, workers := range []int{1, 4, 8} {
+		perWorker := make([]atomic.Int32, workers)
+		var hookStolen atomic.Int32
+		h := Hooks{OnSteal: func(thief, victim, cnt int) {
+			if thief == victim || thief < 0 || victim < 0 || thief >= workers || victim >= workers || cnt <= 0 {
+				t.Errorf("bad steal event thief=%d victim=%d n=%d", thief, victim, cnt)
+			}
+			hookStolen.Add(int32(cnt))
+		}}
+		stats := RunHooked(context.Background(), n, workers, h, func(w, i int) {
+			if w < 0 || w >= workers {
+				t.Errorf("task %d: worker index %d out of range", i, w)
+			}
+			perWorker[w].Add(1)
+		})
+		total := 0
+		statStolen := 0
+		for w, s := range stats {
+			if int(perWorker[w].Load()) != s.Ran {
+				t.Errorf("workers=%d: worker %d ran %d tasks but Stat says %d",
+					workers, w, perWorker[w].Load(), s.Ran)
+			}
+			total += s.Ran
+			statStolen += s.Stolen
+		}
+		if total != n {
+			t.Errorf("workers=%d: %d tasks ran, want %d", workers, total, n)
+		}
+		if int(hookStolen.Load()) != statStolen {
+			t.Errorf("workers=%d: OnSteal saw %d stolen tasks, stats say %d",
+				workers, hookStolen.Load(), statStolen)
+		}
+	}
+}
+
 // TestRunZeroAndNegative pins the edge cases: nothing to run returns no
 // stats, and degenerate worker counts clamp to one.
 func TestRunZeroAndNegative(t *testing.T) {

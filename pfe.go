@@ -26,6 +26,7 @@ import (
 	"github.com/parallel-frontend/pfe/internal/frag"
 	"github.com/parallel-frontend/pfe/internal/mem"
 	"github.com/parallel-frontend/pfe/internal/obs"
+	"github.com/parallel-frontend/pfe/internal/obs/span"
 	"github.com/parallel-frontend/pfe/internal/program"
 	"github.com/parallel-frontend/pfe/internal/rename"
 	"github.com/parallel-frontend/pfe/internal/sim"
@@ -256,6 +257,17 @@ type RunOptions struct {
 	// 0 means one per slice.
 	SliceWorkers int
 
+	// Spans, if non-nil, receives sweep-level phase spans (program-build,
+	// tape-build, sim / sampled windows / slices) under SpanParent, for the
+	// harness-level flame timeline. A nil tracer costs one nil check per
+	// phase boundary and never perturbs results.
+	Spans *span.Tracer
+
+	// SpanParent is the span (typically an attempt span from the experiment
+	// harness) that phase spans of this run attach to. 0 parents them at the
+	// tracer root.
+	SpanParent span.ID
+
 	// Artifacts, if non-nil, is the cross-run workload reuse cache: the
 	// benchmark's built program image is shared read-only with every other
 	// run of the same spec, and the functional emulator is replaced by a
@@ -317,25 +329,48 @@ func runSpec(spec program.Spec, m Machine, opts RunOptions) (*Result, error) {
 	var oracle emu.Oracle
 	var err error
 	if opts.Artifacts != nil {
-		p, err = opts.Artifacts.Program(spec)
+		ps := opts.Spans.Phase(opts.SpanParent, "program-build")
+		var info artifact.Info
+		p, info, err = opts.Artifacts.ProgramInfo(spec)
+		annotArtifact(ps, info)
+		ps.End()
 		if err != nil {
 			return nil, err
 		}
 		// The tape must cover the stream's fetch-ahead past the commit
 		// budget; TapeSlack over-provisions that, and a reader running
 		// past the recording falls back to live emulation regardless.
-		tape, terr := opts.Artifacts.Tape(spec, uint64(opts.WarmupInsts+opts.MeasureInsts)+artifact.TapeSlack)
+		ts := opts.Spans.Phase(opts.SpanParent, "tape-build")
+		tape, tinfo, terr := opts.Artifacts.TapeInfo(spec, uint64(opts.WarmupInsts+opts.MeasureInsts)+artifact.TapeSlack)
+		annotArtifact(ts, tinfo)
+		ts.End()
 		if terr != nil {
 			return nil, terr
 		}
 		oracle = tape.NewReader()
 	} else {
+		ps := opts.Spans.Phase(opts.SpanParent, "program-build")
 		p, err = program.Build(spec)
+		ps.End()
 		if err != nil {
 			return nil, err
 		}
 	}
 	return runProgram(p, m, opts, oracle)
+}
+
+// annotArtifact stamps a build-phase span with how the artifact cache served
+// the lookup (hit/miss plus the content address).
+func annotArtifact(s span.Span, info artifact.Info) {
+	if !s.OK() || info.Key == "" {
+		return
+	}
+	if info.Hit {
+		s.Str("artifact", "hit")
+	} else {
+		s.Str("artifact", "miss")
+	}
+	s.Str("artifact_key", info.Key)
 }
 
 // tapeFor obtains the built program and its oracle tape for the sampled and
@@ -345,21 +380,31 @@ func runSpec(spec program.Spec, m Machine, opts RunOptions) (*Result, error) {
 func tapeFor(spec program.Spec, opts RunOptions) (*program.Program, *artifact.Tape, error) {
 	budget := uint64(opts.WarmupInsts+opts.MeasureInsts) + artifact.TapeSlack
 	if opts.Artifacts != nil {
-		p, err := opts.Artifacts.Program(spec)
+		ps := opts.Spans.Phase(opts.SpanParent, "program-build")
+		p, info, err := opts.Artifacts.ProgramInfo(spec)
+		annotArtifact(ps, info)
+		ps.End()
 		if err != nil {
 			return nil, nil, err
 		}
-		tape, err := opts.Artifacts.Tape(spec, budget)
+		ts := opts.Spans.Phase(opts.SpanParent, "tape-build")
+		tape, tinfo, err := opts.Artifacts.TapeInfo(spec, budget)
+		annotArtifact(ts, tinfo)
+		ts.End()
 		if err != nil {
 			return nil, nil, err
 		}
 		return p, tape, nil
 	}
+	ps := opts.Spans.Phase(opts.SpanParent, "program-build")
 	p, err := program.Build(spec)
+	ps.End()
 	if err != nil {
 		return nil, nil, err
 	}
+	ts := opts.Spans.Phase(opts.SpanParent, "tape-build")
 	tape, err := artifact.Record(p, budget)
+	ts.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -389,9 +434,26 @@ func runProgram(p *program.Program, m Machine, opts RunOptions, oracle emu.Oracl
 		FlightRecorder:   opts.FlightRecorder,
 		Oracle:           oracle,
 	}
+	ss := opts.Spans.Phase(opts.SpanParent, "sim")
 	r, err := sim.Run(p, cfg)
 	if err != nil {
+		ss.Str("error", firstLine(err.Error()))
+		ss.End()
 		return nil, err
 	}
+	ss.Int("cycles", int64(r.Cycles))
+	ss.Int("committed", int64(r.Committed))
+	ss.End()
 	return newResult(r), nil
+}
+
+// firstLine truncates an error message to its first line for span annotation
+// (stall diagnostics are multi-line bundles).
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
 }

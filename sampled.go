@@ -2,6 +2,7 @@ package pfe
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/bpred"
@@ -285,7 +286,7 @@ func runSampled(p *program.Program, tape *artifact.Tape, m Machine, opts RunOpti
 	parts := make([]*sim.Result, 0, len(windows))
 	ipcs := make([]float64, 0, len(windows))
 	cpis := make([]float64, 0, len(windows))
-	var detailed int64
+	var detailed, gapInsts int64
 	for _, w := range windows {
 		absStart := uint64(opts.WarmupInsts) + w.Start
 		warm := uint64(spec.Warmup)
@@ -297,9 +298,15 @@ func runSampled(p *program.Program, tape *artifact.Tape, m Machine, opts RunOpti
 		if rd.Pos() <= target {
 			// Warm the caches and predictor through the gap. The reader
 			// then sits exactly at the detailed-warmup boundary.
+			gap := int64(target - rd.Pos())
+			gs := opts.Spans.Phase(opts.SpanParent, "gap-warm")
+			gs.Int("gap_insts", gap)
 			if err := wm.warmTo(target); err != nil {
+				gs.End()
 				return nil, err
 			}
+			gs.End()
+			gapInsts += gap
 		} else {
 			// The previous window's fetch-ahead overran this window's
 			// warmup start (dense plans); the overrun region already
@@ -325,10 +332,17 @@ func runSampled(p *program.Program, tape *artifact.Tape, m Machine, opts RunOpti
 			Oracle:           rd,
 		}
 		wm.config(&cfg)
+		ws := opts.Spans.Phase(opts.SpanParent, "window")
+		ws.Int("window", int64(len(parts)))
+		ws.Int("start_inst", int64(absStart))
 		wr, err := sim.Run(p, cfg)
 		if err != nil {
+			ws.Str("error", firstLine(err.Error()))
+			ws.End()
 			return nil, fmt.Errorf("pfe: sampling window at %d: %w", absStart, err)
 		}
+		ws.Float("ipc", wr.IPC)
+		ws.End()
 		parts = append(parts, wr)
 		ipcs = append(ipcs, wr.IPC)
 		cpis = append(cpis, float64(wr.Cycles)/float64(wr.Committed))
@@ -357,6 +371,21 @@ func runSampled(p *program.Program, tape *artifact.Tape, m Machine, opts RunOpti
 		DetailedInsts: detailed,
 		SkippedInsts:  skipped,
 		WindowIPCs:    ipcs,
+	}
+	ci := sum.CI95 * scale
+	if ps := opts.Spans.SpanFor(opts.SpanParent); ps.OK() {
+		ps.Int("sample_windows", int64(len(windows)))
+		if !math.IsInf(ci, 0) {
+			ps.Float("sample_ci95", ci)
+		}
+	}
+	if opts.Obs != nil {
+		opts.Obs.SampleWindows.Add(int64(len(windows)))
+		opts.Obs.SampleGapInsts.Add(gapInsts)
+		opts.Obs.SampleFallback.Add(rd.FallbackSteps())
+		if !math.IsInf(ci, 0) && !math.IsNaN(ci) {
+			opts.Obs.SampleCI.Observe(ci)
+		}
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/parallel-frontend/pfe/internal/artifact"
+	"github.com/parallel-frontend/pfe/internal/obs/span"
 	"github.com/parallel-frontend/pfe/internal/program"
 	"github.com/parallel-frontend/pfe/internal/shard"
 	"github.com/parallel-frontend/pfe/internal/sim"
@@ -44,7 +45,7 @@ func runSliced(p *program.Program, tape *artifact.Tape, m Machine, opts RunOptio
 	if workers <= 0 {
 		workers = k
 	}
-	shard.Run(context.Background(), k, workers, func(j int) {
+	shard.RunHooked(context.Background(), k, workers, shard.Hooks{}, func(worker, j int) {
 		mj := quota
 		if int64(j) < rem {
 			mj++
@@ -61,6 +62,11 @@ func runSliced(p *program.Program, tape *artifact.Tape, m Machine, opts RunOptio
 				warm = sj
 			}
 		}
+		ss := opts.Spans.Phase(opts.SpanParent, "slice")
+		ss.Int("slice", int64(j))
+		ss.Int("slice_worker", int64(worker))
+		ss.Int("start_inst", sj)
+		defer ss.End()
 		rd := tape.NewReader()
 		cfg := sim.Config{
 			FrontEnd:         m.frontEnd,
@@ -82,11 +88,16 @@ func runSliced(p *program.Program, tape *artifact.Tape, m Machine, opts RunOptio
 			// detailed-warmup boundary. Slice 0 (and so K=1) builds
 			// everything inside the simulator, keeping the serial path
 			// untouched.
+			sw := ss.Child(span.KindPhase, "slice-warm")
+			sw.Int("warm_insts", sj-warm)
 			wm := newWarmer(rd, p, m)
 			if err := wm.warmTo(uint64(sj - warm)); err != nil {
+				sw.End()
+				ss.Str("error", firstLine(err.Error()))
 				outs[j] = out{err: fmt.Errorf("pfe: slice %d warming: %w", j, err)}
 				return
 			}
+			sw.End()
 			wm.hier.L1I.ResetStats()
 			wm.hier.L1D.ResetStats()
 			wm.hier.L2.ResetStats()
@@ -100,11 +111,16 @@ func runSliced(p *program.Program, tape *artifact.Tape, m Machine, opts RunOptio
 			cfg.Events = opts.Events
 			cfg.SelfProfile = opts.SelfProfile
 		}
+		sr := ss.Child(span.KindPhase, "slice-sim")
 		r, err := sim.Run(p, cfg)
 		if err != nil {
+			sr.Str("error", firstLine(err.Error()))
+			sr.End()
 			outs[j] = out{err: fmt.Errorf("pfe: slice %d at %d: %w", j, sj, err)}
 			return
 		}
+		sr.Int("cycles", int64(r.Cycles))
+		sr.End()
 		info := SliceInfo{
 			Index:        j,
 			StartInst:    sj,
@@ -122,6 +138,7 @@ func runSliced(p *program.Program, tape *artifact.Tape, m Machine, opts RunOptio
 			r.Committed = mj
 			info.Committed = mj
 		}
+		ss.Int("overshoot", info.Overshoot)
 		if r.Cycles > 0 {
 			info.IPC = float64(r.Committed) / float64(r.Cycles)
 		}
@@ -138,6 +155,20 @@ func runSliced(p *program.Program, tape *artifact.Tape, m Machine, opts RunOptio
 	}
 	res := newResult(aggregateSim(parts))
 	res.Slices = infos
+	if opts.Obs != nil {
+		opts.Obs.Slices.Add(int64(k))
+		var seamCycles, seamTrimmed int64
+		for j := range infos {
+			if j > 0 {
+				// Interior slices' warmup cycles are pure seam-reconcile
+				// overhead: the serial run simulates that region once.
+				seamCycles += int64(infos[j].WarmupCycles)
+			}
+			seamTrimmed += infos[j].Overshoot
+		}
+		opts.Obs.SliceSeamCycles.Add(seamCycles)
+		opts.Obs.SliceSeamInsts.Add(seamTrimmed)
+	}
 	return res, nil
 }
 
