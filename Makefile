@@ -15,6 +15,10 @@
 #                      counts under -race, live scrape of accelerated runs,
 #                      Chrome trace round-trip + merge, traced-vs-untraced
 #                      determinism)
+#   make test-store    tier 1.5: persistent artifact store suite under -race
+#                      (codec round-trips, crash/corruption battery, GC
+#                      property test, cross-process warm-run determinism,
+#                      SIGKILL-during-store-write recovery)
 #   make vet           static hygiene: go vet + gofmt -l (fails on diff);
 #                      runs as part of `make test`
 #   make race          tier 2: vet + race detector over the short suite
@@ -34,11 +38,11 @@ BENCH_WARMUP  ?= 20000
 BENCH_MEASURE ?= 60000
 GIT_SHA       := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all test test-alloc test-robust test-sample test-obs vet race fuzz bench bench-stat bench-json bench-compare fmt
+.PHONY: all test test-alloc test-robust test-sample test-obs test-store vet race fuzz bench bench-stat bench-json bench-compare fmt
 
 all: test test-alloc race fuzz
 
-test: vet test-robust test-sample test-obs
+test: vet test-robust test-sample test-obs test-store
 	$(GO) build ./...
 	$(GO) test ./...
 
@@ -82,6 +86,16 @@ test-obs:
 	$(GO) test -count=1 ./cmd/pfe-trace/ -run TestMerge
 	$(GO) test -count=1 ./cmd/pfe-bench/ -run 'TestTracing|TestSweepTrace'
 
+# Persistent artifact store tier, always under -race: the store is shared
+# mutable state hit from every sweep worker, so its unit battery (durability,
+# corruption quarantine, LRU GC property test), the two-tier cache seam, and
+# the cross-process integration tests (warm-run bit-identity, store-resolved
+# -compare, SIGKILL mid-write, end-to-end blob corruption) all run race-enabled.
+test-store:
+	$(GO) test -race -count=1 ./internal/artifact/store/
+	$(GO) test -race -count=1 ./internal/artifact/ -run 'TestTapeCodec|TestProgramCodec|TestCacheDisk|TestCacheWithoutStore'
+	$(GO) test -race -count=1 ./cmd/pfe-bench/ -run 'TestStore'
+
 # Allocation guards, run on their own so a perf PR can iterate on just
 # them: the steady-state cycle loop must not allocate at all, and a
 # /metrics scrape must stay bounded. Both also run as part of `make test`.
@@ -99,6 +113,7 @@ fuzz:
 	$(GO) test ./internal/emu/ -run='^$$' -fuzz=FuzzEmuVsInterp -fuzztime=$(FUZZTIME) -fuzzminimizetime=10x
 	$(GO) test ./internal/program/ -run='^$$' -fuzz=FuzzProgramAsm -fuzztime=$(FUZZTIME) -fuzzminimizetime=10x
 	$(GO) test ./internal/sim/ -run='^$$' -fuzz=FuzzFrontEndsAgree -fuzztime=$(FUZZTIME) -fuzzminimizetime=10x
+	$(GO) test ./internal/artifact/ -run='^$$' -fuzz=FuzzTapeBlockCodec -fuzztime=$(FUZZTIME) -fuzzminimizetime=10x
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -1,0 +1,25 @@
+package main_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestMain redirects the persistent artifact store for every test in this
+// package — and, critically, for every pfe-bench subprocess they spawn,
+// which inherit the environment — into a throwaway directory. Integration
+// tests must never read from or write to the developer's real ~/.cache/pfe:
+// a warm real store would mask cold-path bugs, and test artifacts must not
+// pollute it.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "pfe-test-store")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "testmain: no temp store dir:", err)
+		os.Exit(1)
+	}
+	os.Setenv("PFE_ARTIFACT_DIR", dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}

@@ -1,0 +1,78 @@
+package artifact
+
+import (
+	"github.com/parallel-frontend/pfe/internal/artifact/store"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// Store kinds used by the cache's persistent tier. The store itself is
+// kind-agnostic; these names pick the objects/<kind>/ subdirectory and the
+// per-kind metric labels.
+const (
+	storeKindProgram = "program"
+	storeKindTape    = "tape"
+	storeKindResult  = "result"
+)
+
+// ResultCodec serializes memoized cell results for the persistent store. The
+// cache treats results as opaque values, so the codec lives with the code
+// that owns the concrete type (internal/experiments) and is injected via
+// SetStore. DecodeResult returns the value plus its accounted in-memory
+// footprint (the PutResult bytes argument for the re-inserted entry).
+type ResultCodec interface {
+	EncodeResult(v any) ([]byte, error)
+	DecodeResult(data []byte) (v any, bytes int64, err error)
+}
+
+// SetStore attaches a persistent disk tier: cache misses fall through to the
+// store before building, and completed builds are written back. codec
+// enables the result kind (nil leaves results memory-only). Attach before
+// first use — SetStore is not synchronized against concurrent lookups.
+func (c *Cache) SetStore(st *store.Store, codec ResultCodec) {
+	if c == nil {
+		return
+	}
+	c.store = st
+	c.resultCodec = codec
+}
+
+// DiskStats snapshots the persistent tier (zero Stats when none attached).
+func (c *Cache) DiskStats() store.Stats {
+	if c == nil {
+		return store.Stats{}
+	}
+	return c.store.Stats()
+}
+
+// diskProgram tries the persistent tier for a program image. A blob that
+// passes the store's checksum but fails semantic decoding is quarantined so
+// it can never be served again.
+func (c *Cache) diskProgram(key string) (*program.Program, bool) {
+	data, ok := c.store.Get(storeKindProgram, key)
+	if !ok {
+		return nil, false
+	}
+	p, err := DecodeProgram(data)
+	if err != nil {
+		c.store.Quarantine(storeKindProgram, key)
+		return nil, false
+	}
+	return p, true
+}
+
+// diskTape tries the persistent tier for an oracle tape. Decoding is
+// zero-copy against the store's mapping where the sections are stored raw,
+// so a warm replay reads tape bytes straight off the page cache.
+func (c *Cache) diskTape(key string, prog *program.Program) (*Tape, bool) {
+	data, ok := c.store.Get(storeKindTape, key)
+	if !ok {
+		return nil, false
+	}
+	t, err := DecodeTape(data, prog)
+	if err != nil {
+		c.store.Quarantine(storeKindTape, key)
+		return nil, false
+	}
+	t.sink = &c.tapeFallback
+	return t, true
+}

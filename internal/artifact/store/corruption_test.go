@@ -1,0 +1,303 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The corruption battery: simulated crash damage and bit rot applied to blob
+// files and to the index journal. The invariant under test is single:
+// whatever the damage, the store detects it, degrades to a miss (quarantining
+// the evidence), and NEVER returns bytes other than the ones that were put.
+
+// damageFile applies fn to the file's contents in place.
+func damageFile(t *testing.T, path string, fn func([]byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// blobDamage is the table of object-file corruptions. Each receives the full
+// framed file contents and returns the damaged replacement.
+var blobDamage = []struct {
+	name string
+	fn   func([]byte) []byte
+}{
+	{"truncate-half", func(b []byte) []byte { return b[:len(b)/2] }},
+	{"truncate-mid-header", func(b []byte) []byte { return b[:7] }},
+	{"truncate-empty", func(b []byte) []byte { return nil }},
+	{"flip-magic", func(b []byte) []byte { b[0] ^= 0x01; return b }},
+	{"flip-version", func(b []byte) []byte { b[5] ^= 0x01; return b }},
+	{"flip-length", func(b []byte) []byte { b[9] ^= 0x01; return b }},
+	{"flip-checksum", func(b []byte) []byte { b[17] ^= 0x01; return b }},
+	{"flip-payload-first", func(b []byte) []byte { b[blobHeader] ^= 0x01; return b }},
+	{"flip-payload-mid", func(b []byte) []byte { b[blobHeader+(len(b)-blobHeader)/2] ^= 0x80; return b }},
+	{"flip-payload-last", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+	{"zero-page", func(b []byte) []byte {
+		n := 4096
+		if n > len(b) {
+			n = len(b)
+		}
+		for i := 0; i < n; i++ {
+			b[i] = 0
+		}
+		return b
+	}},
+	{"zero-tail", func(b []byte) []byte {
+		start := len(b) - 4096
+		if start < 0 {
+			start = 0
+		}
+		for i := start; i < len(b); i++ {
+			b[i] = 0
+		}
+		return b
+	}},
+	{"append-garbage", func(b []byte) []byte { return append(b, bytes.Repeat([]byte{0xa5}, 64)...) }},
+}
+
+// TestStoreBlobCorruptionDetected corrupts a victim blob while the store is
+// open: the very next Get must detect, quarantine and miss, while an intact
+// sibling keeps serving its exact payload.
+func TestStoreBlobCorruptionDetected(t *testing.T) {
+	for _, d := range blobDamage {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := openT(t, dir, 0)
+			victim := bytes.Repeat([]byte{0x42}, 8192)
+			intact := []byte("the control payload")
+			if err := s.Put("tape", "victim", victim); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("tape", "intact", intact); err != nil {
+				t.Fatal(err)
+			}
+			damageFile(t, filepath.Join(dir, "objects", "tape", "victim"), d.fn)
+
+			if got, ok := s.Get("tape", "victim"); ok {
+				if !bytes.Equal(got, victim) {
+					t.Fatalf("corrupted blob served WRONG bytes (%d of them)", len(got))
+				}
+				t.Fatalf("corrupted blob (%s) served", d.name)
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Fatalf("corruption not quarantined: %+v", st)
+			}
+			// Dropped from the index: the second lookup is a plain miss, no
+			// double quarantine.
+			if _, ok := s.Get("tape", "victim"); ok {
+				t.Fatal("quarantined blob served on retry")
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Fatalf("retry quarantined again: %+v", st)
+			}
+			mustGet(t, s, "tape", "intact", intact)
+		})
+	}
+}
+
+// TestStoreBlobCorruptionAcrossReopen applies the same damage table between
+// process lifetimes (Close, corrupt, Open): the reopened store indexes the
+// entry — the journal says it exists — but the first Get still detects and
+// quarantines. Cold-vs-warm equality for the survivor is checked both ways.
+func TestStoreBlobCorruptionAcrossReopen(t *testing.T) {
+	for _, d := range blobDamage {
+		d := d
+		t.Run(d.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s1 := openT(t, dir, 0)
+			victim := bytes.Repeat([]byte{0x42}, 8192)
+			intact := []byte("the control payload")
+			if err := s1.Put("tape", "victim", victim); err != nil {
+				t.Fatal(err)
+			}
+			if err := s1.Put("tape", "intact", intact); err != nil {
+				t.Fatal(err)
+			}
+			mustGet(t, s1, "tape", "victim", victim)
+			s1.Close()
+
+			damageFile(t, filepath.Join(dir, "objects", "tape", "victim"), d.fn)
+			s2 := openT(t, dir, 0)
+			if got, ok := s2.Get("tape", "victim"); ok {
+				if !bytes.Equal(got, victim) {
+					t.Fatalf("corrupted blob served WRONG bytes after reopen")
+				}
+				t.Fatalf("corrupted blob (%s) served after reopen", d.name)
+			}
+			if st := s2.Stats(); st.Quarantined != 1 {
+				t.Fatalf("corruption not quarantined after reopen: %+v", st)
+			}
+			mustGet(t, s2, "tape", "intact", intact)
+		})
+	}
+}
+
+// walStore seeds a store with n entries and returns the expected payloads.
+func walStore(t *testing.T, dir string, n int) map[string][]byte {
+	t.Helper()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{}
+	for i := 0; i < n; i++ {
+		key := string(rune('a'+i%26)) + "-" + string(rune('0'+i/26))
+		payload := bytes.Repeat([]byte{byte(i)}, 100+i)
+		if err := s.Put("tape", key, payload); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = payload
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// checkServes asserts every present key serves exactly its original payload
+// and returns how many of the wanted keys were served.
+func checkServes(t *testing.T, s *Store, want map[string][]byte) int {
+	t.Helper()
+	served := 0
+	for key, payload := range want {
+		got, ok := s.Get("tape", key)
+		if !ok {
+			continue
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("key %q served WRONG bytes", key)
+		}
+		served++
+	}
+	return served
+}
+
+// TestStoreWalTornTail simulates a crash mid-append: an undecodable final
+// journal line. The torn record is dropped, everything before it survives.
+func TestStoreWalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	want := walStore(t, dir, 4)
+	f, err := os.OpenFile(filepath.Join(dir, "index.wal"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"crc":"00000000","d":{"op":"pu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s := openT(t, dir, 0)
+	st := s.Stats()
+	if st.TornTail != 1 || st.Rebuilt {
+		t.Fatalf("torn tail not reported as such: %+v", st)
+	}
+	if got := checkServes(t, s, want); got != len(want) {
+		t.Fatalf("served %d/%d entries after torn tail", got, len(want))
+	}
+}
+
+// TestStoreWalCorruptAtRest flips a byte in an *early* journal record (valid
+// records follow, so this is bit rot, not a torn tail): the journal is
+// quarantined and the index rebuilt from the directory, with every blob still
+// integrity-checked on Get.
+func TestStoreWalCorruptAtRest(t *testing.T) {
+	dir := t.TempDir()
+	want := walStore(t, dir, 6)
+	damageFile(t, filepath.Join(dir, "index.wal"), func(b []byte) []byte {
+		b[10] ^= 0xff // inside the first record's line
+		return b
+	})
+
+	s := openT(t, dir, 0)
+	st := s.Stats()
+	if !st.Rebuilt {
+		t.Fatalf("corrupt-at-rest journal did not trigger a rebuild: %+v", st)
+	}
+	// The rebuilt index adopts every durable blob, and each still serves its
+	// exact payload.
+	if got := checkServes(t, s, want); got != len(want) {
+		t.Fatalf("served %d/%d entries after rebuild", got, len(want))
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) == 0 {
+		t.Fatalf("corrupt journal not quarantined (err %v, %d files)", err, len(q))
+	}
+}
+
+// TestStoreWalZeroed overwrites the whole journal with NULs (a lost page at
+// the start of the file, nothing decodable after it). However Open classifies
+// it, the outcome must be safe: the store opens, never serves wrong bytes,
+// and remains usable for fresh puts.
+func TestStoreWalZeroed(t *testing.T) {
+	dir := t.TempDir()
+	want := walStore(t, dir, 3)
+	damageFile(t, filepath.Join(dir, "index.wal"), func(b []byte) []byte {
+		return make([]byte, len(b))
+	})
+
+	s := openT(t, dir, 0)
+	checkServes(t, s, want) // any hit must be exact; misses are fine
+	if err := s.Put("tape", "fresh", []byte("post-damage put")); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, s, "tape", "fresh", []byte("post-damage put"))
+}
+
+// TestStoreWalDeleted removes the journal outright. The journal is the source
+// of truth, so the durable blobs are unreferenced (swept as orphans) and the
+// store comes up cold — empty but consistent and usable.
+func TestStoreWalDeleted(t *testing.T) {
+	dir := t.TempDir()
+	want := walStore(t, dir, 3)
+	if err := os.Remove(filepath.Join(dir, "index.wal")); err != nil {
+		t.Fatal(err)
+	}
+	s := openT(t, dir, 0)
+	st := s.Stats()
+	if st.Entries != 0 || st.Orphans != int64(len(want)) {
+		t.Fatalf("after journal loss: %+v, want 0 entries and %d orphans", st, len(want))
+	}
+	if got := checkServes(t, s, want); got != 0 {
+		t.Fatalf("%d entries served from a journal-less store", got)
+	}
+	if err := s.Put("tape", "fresh", []byte("cold start")); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, s, "tape", "fresh", []byte("cold start"))
+}
+
+// TestStoreWalZeroPageMidFile zeroes the first 4 KiB of a journal large
+// enough that valid records follow the hole — corruption at rest, so the
+// index must be rebuilt from the directory and every entry still serve
+// exactly its payload.
+func TestStoreWalZeroPageMidFile(t *testing.T) {
+	dir := t.TempDir()
+	want := walStore(t, dir, 120) // ~70 bytes per record: well past 4 KiB
+	walPath := filepath.Join(dir, "index.wal")
+	if fi, err := os.Stat(walPath); err != nil || fi.Size() < 5000 {
+		t.Fatalf("journal too small for a mid-file hole: %v", err)
+	}
+	damageFile(t, walPath, func(b []byte) []byte {
+		for i := 0; i < 4096; i++ {
+			b[i] = 0
+		}
+		return b
+	})
+
+	s := openT(t, dir, 0)
+	if st := s.Stats(); !st.Rebuilt {
+		t.Fatalf("mid-file hole did not trigger a rebuild: %+v", st)
+	}
+	if got := checkServes(t, s, want); got != len(want) {
+		t.Fatalf("served %d/%d entries after mid-file hole rebuild", got, len(want))
+	}
+}

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix fallback: no mmap (plain reads) and no advisory locks. Without
+// flock, cross-process build dedup degrades to duplicate work — both
+// processes produce identical content-addressed artifacts, so the store
+// stays correct, just less efficient.
+
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, false, err
+	}
+	return buf, false, nil
+}
+
+func munmap(b []byte) error { return nil }
+
+func dirLock(path string) (func(), error) {
+	if f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644); err == nil {
+		f.Close()
+	}
+	return func() {}, nil
+}

@@ -1,0 +1,51 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The second return reports whether the bytes are
+// a real mapping (and must eventually be munmap'd) as opposed to a heap copy.
+// Reading through the mapping is zero-copy: tape replay on a warm hit touches
+// only the pages the Reader walks. On Linux an entry evicted while mapped is
+// simply unlinked — the mapping stays valid until munmap.
+func mmapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Fall back to a plain read (some filesystems refuse mmap).
+		buf := make([]byte, size)
+		if _, rerr := f.ReadAt(buf, 0); rerr != nil {
+			return nil, false, rerr
+		}
+		return buf, false, nil
+	}
+	return data, true, nil
+}
+
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}
+
+// dirLock takes an exclusive advisory flock on path (creating it), blocking
+// until the lock is granted, and returns the unlock function. flock is
+// per-open-file, so concurrent opens within one process also serialize.
+func dirLock(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

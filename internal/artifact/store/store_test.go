@@ -1,0 +1,336 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/journal"
+)
+
+// openT opens a store rooted in its own temp directory and arranges for it to
+// be closed with the test.
+func openT(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(dir, maxBytes)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// mustGet fetches (kind, key) and fails the test on a miss or a payload
+// mismatch — the store must never return bytes other than the ones put.
+func mustGet(t *testing.T, s *Store, kind, key string, want []byte) {
+	t.Helper()
+	got, ok := s.Get(kind, key)
+	if !ok {
+		t.Fatalf("Get(%s, %s): miss, want %d bytes", kind, key, len(want))
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get(%s, %s): payload differs (%d vs %d bytes)", kind, key, len(got), len(want))
+	}
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	payloads := map[[2]string][]byte{
+		{"program", "prog:abc123"}:       []byte("program image bytes"),
+		{"tape", "tape:abc123:8000"}:     bytes.Repeat([]byte{0x5a}, 4096),
+		{"result", "res:deadbeef"}:       []byte(`{"ipc":1.5}`),
+		{"result", "empty"}:              {},
+		{"report", "baseline:0011/wei*"}: []byte("sanitized key"),
+	}
+	for id, p := range payloads {
+		if err := s.Put(id[0], id[1], p); err != nil {
+			t.Fatalf("Put(%s, %s): %v", id[0], id[1], err)
+		}
+	}
+	for id, p := range payloads {
+		mustGet(t, s, id[0], id[1], p)
+	}
+	if _, ok := s.Get("tape", "absent"); ok {
+		t.Fatal("Get of an absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Puts != int64(len(payloads)) || st.Entries != len(payloads) {
+		t.Fatalf("stats: puts=%d entries=%d, want %d/%d", st.Puts, st.Entries, len(payloads), len(payloads))
+	}
+	if st.Hits() != int64(len(payloads)) || st.Misses() != 1 {
+		t.Fatalf("stats: hits=%d misses=%d, want %d/1", st.Hits(), st.Misses(), len(payloads))
+	}
+	var wantBytes int64
+	for _, p := range payloads {
+		wantBytes += int64(len(p))
+	}
+	if st.Bytes != wantBytes {
+		t.Fatalf("stats: bytes=%d, want %d", st.Bytes, wantBytes)
+	}
+}
+
+func TestStoreReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openT(t, dir, 0)
+	if err := s1.Put("tape", "k1", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("program", "k2", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, 0)
+	st := s2.Stats()
+	if st.Entries != 2 || st.Orphans != 0 || st.TornTail != 0 || st.Rebuilt {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+	mustGet(t, s2, "tape", "k1", []byte("first"))
+	mustGet(t, s2, "program", "k2", []byte("second"))
+}
+
+// TestStoreOverwriteReplaces puts a second payload under the same key: the
+// new bytes win, the byte accounting replaces (not accumulates) the old size.
+func TestStoreOverwriteReplaces(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("tape", "k", bytes.Repeat([]byte{1}, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("tape", "k", []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, s, "tape", "k", []byte("short"))
+	if st := s.Stats(); st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("after overwrite: entries=%d bytes=%d, want 1/5", st.Entries, st.Bytes)
+	}
+}
+
+// TestStoreOrphanSweep plants a durable-looking blob with no journal record —
+// the signature of a crash between rename and journal append — and requires
+// the next Open to sweep it while leaving journaled entries alone.
+func TestStoreOrphanSweep(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openT(t, dir, 0)
+	if err := s1.Put("tape", "keep", []byte("journaled")); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	stray := filepath.Join(dir, "objects", "tape", "stray")
+	if err := os.WriteFile(stray, frame([]byte("never journaled")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, 0)
+	if st := s2.Stats(); st.Orphans != 1 || st.Entries != 1 {
+		t.Fatalf("after orphan sweep: %+v", st)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("orphan file still present: %v", err)
+	}
+	mustGet(t, s2, "tape", "keep", []byte("journaled"))
+	if _, ok := s2.Get("tape", "stray"); ok {
+		t.Fatal("swept orphan served")
+	}
+}
+
+// TestStoreVanishedEntryDropped removes a journaled blob's file behind the
+// store's back (what a racing process's GC looks like): Open drops the entry,
+// and the remaining one still serves.
+func TestStoreVanishedEntryDropped(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openT(t, dir, 0)
+	if err := s1.Put("tape", "gone", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("tape", "stays", []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	if err := os.Remove(filepath.Join(dir, "objects", "tape", "gone")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, 0)
+	if s2.Has("tape", "gone") {
+		t.Fatal("vanished entry still indexed")
+	}
+	mustGet(t, s2, "tape", "stays", []byte("survivor"))
+}
+
+// TestStoreTmpSweep leaves an in-flight write in tmp/ (a crash mid-Put) and
+// requires Open to clear it.
+func TestStoreTmpSweep(t *testing.T) {
+	dir := t.TempDir()
+	openT(t, dir, 0).Close()
+	leftover := filepath.Join(dir, "tmp", "put-12345")
+	if err := os.WriteFile(leftover, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	openT(t, dir, 0)
+	if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+		t.Fatalf("tmp leftover survived Open: %v", err)
+	}
+}
+
+// TestStoreWalCompaction accumulates dead journal weight (duplicate puts of
+// one key) and checks the next Open rewrites the journal down to one record
+// per live entry, without losing any of them.
+func TestStoreWalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s1 := openT(t, dir, 0)
+	for i := 0; i < 10; i++ {
+		if err := s1.Put("tape", "hot", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.Put("tape", "other", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2 := openT(t, dir, 0)
+	mustGet(t, s2, "tape", "hot", []byte{9})
+	mustGet(t, s2, "tape", "other", []byte("x"))
+	s2.Close()
+	records, torn, err := journal.Scan(filepath.Join(dir, "index.wal"), func([]byte) error { return nil })
+	if err != nil || torn != 0 {
+		t.Fatalf("scanning compacted journal: records=%d torn=%d err=%v", records, torn, err)
+	}
+	if records != 2 {
+		t.Fatalf("compacted journal holds %d records, want 2 (one per live entry)", records)
+	}
+}
+
+// TestStoreHasCountsNoTraffic: Has answers from the index without touching
+// the blob or the hit/miss counters (the cache's double-count guard).
+func TestStoreHasCountsNoTraffic(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("tape", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("tape", "k") || s.Has("tape", "nope") {
+		t.Fatal("Has gave wrong answers")
+	}
+	if st := s.Stats(); st.Hits() != 0 || st.Misses() != 0 {
+		t.Fatalf("Has moved traffic counters: hits=%d misses=%d", st.Hits(), st.Misses())
+	}
+}
+
+// TestStoreSanitizedKeys round-trips keys containing filesystem-hostile
+// characters through the object-name sanitizer.
+func TestStoreSanitizedKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	keys := []string{"a/b/../c", "res:hash:42", "spaces and\ttabs", "uniécode"}
+	for i, k := range keys {
+		if err := s.Put("result", k, []byte{byte(i)}); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		mustGet(t, s, "result", k, []byte{byte(i)})
+	}
+	// Every object must have landed inside objects/result — the sanitizer
+	// must not let a key path-traverse out of the store.
+	files, err := os.ReadDir(filepath.Join(dir, "objects", "result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(keys) {
+		t.Fatalf("objects/result holds %d files, want %d", len(files), len(keys))
+	}
+}
+
+// TestStoreQuarantineExplicit: a semantic-decode failure (the cache layer's
+// call) moves the blob aside and the entry is never served again.
+func TestStoreQuarantineExplicit(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	if err := s.Put("tape", "bad", []byte("passes checksum, fails decode")); err != nil {
+		t.Fatal(err)
+	}
+	s.Quarantine("tape", "bad")
+	if _, ok := s.Get("tape", "bad"); ok {
+		t.Fatal("quarantined entry served")
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("after quarantine: %+v", st)
+	}
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine dir: %d files, err %v", len(q), err)
+	}
+}
+
+// TestStoreBuildLockSerializes: a second BuildLock on the same key must wait
+// for the first holder's unlock (in-process and, via flock, cross-process).
+func TestStoreBuildLockSerializes(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, 0)
+	unlock1 := s.BuildLock("tape", "k")
+	acquired := make(chan struct{})
+	go func() {
+		unlock2 := s.BuildLock("tape", "k")
+		close(acquired)
+		unlock2()
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("second BuildLock acquired while the first was held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	unlock1()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second BuildLock never acquired after unlock")
+	}
+}
+
+// TestStoreNilSafe: every method on a nil *Store is a harmless no-op, the
+// contract that lets callers thread an optional store without branching.
+func TestStoreNilSafe(t *testing.T) {
+	var s *Store
+	if err := s.Put("tape", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("tape", "k"); ok {
+		t.Fatal("nil store hit")
+	}
+	if s.Has("tape", "k") {
+		t.Fatal("nil store Has")
+	}
+	s.Pin("tape", "k")
+	s.Unpin("tape", "k")
+	s.Quarantine("tape", "k")
+	s.GC()
+	s.BuildLock("tape", "k")()
+	if s.Dir() != "" {
+		t.Fatal("nil store has a dir")
+	}
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatal("nil store has entries")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCloseIdempotent(t *testing.T) {
+	s := openT(t, t.TempDir(), 0)
+	if err := s.Put("tape", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("tape", "k"); !ok {
+		t.Fatal("miss")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	pfe "github.com/parallel-frontend/pfe"
+)
+
+// ResultCodec serializes memoized cell results (*pfe.Result) for the
+// persistent artifact store, implementing artifact.ResultCodec. It reuses
+// the resume journal's cellResult mirror, so a result that crosses the disk
+// boundary round-trips exactly like one replayed with -resume: every float
+// in Go's shortest-round-trip JSON form, pipeline histograms (debug-only,
+// nil-tolerant everywhere) deliberately dropped.
+type ResultCodec struct{}
+
+// EncodeResult marshals a *pfe.Result for the store.
+func (ResultCodec) EncodeResult(v any) ([]byte, error) {
+	r, ok := v.(*pfe.Result)
+	if !ok {
+		return nil, fmt.Errorf("experiments: result codec got %T, want *pfe.Result", v)
+	}
+	return json.Marshal(toCellResult(r))
+}
+
+// DecodeResult unmarshals a stored result and reports its accounted
+// in-memory footprint for the cache cap.
+func (ResultCodec) DecodeResult(data []byte) (any, int64, error) {
+	var cr cellResult
+	if err := json.Unmarshal(data, &cr); err != nil {
+		return nil, 0, fmt.Errorf("experiments: decoding stored result: %w", err)
+	}
+	return cr.toResult(), memoResultBytes, nil
+}

@@ -55,6 +55,13 @@ type cellResult struct {
 	Redirects int64 `json:"redirects"`
 
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
+
+	// Acceleration-mode detail (sampled / time-parallel runs). All omitempty,
+	// so exact-mode records — and therefore existing journals — are
+	// byte-for-byte unchanged.
+	SampledIPC float64           `json:"sampled_ipc,omitempty"`
+	Sampling   *pfe.SamplingInfo `json:"sampling,omitempty"`
+	Slices     []pfe.SliceInfo   `json:"slices,omitempty"`
 }
 
 func newCellRecord(exp string, c *cell, hash string, attempts int, r *pfe.Result) cellRecord {
@@ -64,27 +71,34 @@ func newCellRecord(exp string, c *cell, hash string, attempts int, r *pfe.Result
 		Key:      c.key,
 		Hash:     hash,
 		Attempts: attempts,
-		Result: cellResult{
-			Bench:                   r.Bench,
-			Config:                  r.Config,
-			Cycles:                  r.Cycles,
-			Committed:               r.Committed,
-			IPC:                     r.IPC,
-			FetchSlotUtilization:    r.FetchSlotUtilization,
-			FetchRate:               r.FetchRate,
-			RenameRate:              r.RenameRate,
-			FragPredAccuracy:        r.FragPredAccuracy,
-			L1IMissRate:             r.L1IMissRate,
-			L1DMissRate:             r.L1DMissRate,
-			TCHitRate:               r.TCHitRate,
-			BufferReuseRate:         r.BufferReuseRate,
-			FragsConstructedEarly:   r.FragsConstructedEarly,
-			LiveOutMispredicts:      r.LiveOutMispredicts,
-			LiveOutMisses:           r.LiveOutMisses,
-			RenamedBeforeSourceFrac: r.RenamedBeforeSourceFrac,
-			Redirects:               r.Redirects,
-			StageSeconds:            r.StageSeconds,
-		},
+		Result:   toCellResult(r),
+	}
+}
+
+func toCellResult(r *pfe.Result) cellResult {
+	return cellResult{
+		Bench:                   r.Bench,
+		Config:                  r.Config,
+		Cycles:                  r.Cycles,
+		Committed:               r.Committed,
+		IPC:                     r.IPC,
+		FetchSlotUtilization:    r.FetchSlotUtilization,
+		FetchRate:               r.FetchRate,
+		RenameRate:              r.RenameRate,
+		FragPredAccuracy:        r.FragPredAccuracy,
+		L1IMissRate:             r.L1IMissRate,
+		L1DMissRate:             r.L1DMissRate,
+		TCHitRate:               r.TCHitRate,
+		BufferReuseRate:         r.BufferReuseRate,
+		FragsConstructedEarly:   r.FragsConstructedEarly,
+		LiveOutMispredicts:      r.LiveOutMispredicts,
+		LiveOutMisses:           r.LiveOutMisses,
+		RenamedBeforeSourceFrac: r.RenamedBeforeSourceFrac,
+		Redirects:               r.Redirects,
+		StageSeconds:            r.StageSeconds,
+		SampledIPC:              r.SampledIPC,
+		Sampling:                r.Sampling,
+		Slices:                  r.Slices,
 	}
 }
 
@@ -109,6 +123,9 @@ func (cr *cellResult) toResult() *pfe.Result {
 		RenamedBeforeSourceFrac: cr.RenamedBeforeSourceFrac,
 		Redirects:               cr.Redirects,
 		StageSeconds:            cr.StageSeconds,
+		SampledIPC:              cr.SampledIPC,
+		Sampling:                cr.Sampling,
+		Slices:                  cr.Slices,
 	}
 }
 
