@@ -19,30 +19,40 @@
 #                      (codec round-trips, crash/corruption battery, GC
 #                      property test, cross-process warm-run determinism,
 #                      SIGKILL-during-store-write recovery)
+#   make test-fabric   tier 1.5: distributed sweep fabric suite under -race
+#                      (lease/heartbeat/epoch-fencing battery, network chaos
+#                      transport, journal epoch fencing on resume, -local
+#                      loopback determinism, SIGKILL-a-worker recovery with
+#                      real coordinator/worker processes)
 #   make vet           static hygiene: go vet + gofmt -l (fails on diff);
 #                      runs as part of `make test`
 #   make race          tier 2: vet + race detector over the short suite
 #   make fuzz          tier 3: short-budget fuzz smokes (differential targets)
 #   make bench         front-end comparison benchmarks (no -race)
 #   make bench-stat    benchstat-ready hot-path runs (BENCH_COUNT=10)
-#   make bench-json    provenance-stamped JSON report (BENCH_<sha>.json)
-#   make bench-compare regression gate: OLD=a.json NEW=b.json [TOL=0.5]
+#   make bench-json    provenance-stamped JSON report (BENCH_<sha>.json);
+#                      BENCH_LOCAL=N records through the distributed path
+#   make bench-compare regression gate: OLD=a.json NEW=b.json [TOL=0.5];
+#                      OLD=store resolves the baseline from the artifact store
 #   make all           tiers 1-3 in order
 
 GO      ?= go
 FUZZTIME ?= 10s
 
 # bench-json knobs: which experiment and budgets go into the recorded report.
+# BENCH_LOCAL > 0 records through the distributed path (-local N loopback
+# fleet) — bit-identical rows, plus per-worker lease accounting in the report.
 BENCH_EXP     ?= fig8
 BENCH_WARMUP  ?= 20000
 BENCH_MEASURE ?= 60000
+BENCH_LOCAL   ?= 0
 GIT_SHA       := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all test test-alloc test-robust test-sample test-obs test-store vet race fuzz bench bench-stat bench-json bench-compare fmt
+.PHONY: all test test-alloc test-robust test-sample test-obs test-store test-fabric vet race fuzz bench bench-stat bench-json bench-compare fmt
 
 all: test test-alloc race fuzz
 
-test: vet test-robust test-sample test-obs test-store
+test: vet test-robust test-sample test-obs test-store test-fabric
 	$(GO) build ./...
 	$(GO) test ./...
 
@@ -96,6 +106,19 @@ test-store:
 	$(GO) test -race -count=1 ./internal/artifact/ -run 'TestTapeCodec|TestProgramCodec|TestCacheDisk|TestCacheWithoutStore'
 	$(GO) test -race -count=1 ./cmd/pfe-bench/ -run 'TestStore'
 
+# Distributed sweep fabric tier, always under -race: the lease table, the
+# heartbeat/expiry scanner and the chaos transport are concurrent by
+# construction, so the whole battery runs race-enabled — the protocol unit
+# tests (epoch fencing, TTL expiry/requeue, zombie reports), the journal
+# epoch-fencing resume tests, the -local loopback determinism suite, and the
+# real-process integration drills (SIGKILL a leased worker mid-sweep, network
+# chaos over a full sweep, usage-error contracts).
+test-fabric:
+	$(GO) test -race -count=1 ./internal/fabric/
+	$(GO) test -race -count=1 ./internal/experiments/ \
+		-run 'Fabric|ParseInject|InProcessInject|EnumerateCells|ResumeFenced'
+	$(GO) test -race -count=1 ./cmd/pfe-bench/ -run 'TestFabric'
+
 # Allocation guards, run on their own so a perf PR can iterate on just
 # them: the steady-state cycle loop must not allocate at all, and a
 # /metrics scrape must stay bounded. Both also run as part of `make test`.
@@ -135,6 +158,7 @@ bench-stat:
 bench-json:
 	$(GO) build -o bin/pfe-bench ./cmd/pfe-bench
 	./bin/pfe-bench -exp $(BENCH_EXP) -warmup $(BENCH_WARMUP) -measure $(BENCH_MEASURE) \
+		$(if $(filter-out 0,$(BENCH_LOCAL)),-local $(BENCH_LOCAL)) \
 		-json BENCH_$(GIT_SHA).json
 	@echo wrote BENCH_$(GIT_SHA).json
 

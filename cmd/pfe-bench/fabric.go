@@ -1,0 +1,220 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/experiments"
+	"github.com/parallel-frontend/pfe/internal/fabric"
+	"github.com/parallel-frontend/pfe/internal/obs"
+)
+
+// fabricFlags are the distributed-sweep flags: a process is either a worker
+// (-worker URL), a coordinator leasing cells to external workers
+// (-coordinator addr), or a coordinator with its own in-process loopback
+// fleet (-local N — the distributed determinism mode).
+type fabricFlags struct {
+	Worker      string
+	WorkerID    string
+	Coordinator string
+	Local       int
+	LeaseTTL    time.Duration
+	Heartbeat   time.Duration
+}
+
+func (f fabricFlags) active() bool { return f.Local > 0 || f.Coordinator != "" }
+
+func (f fabricFlags) validate() error {
+	switch {
+	case f.Worker != "" && f.active():
+		return fmt.Errorf("-worker is exclusive with -coordinator/-local: a process is either a worker or a coordinator")
+	case f.Local > 0 && f.Coordinator != "":
+		return fmt.Errorf("-local and -coordinator are mutually exclusive: -local runs its own loopback fleet")
+	case f.Local < 0:
+		return fmt.Errorf("-local %d: want a non-negative worker count", f.Local)
+	case f.LeaseTTL <= 0:
+		return fmt.Errorf("-lease-ttl %v: want a positive duration", f.LeaseTTL)
+	case f.Heartbeat < 0:
+		return fmt.Errorf("-heartbeat %v: want a non-negative duration (0 = lease-ttl/3)", f.Heartbeat)
+	case f.Heartbeat > 0 && f.Heartbeat >= f.LeaseTTL:
+		return fmt.Errorf("-heartbeat %v must be shorter than -lease-ttl %v (a lease must outlive its heartbeat)", f.Heartbeat, f.LeaseTTL)
+	}
+	return nil
+}
+
+// fabricSession is the coordinator side of a distributed sweep: the lease
+// coordinator, and either an in-process loopback fleet (-local) or a real
+// HTTP listener (-coordinator).
+type fabricSession struct {
+	coord    *fabric.Coordinator
+	fleet    *fabric.LocalFleet
+	srv      *http.Server
+	chaos    *fabric.Chaos
+	leaseTTL time.Duration
+}
+
+// startFabric wires a coordinator into the sweep options: cells now resolve
+// through the lease table instead of the in-process pool. Telemetry gains
+// the pfe_fabric_* counters and the /status worker roster.
+func startFabric(fab fabricFlags, opts *experiments.Options, maxRetries int, dumpDir string,
+	reg *obs.Registry, tracker *obs.Tracker, rules []fabric.Rule) (*fabricSession, error) {
+	cfg, err := opts.FabricConfigJSON()
+	if err != nil {
+		return nil, err
+	}
+	coord := fabric.NewCoordinator(fabric.Options{
+		LeaseTTL:     fab.LeaseTTL,
+		Heartbeat:    fab.Heartbeat,
+		MaxRetries:   maxRetries,
+		RetryBackoff: opts.RetryBackoff,
+		Config:       cfg,
+	})
+	coord.Register(reg)
+	tracker.SetFabricRoster(func() []obs.FabricRosterEntry {
+		roster := coord.Roster()
+		out := make([]obs.FabricRosterEntry, len(roster))
+		for i, w := range roster {
+			out[i] = obs.FabricRosterEntry{
+				ID: w.ID, LastSeenSeconds: w.LastSeenSeconds, Busy: w.Busy,
+				Leases: w.Leases, Completed: w.Completed,
+				Requeued: w.Requeued, Fenced: w.Fenced,
+			}
+		}
+		return out
+	})
+	opts.Fabric = &experiments.Fabric{C: coord}
+	s := &fabricSession{coord: coord, leaseTTL: fab.LeaseTTL}
+
+	if fab.Local > 0 {
+		// Worker options round-trip through the wire config — exactly what a
+		// remote worker would compute — over a base carrying only the
+		// process-local pieces (the shared artifact cache, the dump dir).
+		var fc experiments.FabricConfig
+		if err := json.Unmarshal(cfg, &fc); err != nil {
+			return nil, fmt.Errorf("pfe-bench: fabric config round-trip: %w", err)
+		}
+		wopts := fc.ApplyTo(experiments.Options{Artifacts: opts.Artifacts, DumpDir: dumpDir})
+		runner := experiments.NewFabricRunner(wopts)
+		s.chaos = fabric.NewChaos(rules)
+		s.fleet = fabric.StartLocal(coord, fab.Local, s.chaos, func(id, baseURL string, client *http.Client) *fabric.Worker {
+			return &fabric.Worker{
+				ID: id, BaseURL: baseURL, Client: client,
+				Run: runner.Run, Poll: 25 * time.Millisecond,
+			}
+		})
+		tracker.SetWorkers(fab.Local)
+		return s, nil
+	}
+
+	ln, err := net.Listen("tcp", fab.Coordinator)
+	if err != nil {
+		return nil, fmt.Errorf("pfe-bench: fabric listener: %w", err)
+	}
+	s.srv = &http.Server{Handler: coord.Handler()}
+	go s.srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "fabric: coordinator listening on http://%s (point `pfe-bench -worker` at it)\n", ln.Addr())
+	return s, nil
+}
+
+// shutdown drains the fabric at the end of the sweep: leases answer 410 (the
+// workers' exit signal), the loopback fleet is joined, the listener closes
+// after a grace period for final polls, and the lease accounting is printed.
+func (s *fabricSession) shutdown() error {
+	s.coord.Shutdown()
+	var err error
+	if s.fleet != nil {
+		err = s.fleet.Close()
+	}
+	if s.srv != nil {
+		// Keep the listener up until every live worker has polled once more
+		// and collected its 410 — tearing it down between a worker's last
+		// report and its next poll would turn a clean drain into a spurious
+		// coordinator-unreachable exit. Workers silent for a lease TTL
+		// (killed, partitioned) are not waited for.
+		if !s.coord.DrainGone(s.leaseTTL, 5*time.Second) {
+			fmt.Fprintln(os.Stderr, "fabric: shutdown drain timed out; some workers never saw the exit signal")
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		s.srv.Shutdown(sctx)
+	}
+	if s.chaos != nil {
+		if n := s.chaos.Remaining(); n > 0 {
+			fmt.Fprintf(os.Stderr, "chaos: %d scheduled network fault(s) never fired\n", n)
+		}
+	}
+	st := s.coord.Stats()
+	fmt.Fprintf(os.Stderr, "fabric: %d lease(s), %d completed, %d requeued (%d expiries), %d fenced, %d failed\n",
+		st.Leases, st.Completed, st.Requeues, st.Expiries, st.Fenced, st.Failed)
+	return err
+}
+
+// runWorker is `pfe-bench -worker URL`: fetch the sweep configuration from
+// the coordinator, then pull, run and report leases until it shuts down
+// (exit 0), the coordinator becomes unreachable (exit 1), or a signal
+// arrives (exit 130). The sweep shape comes from the coordinator; the
+// worker's own flags contribute only process-local concerns (artifact
+// cache/store, dump dir, network chaos rules, and -inject overrides — so a
+// single worker of a fleet can be the designated chaos victim).
+func runWorker(ctx context.Context, fab fabricFlags, base experiments.Options, rules []fabric.Rule) int {
+	id := fab.WorkerID
+	if id == "" {
+		id = fabric.DefaultWorkerID()
+	}
+	w := &fabric.Worker{
+		ID:      id,
+		BaseURL: strings.TrimRight(fab.Worker, "/"),
+		Client:  &http.Client{Transport: fabric.NewChaos(rules).Wrap(nil)},
+		Log:     os.Stderr,
+	}
+	raw, err := w.FetchConfig(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return 130
+		}
+		fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+		return 1
+	}
+	var fc experiments.FabricConfig
+	if err := json.Unmarshal(raw, &fc); err != nil {
+		fmt.Fprintf(os.Stderr, "pfe-bench: decoding coordinator config: %v\n", err)
+		return 1
+	}
+	localInject := base.Inject
+	wopts := fc.ApplyTo(base)
+	if len(localInject) > 0 {
+		merged := map[string]string{}
+		for k, v := range wopts.Inject {
+			merged[k] = v
+		}
+		for k, v := range localInject {
+			merged[k] = v
+		}
+		wopts.Inject = merged
+	}
+	runner := experiments.NewFabricRunner(wopts)
+	runner.OnKill = func() {
+		// The kill drill for a real worker process is a real death: no
+		// report, no more heartbeats, not even a goodbye.
+		fmt.Fprintf(os.Stderr, "worker %s: injected kill, exiting\n", id)
+		os.Exit(1)
+	}
+	w.Run = runner.Run
+	fmt.Fprintf(os.Stderr, "worker %s: serving %s\n", id, w.BaseURL)
+	err = w.Loop(ctx)
+	if errors.Is(err, context.Canceled) {
+		return 130
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pfe-bench:", err)
+		return 1
+	}
+	return 0
+}

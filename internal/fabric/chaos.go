@@ -1,0 +1,234 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule is one deterministic network fault: the first Times requests to the
+// named endpoint are affected, then the rule is spent. Faults are counted,
+// not sampled — a chaos run is reproducible.
+//
+// Kinds:
+//
+//	drop       send the request, discard the response, surface a transport
+//	           error (the server-side effect happened; the client must cope
+//	           with not knowing — exercises duplicate-report fencing)
+//	blackhole  never send the request, surface a transport error (a
+//	           heartbeat blackhole starves the lease into expiry)
+//	dup        send the request twice, return the second response (the
+//	           duplicate exercises idempotence/fencing server-side)
+//	delay      hold the request for Delay (default 100ms) before sending
+type Rule struct {
+	Endpoint string // "config", "lease", "heartbeat", "report"
+	Kind     string // "drop", "blackhole", "dup", "delay"
+	Times    int    // requests affected (0 = 1)
+	Delay    time.Duration
+}
+
+// ChaosKinds lists the accepted network fault kinds.
+var ChaosKinds = []string{"drop", "blackhole", "dup", "delay"}
+
+// ChaosEndpoints lists the endpoints a rule may target.
+var ChaosEndpoints = []string{"config", "lease", "heartbeat", "report"}
+
+var endpointPaths = map[string]string{
+	"config":    PathConfig,
+	"lease":     PathLease,
+	"heartbeat": PathHeartbeat,
+	"report":    PathReport,
+}
+
+// ParseRule parses one "endpoint=kind[:times]" chaos spec entry.
+func ParseRule(s string) (Rule, error) {
+	ep, rest, ok := strings.Cut(s, "=")
+	if !ok {
+		return Rule{}, fmt.Errorf("fabric: chaos rule %q: want endpoint=kind[:times]", s)
+	}
+	if _, known := endpointPaths[ep]; !known {
+		return Rule{}, fmt.Errorf("fabric: chaos rule %q: endpoint must be one of %s",
+			s, strings.Join(ChaosEndpoints, ", "))
+	}
+	kind, timesStr, hasTimes := strings.Cut(rest, ":")
+	r := Rule{Endpoint: ep, Kind: kind, Times: 1}
+	switch kind {
+	case "drop", "blackhole", "dup":
+	case "delay":
+		r.Delay = 100 * time.Millisecond
+	default:
+		return Rule{}, fmt.Errorf("fabric: chaos rule %q: kind must be one of %s",
+			s, strings.Join(ChaosKinds, ", "))
+	}
+	if hasTimes {
+		n, err := strconv.Atoi(timesStr)
+		if err != nil || n < 1 {
+			return Rule{}, fmt.Errorf("fabric: chaos rule %q: times must be a positive integer", s)
+		}
+		r.Times = n
+	}
+	return r, nil
+}
+
+type ruleState struct {
+	Rule
+	left int
+}
+
+// Chaos applies a deterministic fault schedule to a fabric client's
+// transport. One Chaos instance is shared across a fleet's clients, so
+// "first N requests" counts globally and a run is reproducible regardless
+// of which worker draws the fault.
+type Chaos struct {
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+// NewChaos builds a schedule from rules (nil/empty is a valid no-op).
+func NewChaos(rules []Rule) *Chaos {
+	c := &Chaos{}
+	for _, r := range rules {
+		times := r.Times
+		if times < 1 {
+			times = 1
+		}
+		c.rules = append(c.rules, &ruleState{Rule: r, left: times})
+	}
+	return c
+}
+
+// take consumes one firing of the first live rule matching path, if any.
+func (c *Chaos) take(path string) *Rule {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rs := range c.rules {
+		if rs.left > 0 && strings.HasSuffix(path, endpointPaths[rs.Endpoint]) {
+			rs.left--
+			r := rs.Rule
+			return &r
+		}
+	}
+	return nil
+}
+
+// Remaining reports how many rule firings are left unconsumed (0 after a
+// fully exercised run — tests assert the schedule actually fired).
+func (c *Chaos) Remaining() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, rs := range c.rules {
+		n += rs.left
+	}
+	return n
+}
+
+// chaosTransport wraps an http.RoundTripper with the fault schedule.
+type chaosTransport struct {
+	c  *Chaos
+	rt http.RoundTripper
+}
+
+// Wrap returns a transport applying c's schedule over rt (nil rt = the
+// default transport). A nil *Chaos returns rt unchanged.
+func (c *Chaos) Wrap(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if c == nil {
+		return rt
+	}
+	return &chaosTransport{c: c, rt: rt}
+}
+
+// ErrChaos marks transport errors injected by the chaos layer.
+var ErrChaos = errors.New("fabric: chaos-injected transport fault")
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	r := t.c.take(req.URL.Path)
+	if r == nil {
+		return t.rt.RoundTrip(req)
+	}
+	switch r.Kind {
+	case "blackhole":
+		// Consume the body like a real transport would have.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: blackholed %s", ErrChaos, req.URL.Path)
+	case "drop":
+		resp, err := t.rt.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: dropped response from %s", ErrChaos, req.URL.Path)
+	case "dup":
+		first, second, err := t.duplicate(req)
+		if err != nil {
+			return nil, err
+		}
+		if first != nil {
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		return second, nil
+	case "delay":
+		timer := time.NewTimer(r.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return t.rt.RoundTrip(req)
+	}
+	return t.rt.RoundTrip(req)
+}
+
+// duplicate sends req twice (requires a rewindable body) and returns both
+// responses; the caller discards the first — the duplicate is what the
+// server saw twice.
+func (t *chaosTransport) duplicate(req *http.Request) (first, second *http.Response, err error) {
+	var body []byte
+	if req.Body != nil {
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	mk := func() *http.Request {
+		r2 := req.Clone(req.Context())
+		if body != nil {
+			r2.Body = io.NopCloser(bytes.NewReader(body))
+			r2.ContentLength = int64(len(body))
+		}
+		return r2
+	}
+	first, err = t.rt.RoundTrip(mk())
+	if err != nil {
+		return nil, nil, err
+	}
+	second, err = t.rt.RoundTrip(mk())
+	if err != nil {
+		io.Copy(io.Discard, first.Body)
+		first.Body.Close()
+		return nil, nil, err
+	}
+	return first, second, nil
+}

@@ -1,0 +1,702 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/obs"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a granted lease lives without a heartbeat before
+	// the cell is re-queued (0 = 10s). Heartbeat is the interval workers are
+	// told to beat at (0 = LeaseTTL/3).
+	LeaseTTL  time.Duration
+	Heartbeat time.Duration
+
+	// MaxRetries and RetryBackoff mirror the harness's per-cell retry
+	// machinery: every lease expiry or errored report counts as one failed
+	// attempt, a cell is re-queued until it has failed 1+MaxRetries times,
+	// and a re-queued cell only becomes leasable again after the attempt's
+	// backoff (0 = 100ms base, doubling per attempt, capped at 5s; negative
+	// disables the delay).
+	MaxRetries   int
+	RetryBackoff time.Duration
+
+	// Config is the opaque sweep configuration served at /config; workers
+	// build their run options from it.
+	Config json.RawMessage
+}
+
+func (o Options) leaseTTL() time.Duration {
+	if o.LeaseTTL > 0 {
+		return o.LeaseTTL
+	}
+	return 10 * time.Second
+}
+
+func (o Options) heartbeat() time.Duration {
+	if o.Heartbeat > 0 {
+		return o.Heartbeat
+	}
+	return o.leaseTTL() / 3
+}
+
+// backoff returns how long a cell stays unleasable after its attempt-th
+// failure, mirroring the harness's sleepBackoff schedule.
+func (o Options) backoff(attempt int) time.Duration {
+	base := o.RetryBackoff
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << (attempt - 1)
+	if d > 5*time.Second || d <= 0 {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// ResultMeta is the provenance of an accepted result: which worker produced
+// it, under which lease epoch, after how many attempts and re-queues.
+type ResultMeta struct {
+	Worker    string
+	WorkerNum int
+	Epoch     int64
+	Attempts  int
+	Requeues  int
+	Wall      time.Duration
+}
+
+// BatchHooks receives batch lifecycle callbacks. All hooks may be nil; they
+// are invoked from HTTP handler goroutines (and the expiry scanner) without
+// the coordinator lock held. For a given cell, lifecycle events are ordered:
+// a lease precedes its requeue or resolution, and a cell resolves exactly
+// once (OnResult or OnFailure, never both).
+type BatchHooks struct {
+	OnLease   func(index int, worker string, workerNum int, epoch int64)
+	OnRequeue func(index int, worker string, epoch int64, cause string)
+	OnResult  func(index int, result json.RawMessage, m ResultMeta)
+	OnFailure func(index int, e CellError, attempts int)
+}
+
+// WorkerStat is one worker's accounting for a completed batch.
+type WorkerStat struct {
+	ID        string
+	Num       int
+	Leases    int
+	Completed int
+	Requeued  int // leases lost to expiry or errored attempts
+	Fenced    int // stale-epoch reports rejected
+}
+
+// WorkerStatus is one roster entry for /status: process-lifetime accounting
+// plus liveness.
+type WorkerStatus struct {
+	ID              string  `json:"id"`
+	Num             int     `json:"num"`
+	LastSeenSeconds float64 `json:"last_seen_seconds"`
+	Busy            string  `json:"busy,omitempty"` // "exp/bench/key" of the held lease
+	Leases          int64   `json:"leases"`
+	Completed       int64   `json:"completed"`
+	Requeued        int64   `json:"requeued"`
+	Fenced          int64   `json:"fenced"`
+}
+
+type cellKey struct {
+	exp          string
+	batch, index int
+}
+
+func refKey(r CellRef) cellKey { return cellKey{r.Exp, r.Batch, r.Index} }
+
+// cellState is one cell's lease-table row within the active batch.
+type cellState struct {
+	ref       CellRef
+	epoch     int64 // last issued epoch (0 = never leased)
+	leased    bool
+	worker    string
+	deadline  time.Time
+	attempts  int // failed attempts (expiries + errored reports)
+	requeues  int
+	notBefore time.Time // backoff gate for the next lease
+	resolved  bool
+}
+
+// workerInfo is the process-lifetime roster entry for one worker id.
+type workerInfo struct {
+	id                                  string
+	num                                 int // dense arrival order, used for span attribution
+	lastSeen                            time.Time
+	busy                                string
+	gone                                bool // answered 410 after Shutdown (clean exit observed)
+	leases, completed, requeued, fenced int64
+}
+
+// batchRun is the state of the single active RunBatch.
+type batchRun struct {
+	cells   map[cellKey]*cellState
+	order   []cellKey // lease-table iteration order (cell index order)
+	queue   []cellKey // leasable cells, FIFO
+	pending int
+	hooks   BatchHooks
+	stats   map[string]*WorkerStat
+	done    chan struct{} // closed when pending hits 0
+
+	// hookWG counts scheduled-but-unfinished hook invocations. Hooks run
+	// outside the coordinator lock, so the batch can be "done" (pending 0)
+	// while a hook for an earlier-resolved cell is still writing its
+	// outcome; RunBatch drains this before returning.
+	hookWG sync.WaitGroup
+}
+
+// Coordinator owns the lease table and serves the fabric protocol. One batch
+// of cells runs at a time (the harness schedules batches sequentially);
+// workers polling between batches get 204 and retry.
+type Coordinator struct {
+	opts Options
+
+	mu       sync.Mutex
+	batch    *batchRun
+	workers  map[string]*workerInfo
+	closed   bool
+	closedAt time.Time
+
+	// Process-lifetime counters (pfe_fabric_* metrics).
+	leases     atomic.Int64
+	heartbeats atomic.Int64
+	expiries   atomic.Int64
+	requeues   atomic.Int64
+	fenced     atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+}
+
+// NewCoordinator returns an idle coordinator; RunBatch activates it.
+func NewCoordinator(opts Options) *Coordinator {
+	return &Coordinator{opts: opts, workers: map[string]*workerInfo{}}
+}
+
+// HeartbeatEvery is the interval workers are told to beat at.
+func (c *Coordinator) HeartbeatEvery() time.Duration { return c.opts.heartbeat() }
+
+// Shutdown makes every subsequent lease request answer 410 Gone, which is a
+// worker's signal to exit. In-flight batches are unaffected (there should be
+// none when the harness shuts down).
+func (c *Coordinator) Shutdown() {
+	c.mu.Lock()
+	c.closed = true
+	if c.closedAt.IsZero() {
+		c.closedAt = time.Now()
+	}
+	c.mu.Unlock()
+}
+
+// DrainGone blocks until every worker recently seen (within window of
+// Shutdown) has polled once more and received its 410 exit signal, or until
+// timeout. It exists so the coordinator's listener is not torn down between
+// a worker's last report and its next lease poll — that window would turn a
+// clean drain into a spurious coordinator-unreachable exit. Workers silent
+// for longer than window (killed or partitioned) are not waited for; their
+// absence is exactly why the wait is bounded. Reports whether every live
+// worker drained.
+func (c *Coordinator) DrainGone(window, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		cut := c.closedAt.Add(-window)
+		drained := true
+		for _, w := range c.workers {
+			if !w.gone && w.lastSeen.After(cut) {
+				drained = false
+				break
+			}
+		}
+		c.mu.Unlock()
+		if drained {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Register exposes the coordinator's counters as pfe_fabric_* metrics.
+func (c *Coordinator) Register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	cf := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	reg.CounterFunc("pfe_fabric_leases_total", "Cell leases granted to workers.", cf(&c.leases))
+	reg.CounterFunc("pfe_fabric_heartbeats_total", "Lease heartbeats accepted.", cf(&c.heartbeats))
+	reg.CounterFunc("pfe_fabric_lease_expiries_total", "Leases expired (missed heartbeats) and re-queued.", cf(&c.expiries))
+	reg.CounterFunc("pfe_fabric_requeues_total", "Cells re-queued after an expiry or errored attempt.", cf(&c.requeues))
+	reg.CounterFunc("pfe_fabric_fenced_reports_total", "Stale-epoch reports and heartbeats fenced out.", cf(&c.fenced))
+	reg.CounterFunc("pfe_fabric_cells_completed_total", "Cells resolved with a result.", cf(&c.completed))
+	reg.CounterFunc("pfe_fabric_cells_failed_total", "Cells that exhausted their retries.", cf(&c.failed))
+	reg.GaugeFunc("pfe_fabric_workers", "Workers ever seen by the coordinator.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.workers))
+	})
+	reg.GaugeFunc("pfe_fabric_cells_pending", "Unresolved cells in the active batch.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.batch == nil {
+			return 0
+		}
+		return float64(c.batch.pending)
+	})
+}
+
+// Roster snapshots every worker the coordinator has ever seen, in arrival
+// order (the /status fleet view).
+func (c *Coordinator) Roster() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, WorkerStatus{
+			ID: w.id, Num: w.num,
+			LastSeenSeconds: time.Since(w.lastSeen).Seconds(),
+			Busy:            w.busy,
+			Leases:          w.leases, Completed: w.completed,
+			Requeued: w.requeued, Fenced: w.fenced,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Num < out[j].Num })
+	return out
+}
+
+// RunBatch registers cells with the lease table, makes them leasable, and
+// blocks until every cell is resolved (result or retries exhausted) or ctx
+// is cancelled. Hooks fire as cells progress; per-worker stats for the batch
+// are returned. Only one batch may be active at a time.
+func (c *Coordinator) RunBatch(ctx context.Context, cells []CellRef, h BatchHooks) ([]WorkerStat, error) {
+	if len(cells) == 0 {
+		return nil, nil
+	}
+	b := &batchRun{
+		cells: make(map[cellKey]*cellState, len(cells)),
+		hooks: h,
+		stats: map[string]*WorkerStat{},
+		done:  make(chan struct{}),
+	}
+	c.mu.Lock()
+	if c.batch != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("fabric: a batch is already running")
+	}
+	for _, ref := range cells {
+		k := refKey(ref)
+		if _, dup := b.cells[k]; dup {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("fabric: duplicate cell %s batch %d index %d", ref.Exp, ref.Batch, ref.Index)
+		}
+		b.cells[k] = &cellState{ref: ref}
+		b.order = append(b.order, k)
+		b.queue = append(b.queue, k)
+	}
+	b.pending = len(cells)
+	c.batch = b
+	c.mu.Unlock()
+
+	// Expiry scanner: leases are also checked lazily on every request, but
+	// an idle fleet (all workers dead) must still expire and fail cells.
+	tick := c.opts.leaseTTL() / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.mu.Lock()
+				calls := c.scanExpiredLocked(time.Now())
+				if len(calls) > 0 {
+					b.hookWG.Add(len(calls))
+				}
+				c.mu.Unlock()
+				for _, fn := range calls {
+					fn()
+					b.hookWG.Done()
+				}
+			case <-b.done:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var err error
+	select {
+	case <-b.done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	c.mu.Lock()
+	c.batch = nil
+	stats := make([]WorkerStat, 0, len(b.stats))
+	for _, s := range b.stats {
+		stats = append(stats, *s)
+	}
+	c.mu.Unlock()
+	<-scanDone
+	// No hook can be scheduled anymore (the batch is detached); wait out the
+	// ones already in flight so the caller may read what they wrote.
+	b.hookWG.Wait()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Num < stats[j].Num })
+	return stats, err
+}
+
+// Stats snapshots the process-lifetime fabric counters (the CLI's end-of-run
+// summary; the live view is the pfe_fabric_* metrics).
+type Stats struct {
+	Leases     int64
+	Heartbeats int64
+	Expiries   int64
+	Requeues   int64
+	Fenced     int64
+	Completed  int64
+	Failed     int64
+}
+
+// Stats returns the coordinator's lifetime counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Leases:     c.leases.Load(),
+		Heartbeats: c.heartbeats.Load(),
+		Expiries:   c.expiries.Load(),
+		Requeues:   c.requeues.Load(),
+		Fenced:     c.fenced.Load(),
+		Completed:  c.completed.Load(),
+		Failed:     c.failed.Load(),
+	}
+}
+
+// touchLocked records worker liveness and returns its roster entry.
+func (c *Coordinator) touchLocked(id string) *workerInfo {
+	w := c.workers[id]
+	if w == nil {
+		w = &workerInfo{id: id, num: len(c.workers)}
+		c.workers[id] = w
+	}
+	w.lastSeen = time.Now()
+	return w
+}
+
+// statLocked returns the batch-scoped stats row for a worker.
+func (b *batchRun) statLocked(w *workerInfo) *WorkerStat {
+	s := b.stats[w.id]
+	if s == nil {
+		s = &WorkerStat{ID: w.id, Num: w.num}
+		b.stats[w.id] = s
+	}
+	return s
+}
+
+// scanExpiredLocked walks the lease table and re-queues (or fails) every
+// cell whose lease deadline has passed, counting each expiry as one failed
+// attempt. It returns the hook invocations to run after the lock is
+// released. Callers hold c.mu.
+func (c *Coordinator) scanExpiredLocked(now time.Time) []func() {
+	b := c.batch
+	if b == nil {
+		return nil
+	}
+	var calls []func()
+	for _, k := range b.order {
+		cs := b.cells[k]
+		if cs.resolved || !cs.leased || now.Before(cs.deadline) {
+			continue
+		}
+		c.expiries.Add(1)
+		if w := c.workers[cs.worker]; w != nil {
+			w.requeued++
+			w.busy = ""
+			b.statLocked(w).Requeued++
+		}
+		calls = append(calls, c.attemptFailedLocked(b, cs, now, "expiry")...)
+	}
+	return calls
+}
+
+// attemptFailedLocked charges one failed attempt to a cell: the lease is
+// invalidated (fencing any late report under its epoch), and the cell is
+// either re-queued behind its backoff or, with retries exhausted, resolved
+// as a failure. Callers hold c.mu; the returned closures run unlocked.
+func (c *Coordinator) attemptFailedLocked(b *batchRun, cs *cellState, now time.Time, cause string) []func() {
+	cs.leased = false
+	cs.attempts++
+	worker, epoch, idx := cs.worker, cs.epoch, cs.ref.Index
+	if cs.attempts > c.opts.MaxRetries {
+		cs.resolved = true
+		b.pending--
+		c.failed.Add(1)
+		attempts := cs.attempts
+		var calls []func()
+		if h := b.hooks.OnFailure; h != nil {
+			e := CellError{
+				Msg:  fmt.Sprintf("fabric: lease on %s/%s lost to %s under worker %q (epoch %d)", cs.ref.Bench, cs.ref.Key, cause, worker, epoch),
+				Kind: "lease-" + cause,
+			}
+			calls = append(calls, func() { h(idx, e, attempts) })
+		}
+		if b.pending == 0 {
+			close(b.done)
+		}
+		return calls
+	}
+	cs.requeues++
+	cs.notBefore = now.Add(c.opts.backoff(cs.attempts))
+	b.queue = append(b.queue, refKey(cs.ref))
+	c.requeues.Add(1)
+	if h := b.hooks.OnRequeue; h != nil {
+		return []func(){func() { h(idx, worker, epoch, cause) }}
+	}
+	return nil
+}
+
+// Handler returns the coordinator's HTTP mux.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathConfig, c.handleConfig)
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc(PathReport, c.handleReport)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "fabric: bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleConfig(w http.ResponseWriter, r *http.Request) {
+	cfg := c.opts.Config
+	if cfg == nil {
+		cfg = json.RawMessage("{}")
+	}
+	writeJSON(w, http.StatusOK, ConfigResponse{
+		Config:      cfg,
+		LeaseTTLMs:  c.opts.leaseTTL().Milliseconds(),
+		HeartbeatMs: c.opts.heartbeat().Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if c.closed {
+		// Record that this worker observed the shutdown (DrainGone watches
+		// for it) before sending its exit signal.
+		c.touchLocked(req.Worker).gone = true
+		c.mu.Unlock()
+		w.WriteHeader(http.StatusGone)
+		return
+	}
+	wi := c.touchLocked(req.Worker)
+	calls := c.scanExpiredLocked(now)
+	b := c.batch
+	var lease *Lease
+	if b != nil {
+		// FIFO over leasable cells, skipping the ones still in backoff.
+		for i, k := range b.queue {
+			cs := b.cells[k]
+			if cs.resolved || cs.leased || now.Before(cs.notBefore) {
+				continue
+			}
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			cs.leased = true
+			cs.worker = req.Worker
+			cs.epoch++
+			cs.deadline = now.Add(c.opts.leaseTTL())
+			lease = &Lease{Cell: cs.ref, Epoch: cs.epoch, TTLMs: c.opts.leaseTTL().Milliseconds()}
+			c.leases.Add(1)
+			wi.leases++
+			wi.busy = cs.ref.Exp + "/" + cs.ref.Bench + "/" + cs.ref.Key
+			b.statLocked(wi).Leases++
+			if h := b.hooks.OnLease; h != nil {
+				idx, worker, num, epoch := cs.ref.Index, req.Worker, wi.num, cs.epoch
+				calls = append(calls, func() { h(idx, worker, num, epoch) })
+			}
+			break
+		}
+	}
+	if len(calls) > 0 {
+		b.hookWG.Add(len(calls))
+	}
+	c.mu.Unlock()
+	for _, fn := range calls {
+		fn()
+		b.hookWG.Done()
+	}
+	if lease == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, lease)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	c.touchLocked(req.Worker)
+	calls := c.scanExpiredLocked(now)
+	b := c.batch
+	ok := false
+	if b != nil {
+		if cs := b.cells[refKey(req.Cell)]; cs != nil &&
+			!cs.resolved && cs.leased && cs.worker == req.Worker && cs.epoch == req.Epoch {
+			cs.deadline = now.Add(c.opts.leaseTTL())
+			c.heartbeats.Add(1)
+			ok = true
+		}
+	}
+	if !ok {
+		c.fenced.Add(1)
+	}
+	if len(calls) > 0 {
+		b.hookWG.Add(len(calls))
+	}
+	c.mu.Unlock()
+	for _, fn := range calls {
+		fn()
+		b.hookWG.Done()
+	}
+	if !ok {
+		w.WriteHeader(http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Result == nil && req.Error == nil {
+		http.Error(w, "fabric: report carries neither result nor error", http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	wi := c.touchLocked(req.Worker)
+	calls := c.scanExpiredLocked(now)
+	b := c.batch
+	var cs *cellState
+	if b != nil {
+		cs = b.cells[refKey(req.Cell)]
+	}
+	// Fencing: only the live lease's epoch may resolve the cell. A zombie
+	// worker whose lease expired (and was re-issued under epoch+1) gets 409
+	// here, and its result — computed under a lost lease — is discarded.
+	if cs == nil || cs.resolved || !cs.leased || cs.epoch != req.Epoch {
+		c.fenced.Add(1)
+		wi.fenced++
+		if b != nil {
+			b.statLocked(wi).Fenced++
+		}
+		if len(calls) > 0 {
+			b.hookWG.Add(len(calls))
+		}
+		c.mu.Unlock()
+		for _, fn := range calls {
+			fn()
+			b.hookWG.Done()
+		}
+		w.WriteHeader(http.StatusConflict)
+		return
+	}
+	wi.busy = ""
+	if req.Error != nil {
+		wi.requeued++
+		b.statLocked(wi).Requeued++
+		e := *req.Error
+		attemptsBefore := cs.attempts
+		more := c.attemptFailedLocked(b, cs, now, "error")
+		// attemptFailedLocked charges the attempt; on exhaustion it reports
+		// a generic lease-loss error, so substitute the worker's structured
+		// one (the last attempt's real cause).
+		if cs.resolved && b.hooks.OnFailure != nil {
+			idx, attempts := cs.ref.Index, attemptsBefore+1
+			h := b.hooks.OnFailure
+			calls = append(calls, func() { h(idx, e, attempts) })
+		} else {
+			calls = append(calls, more...)
+		}
+		if len(calls) > 0 {
+			b.hookWG.Add(len(calls))
+		}
+		c.mu.Unlock()
+		for _, fn := range calls {
+			fn()
+			b.hookWG.Done()
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	cs.resolved = true
+	cs.leased = false
+	b.pending--
+	c.completed.Add(1)
+	wi.completed++
+	b.statLocked(wi).Completed++
+	meta := ResultMeta{
+		Worker: req.Worker, WorkerNum: wi.num, Epoch: req.Epoch,
+		Attempts: cs.attempts + 1, Requeues: cs.requeues,
+		Wall: time.Duration(req.WallMs * float64(time.Millisecond)),
+	}
+	if h := b.hooks.OnResult; h != nil {
+		idx, res := cs.ref.Index, req.Result
+		calls = append(calls, func() { h(idx, res, meta) })
+	}
+	if b.pending == 0 {
+		close(b.done)
+	}
+	if len(calls) > 0 {
+		b.hookWG.Add(len(calls))
+	}
+	c.mu.Unlock()
+	for _, fn := range calls {
+		fn()
+		b.hookWG.Done()
+	}
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,0 +1,589 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// postJSON is a bare protocol client for tests that speak to the coordinator
+// without a Worker (so lease/heartbeat/report timing is under test control).
+func postJSON(t *testing.T, url string, in, out any) int {
+	t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+		return resp.StatusCode
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// refs builds an n-cell batch in one experiment.
+func refs(n int) []CellRef {
+	out := make([]CellRef, n)
+	for i := range out {
+		out[i] = CellRef{
+			Exp: "exp", Batch: 0, Index: i,
+			Bench: "gcc", Key: fmt.Sprintf("k%d", i), Hash: fmt.Sprintf("h%d", i),
+		}
+	}
+	return out
+}
+
+// batchCollector records hook firings for assertions.
+type batchCollector struct {
+	mu       sync.Mutex
+	results  map[int]ResultMeta
+	payloads map[int]string
+	requeues []string // "index/cause"
+	failures map[int]CellError
+	attempts map[int]int
+}
+
+func newBatchCollector() *batchCollector {
+	return &batchCollector{
+		results:  map[int]ResultMeta{},
+		payloads: map[int]string{},
+		failures: map[int]CellError{},
+		attempts: map[int]int{},
+	}
+}
+
+func (bc *batchCollector) hooks() BatchHooks {
+	return BatchHooks{
+		OnRequeue: func(i int, worker string, epoch int64, cause string) {
+			bc.mu.Lock()
+			bc.requeues = append(bc.requeues, fmt.Sprintf("%d/%s", i, cause))
+			bc.mu.Unlock()
+		},
+		OnResult: func(i int, res json.RawMessage, m ResultMeta) {
+			bc.mu.Lock()
+			bc.results[i] = m
+			bc.payloads[i] = string(res)
+			bc.mu.Unlock()
+		},
+		OnFailure: func(i int, e CellError, attempts int) {
+			bc.mu.Lock()
+			bc.failures[i] = e
+			bc.attempts[i] = attempts
+			bc.mu.Unlock()
+		},
+	}
+}
+
+// TestLeaseEpochFencing pins the zombie-fencing contract: a lease that
+// expires is re-issued under the next epoch, the original holder's late
+// report answers 409, and only the live epoch's result resolves the cell.
+func TestLeaseEpochFencing(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: 60 * time.Millisecond, MaxRetries: 3, RetryBackoff: -1})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	bc := newBatchCollector()
+	var stats []WorkerStat
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stats, runErr = c.RunBatch(context.Background(), refs(1), bc.hooks())
+	}()
+
+	var l1 Lease
+	if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "zombie"}, &l1); code != http.StatusOK {
+		t.Fatalf("first lease: status %d", code)
+	}
+	if l1.Epoch != 1 {
+		t.Fatalf("first lease epoch = %d, want 1", l1.Epoch)
+	}
+
+	// No heartbeats: the lease must expire and the cell re-queue for the
+	// next worker under an incremented epoch.
+	var l2 Lease
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "fresh"}, &l2); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cell never re-queued after lease expiry")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if l2.Epoch != l1.Epoch+1 {
+		t.Errorf("re-issued epoch = %d, want %d", l2.Epoch, l1.Epoch+1)
+	}
+
+	// The zombie's late report carries the dead epoch: fenced out.
+	zombieRep := ReportRequest{Worker: "zombie", Cell: l1.Cell, Epoch: l1.Epoch,
+		Result: json.RawMessage(`{"v":"zombie"}`)}
+	if code := postJSON(t, srv.URL+PathReport, zombieRep, nil); code != http.StatusConflict {
+		t.Errorf("stale-epoch report: status %d, want 409", code)
+	}
+
+	freshRep := ReportRequest{Worker: "fresh", Cell: l2.Cell, Epoch: l2.Epoch,
+		Result: json.RawMessage(`{"v":"fresh"}`)}
+	if code := postJSON(t, srv.URL+PathReport, freshRep, nil); code != http.StatusOK {
+		t.Fatalf("live-epoch report: status %d, want 200", code)
+	}
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	m, ok := bc.results[0]
+	if !ok {
+		t.Fatal("cell never resolved with a result")
+	}
+	if m.Worker != "fresh" || m.Epoch != l2.Epoch || m.Attempts != 2 || m.Requeues != 1 {
+		t.Errorf("result meta = %+v, want fresh/epoch %d/2 attempts/1 requeue", m, l2.Epoch)
+	}
+	if bc.payloads[0] != `{"v":"fresh"}` {
+		t.Errorf("accepted payload = %s, want the live lease's", bc.payloads[0])
+	}
+	st := c.Stats()
+	if st.Expiries < 1 || st.Fenced < 1 || st.Completed != 1 {
+		t.Errorf("stats = %+v, want >=1 expiry, >=1 fenced, 1 completed", st)
+	}
+	byID := map[string]WorkerStat{}
+	for _, s := range stats {
+		byID[s.ID] = s
+	}
+	if byID["zombie"].Requeued != 1 || byID["zombie"].Fenced != 1 {
+		t.Errorf("zombie stats = %+v, want 1 requeued, 1 fenced", byID["zombie"])
+	}
+	if byID["fresh"].Completed != 1 {
+		t.Errorf("fresh stats = %+v, want 1 completed", byID["fresh"])
+	}
+}
+
+// TestHeartbeatExtendsLease pins liveness: a lease heartbeated on schedule
+// survives well past its TTL and its eventual report is accepted, with no
+// expiries charged.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: 150 * time.Millisecond, RetryBackoff: -1})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	bc := newBatchCollector()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.RunBatch(context.Background(), refs(1), bc.hooks()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	var l Lease
+	if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "w"}, &l); code != http.StatusOK {
+		t.Fatalf("lease: status %d", code)
+	}
+	// Hold the lease for ~3 TTLs via heartbeats.
+	for i := 0; i < 15; i++ {
+		time.Sleep(30 * time.Millisecond)
+		hb := HeartbeatRequest{Worker: "w", Cell: l.Cell, Epoch: l.Epoch}
+		if code := postJSON(t, srv.URL+PathHeartbeat, hb, nil); code != http.StatusOK {
+			t.Fatalf("heartbeat %d: status %d — lease expired despite on-schedule heartbeats", i, code)
+		}
+	}
+	rep := ReportRequest{Worker: "w", Cell: l.Cell, Epoch: l.Epoch, Result: json.RawMessage(`{}`)}
+	if code := postJSON(t, srv.URL+PathReport, rep, nil); code != http.StatusOK {
+		t.Fatalf("report after heartbeats: status %d, want 200", code)
+	}
+	<-done
+
+	if m := bc.results[0]; m.Attempts != 1 || m.Epoch != 1 {
+		t.Errorf("result meta = %+v, want a clean first-epoch resolution", m)
+	}
+	st := c.Stats()
+	if st.Expiries != 0 || st.Requeues != 0 {
+		t.Errorf("stats = %+v, want zero expiries/requeues under live heartbeats", st)
+	}
+	if st.Heartbeats < 10 {
+		t.Errorf("heartbeats accepted = %d, want >= 10", st.Heartbeats)
+	}
+}
+
+// TestErroredReportsExhaustRetries pins the retry fold: every errored report
+// charges one attempt, re-queues until MaxRetries is spent, then resolves as
+// a failure carrying the last attempt's structured error.
+func TestErroredReportsExhaustRetries(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Second, MaxRetries: 1, RetryBackoff: -1})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	bc := newBatchCollector()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.RunBatch(context.Background(), refs(1), bc.hooks()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	for want := int64(1); want <= 2; want++ {
+		var l Lease
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "w"}, &l); code == http.StatusOK {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no lease for attempt %d", want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if l.Epoch != want {
+			t.Fatalf("attempt %d under epoch %d", want, l.Epoch)
+		}
+		rep := ReportRequest{Worker: "w", Cell: l.Cell, Epoch: l.Epoch,
+			Error: &CellError{Msg: "boom", Kind: "error"}}
+		if code := postJSON(t, srv.URL+PathReport, rep, nil); code != http.StatusOK {
+			t.Fatalf("errored report %d: status %d", want, code)
+		}
+	}
+	<-done
+
+	if len(bc.requeues) != 1 || bc.requeues[0] != "0/error" {
+		t.Errorf("requeues = %v, want one errored requeue of cell 0", bc.requeues)
+	}
+	e, ok := bc.failures[0]
+	if !ok {
+		t.Fatal("cell never resolved as a failure")
+	}
+	if e.Msg != "boom" || e.Kind != "error" || bc.attempts[0] != 2 {
+		t.Errorf("failure = %+v after %d attempts, want the worker's error after 2", e, bc.attempts[0])
+	}
+	if len(bc.results) != 0 {
+		t.Errorf("failed cell also produced a result: %+v", bc.results)
+	}
+	if st := c.Stats(); st.Failed != 1 || st.Requeues != 1 {
+		t.Errorf("stats = %+v, want 1 failed, 1 requeue", st)
+	}
+}
+
+// TestReportWithoutPayloadRejected pins the report invariant: a report must
+// carry a result or an error.
+func TestReportWithoutPayloadRejected(t *testing.T) {
+	c := NewCoordinator(Options{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	rep := ReportRequest{Worker: "w", Cell: refs(1)[0], Epoch: 1}
+	if code := postJSON(t, srv.URL+PathReport, rep, nil); code != http.StatusBadRequest {
+		t.Errorf("empty report: status %d, want 400", code)
+	}
+}
+
+// TestShutdownAnswersGone pins the drain signal: after Shutdown every lease
+// poll answers 410 and a Worker.Loop exits nil.
+func TestShutdownAnswersGone(t *testing.T) {
+	c := NewCoordinator(Options{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	c.Shutdown()
+	if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "w"}, nil); code != http.StatusGone {
+		t.Fatalf("lease after shutdown: status %d, want 410", code)
+	}
+	w := &Worker{ID: "w", BaseURL: srv.URL, Poll: time.Millisecond,
+		Run: func(ctx context.Context, l Lease) (json.RawMessage, time.Duration, *CellError, bool) {
+			t.Error("runner invoked after shutdown")
+			return nil, 0, nil, false
+		}}
+	if err := w.Loop(context.Background()); err != nil {
+		t.Errorf("worker loop after shutdown = %v, want nil exit", err)
+	}
+}
+
+// TestWorkerLoopRunsBatch drives the full worker client against a live
+// coordinator: config fetch, lease polling, heartbeats, reports, and the
+// 410 exit, with every cell resolved by the runner's payload.
+func TestWorkerLoopRunsBatch(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Second})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	w := &Worker{
+		ID: "w0", BaseURL: srv.URL, Poll: 2 * time.Millisecond,
+		Run: func(ctx context.Context, l Lease) (json.RawMessage, time.Duration, *CellError, bool) {
+			return json.RawMessage(fmt.Sprintf(`{"cell":%d}`, l.Cell.Index)), time.Millisecond, nil, false
+		},
+	}
+	loopErr := make(chan error, 1)
+	go func() { loopErr <- w.Loop(context.Background()) }()
+
+	bc := newBatchCollector()
+	stats, err := c.RunBatch(context.Background(), refs(5), bc.hooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	if err := <-loopErr; err != nil {
+		t.Fatalf("worker loop: %v", err)
+	}
+
+	for i := 0; i < 5; i++ {
+		var got struct{ Cell int }
+		if err := json.Unmarshal([]byte(bc.payloads[i]), &got); err != nil || got.Cell != i {
+			t.Errorf("cell %d payload = %q (err %v), want its own index", i, bc.payloads[i], err)
+		}
+		if m := bc.results[i]; m.Worker != "w0" || m.Wall <= 0 {
+			t.Errorf("cell %d meta = %+v, want worker w0 with positive wall", i, m)
+		}
+	}
+	if len(stats) != 1 || stats[0].ID != "w0" || stats[0].Completed != 5 || stats[0].Leases != 5 {
+		t.Errorf("batch stats = %+v, want w0 with 5 leases and 5 completions", stats)
+	}
+}
+
+// TestLocalFleetCompletesBatch pins -local mode at the package level: N
+// in-process workers over the loopback listener resolve a batch, and the
+// drain order (Shutdown then Close) joins every worker cleanly.
+func TestLocalFleetCompletesBatch(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Second})
+	var ran atomic.Int64
+	fleet := StartLocal(c, 3, nil, func(id, baseURL string, client *http.Client) *Worker {
+		return &Worker{ID: id, BaseURL: baseURL, Client: client, Poll: 2 * time.Millisecond,
+			Run: func(ctx context.Context, l Lease) (json.RawMessage, time.Duration, *CellError, bool) {
+				ran.Add(1)
+				return json.RawMessage(`{}`), time.Millisecond, nil, false
+			}}
+	})
+	bc := newBatchCollector()
+	stats, err := c.RunBatch(context.Background(), refs(12), bc.hooks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Shutdown()
+	if err := fleet.Close(); err != nil {
+		t.Fatalf("fleet close: %v", err)
+	}
+	if ran.Load() != 12 || len(bc.results) != 12 {
+		t.Errorf("ran %d cells, %d results; want 12/12", ran.Load(), len(bc.results))
+	}
+	var completed int
+	for _, s := range stats {
+		completed += s.Completed
+	}
+	if completed != 12 {
+		t.Errorf("per-worker completions sum to %d, want 12", completed)
+	}
+}
+
+// TestAbandonedLeaseRecovers pins the kill drill at the fabric layer: a
+// worker that walks off a lease (no report, no heartbeats) forces recovery
+// through lease expiry, and the re-issued lease resolves the cell.
+func TestAbandonedLeaseRecovers(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: 60 * time.Millisecond, MaxRetries: 2, RetryBackoff: -1})
+	var abandoned atomic.Bool
+	fleet := StartLocal(c, 2, nil, func(id, baseURL string, client *http.Client) *Worker {
+		return &Worker{ID: id, BaseURL: baseURL, Client: client, Poll: 2 * time.Millisecond,
+			Run: func(ctx context.Context, l Lease) (json.RawMessage, time.Duration, *CellError, bool) {
+				if l.Cell.Index == 0 && !abandoned.Swap(true) {
+					return nil, 0, nil, true // vanish mid-cell
+				}
+				return json.RawMessage(`{}`), time.Millisecond, nil, false
+			}}
+	})
+	bc := newBatchCollector()
+	_, err := c.RunBatch(context.Background(), refs(4), bc.hooks())
+	c.Shutdown()
+	if cerr := fleet.Close(); cerr != nil {
+		t.Fatalf("fleet close: %v", cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.results) != 4 || len(bc.failures) != 0 {
+		t.Fatalf("%d results, %d failures; want all 4 recovered", len(bc.results), len(bc.failures))
+	}
+	if m := bc.results[0]; m.Attempts != 2 || m.Epoch != 2 {
+		t.Errorf("recovered cell meta = %+v, want 2 attempts under epoch 2", m)
+	}
+	if st := c.Stats(); st.Expiries < 1 || st.Requeues < 1 {
+		t.Errorf("stats = %+v, want the abandonment visible as an expiry+requeue", st)
+	}
+}
+
+// TestChaosTransportKinds pins each network fault kind's observable
+// semantics against a counting server, and that the schedule is consumed
+// deterministically (Remaining reaches 0).
+func TestChaosTransportKinds(t *testing.T) {
+	var mu sync.Mutex
+	hits := map[string]int{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits[r.URL.Path]++
+		mu.Unlock()
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	count := func(path string) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return hits[path]
+	}
+
+	chaos := NewChaos([]Rule{
+		{Endpoint: "report", Kind: "dup"},
+		{Endpoint: "heartbeat", Kind: "blackhole", Times: 2},
+		{Endpoint: "lease", Kind: "drop"},
+	})
+	client := &http.Client{Transport: chaos.Wrap(nil)}
+	post := func(path string) error {
+		resp, err := client.Post(srv.URL+path, "application/json", bytes.NewReader([]byte("{}")))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil
+	}
+
+	// dup: one client call, two server hits, success returned.
+	if err := post(PathReport); err != nil {
+		t.Fatalf("dup request errored: %v", err)
+	}
+	if n := count(PathReport); n != 2 {
+		t.Errorf("dup: server saw %d report requests, want 2", n)
+	}
+
+	// blackhole: transport error, request never reaches the server — twice.
+	for i := 0; i < 2; i++ {
+		if err := post(PathHeartbeat); !errors.Is(err, ErrChaos) {
+			t.Errorf("blackhole %d: err = %v, want ErrChaos", i, err)
+		}
+	}
+	if n := count(PathHeartbeat); n != 0 {
+		t.Errorf("blackhole: server saw %d heartbeats, want 0", n)
+	}
+	// Schedule spent: the third heartbeat goes through.
+	if err := post(PathHeartbeat); err != nil {
+		t.Errorf("post-blackhole heartbeat errored: %v", err)
+	}
+	if n := count(PathHeartbeat); n != 1 {
+		t.Errorf("post-blackhole: server saw %d heartbeats, want 1", n)
+	}
+
+	// drop: the server processed it, the client got a transport error — the
+	// ambiguity that exercises fencing.
+	if err := post(PathLease); !errors.Is(err, ErrChaos) {
+		t.Errorf("drop: err = %v, want ErrChaos", err)
+	}
+	if n := count(PathLease); n != 1 {
+		t.Errorf("drop: server saw %d lease requests, want 1 (request must be delivered)", n)
+	}
+
+	if n := chaos.Remaining(); n != 0 {
+		t.Errorf("chaos schedule has %d unfired faults, want 0", n)
+	}
+	// Untouched endpoints pass through a spent schedule.
+	if err := post(PathConfig); err != nil {
+		t.Errorf("config through spent schedule errored: %v", err)
+	}
+}
+
+// TestChaosDupReportIsFenced pins idempotence end to end: a duplicated
+// report resolves its cell exactly once — the duplicate answers 409 and the
+// batch completes with a single result per cell.
+func TestChaosDupReportIsFenced(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Second, MaxRetries: 1, RetryBackoff: -1})
+	chaos := NewChaos([]Rule{{Endpoint: "report", Kind: "dup", Times: 3}})
+	fleet := StartLocal(c, 2, chaos, func(id, baseURL string, client *http.Client) *Worker {
+		return &Worker{ID: id, BaseURL: baseURL, Client: client, Poll: 2 * time.Millisecond,
+			Run: func(ctx context.Context, l Lease) (json.RawMessage, time.Duration, *CellError, bool) {
+				return json.RawMessage(`{}`), time.Millisecond, nil, false
+			}}
+	})
+	var resolved atomic.Int64
+	_, err := c.RunBatch(context.Background(), refs(6), BatchHooks{
+		OnResult: func(i int, res json.RawMessage, m ResultMeta) { resolved.Add(1) },
+	})
+	c.Shutdown()
+	if cerr := fleet.Close(); cerr != nil {
+		t.Fatalf("fleet close: %v", cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Load() != 6 {
+		t.Errorf("resolved %d cells, want exactly 6 (duplicates must not double-resolve)", resolved.Load())
+	}
+	if st := c.Stats(); st.Fenced < 3 {
+		t.Errorf("fenced = %d, want >= 3 (each duplicated report's second copy)", st.Fenced)
+	}
+	if n := chaos.Remaining(); n != 0 {
+		t.Errorf("chaos schedule has %d unfired faults, want 0", n)
+	}
+}
+
+// TestParseRule pins the chaos spec grammar, including rejection of unknown
+// endpoints and kinds.
+func TestParseRule(t *testing.T) {
+	good := []struct {
+		in    string
+		want  Rule
+		delay time.Duration
+	}{
+		{"report=drop", Rule{Endpoint: "report", Kind: "drop", Times: 1}, 0},
+		{"heartbeat=blackhole:4", Rule{Endpoint: "heartbeat", Kind: "blackhole", Times: 4}, 0},
+		{"lease=dup:2", Rule{Endpoint: "lease", Kind: "dup", Times: 2}, 0},
+		{"config=delay", Rule{Endpoint: "config", Kind: "delay", Times: 1}, 100 * time.Millisecond},
+	}
+	for _, tc := range good {
+		r, err := ParseRule(tc.in)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", tc.in, err)
+			continue
+		}
+		tc.want.Delay = tc.delay
+		if r != tc.want {
+			t.Errorf("ParseRule(%q) = %+v, want %+v", tc.in, r, tc.want)
+		}
+	}
+	bad := []string{"", "report", "report=smash", "bogus=drop", "report=drop:0", "report=drop:x"}
+	for _, in := range bad {
+		if _, err := ParseRule(in); err == nil {
+			t.Errorf("ParseRule(%q) accepted, want an error", in)
+		}
+	}
+}
+
+// TestWorkerGivesUpOnDeadCoordinator pins the orphan bound: a worker whose
+// coordinator vanishes exits with an error instead of spinning forever.
+func TestWorkerGivesUpOnDeadCoordinator(t *testing.T) {
+	c := NewCoordinator(Options{})
+	srv := httptest.NewServer(c.Handler())
+	w := &Worker{ID: "w", BaseURL: srv.URL, Poll: time.Millisecond,
+		Run: func(ctx context.Context, l Lease) (json.RawMessage, time.Duration, *CellError, bool) {
+			return json.RawMessage(`{}`), 0, nil, false
+		}}
+	if _, err := w.FetchConfig(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // the coordinator dies without ever answering 410
+	err := w.Loop(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("orphaned worker loop = %v, want an unreachable-coordinator error", err)
+	}
+}

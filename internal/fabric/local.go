@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+)
+
+// LocalFleet is the -local mode: the coordinator served over an httptest
+// loopback listener with N in-process workers pulling from it. It exists so
+// the bit-identical determinism suite gates the distributed path — leases,
+// epochs, heartbeats, fencing, chaos — with the exact same HTTP surface a
+// multi-machine deployment uses, minus the machines.
+type LocalFleet struct {
+	srv    *httptest.Server
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	errs []error
+}
+
+// StartLocal serves c over a loopback listener and starts n workers against
+// it, each built by mk (worker ids are "w0".."wN-1"). chaos, when non-nil,
+// wraps every worker's transport with the shared fault schedule. Call
+// c.Shutdown() then fleet.Close() to drain.
+func StartLocal(c *Coordinator, n int, chaos *Chaos, mk func(id, baseURL string, client *http.Client) *Worker) *LocalFleet {
+	srv := httptest.NewServer(c.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &LocalFleet{srv: srv, cancel: cancel}
+	client := &http.Client{Transport: chaos.Wrap(nil)}
+	for i := 0; i < n; i++ {
+		w := mk(fmt.Sprintf("w%d", i), srv.URL, client)
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			if err := w.Loop(ctx); err != nil && ctx.Err() == nil {
+				f.mu.Lock()
+				f.errs = append(f.errs, fmt.Errorf("worker %s: %w", w.ID, err))
+				f.mu.Unlock()
+			}
+		}()
+	}
+	return f
+}
+
+// URL returns the fleet's loopback coordinator URL.
+func (f *LocalFleet) URL() string { return f.srv.URL }
+
+// Close waits for the workers to exit (they do once the coordinator is shut
+// down), then tears the listener down. It returns the first worker error,
+// if any.
+func (f *LocalFleet) Close() error {
+	f.wg.Wait()
+	f.cancel()
+	f.srv.Close()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.errs) > 0 {
+		return f.errs[0]
+	}
+	return nil
+}

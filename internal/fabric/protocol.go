@@ -1,0 +1,100 @@
+// Package fabric is the distributed sweep layer: a coordinator that leases
+// experiment cells to worker processes over HTTP/JSON, with lease TTLs,
+// heartbeats, and monotonic lease epochs so a zombie worker's late result is
+// fenced out instead of double-resolving a cell.
+//
+// The package is deliberately decoupled from the experiment harness: cells
+// travel as opaque references (experiment id, batch number, cell index, and
+// the config hash the coordinator computed), and results travel as opaque
+// JSON payloads. Workers re-derive the actual work from the reference — the
+// cell grid of every experiment is a pure function of the sweep options, so
+// shipping a reference plus a hash cross-check is both sufficient and a
+// fault-domain guard: a worker whose binary or budgets have skewed produces
+// a different hash and is rejected before it can contribute a wrong result.
+//
+// Protocol (all POST, JSON bodies):
+//
+//	/fabric/v1/config     -> the coordinator's sweep configuration blob
+//	/fabric/v1/lease      -> 200 lease | 204 no work now | 410 shut down
+//	/fabric/v1/heartbeat  -> 200 extended | 409 lease lost (fenced)
+//	/fabric/v1/report     -> 200 accepted | 409 fenced (stale epoch)
+package fabric
+
+import "encoding/json"
+
+// Endpoint paths (versioned so a skewed worker fails fast and loudly).
+const (
+	PathConfig    = "/fabric/v1/config"
+	PathLease     = "/fabric/v1/lease"
+	PathHeartbeat = "/fabric/v1/heartbeat"
+	PathReport    = "/fabric/v1/report"
+)
+
+// CellRef identifies one sweep cell without carrying its (unserializable)
+// machine configuration: the experiment id, the ordinal of the runCells
+// batch within that experiment, and the cell's index in that batch. Bench,
+// Key and Hash are redundant with (Exp, Batch, Index) and exist as the
+// cross-check: a worker that enumerates a different grid (version or budget
+// skew) detects the mismatch instead of simulating the wrong cell.
+type CellRef struct {
+	Exp   string `json:"exp"`
+	Batch int    `json:"batch"`
+	Index int    `json:"index"`
+	Bench string `json:"bench"`
+	Key   string `json:"key"`
+	Hash  string `json:"hash"`
+}
+
+// ConfigResponse is what /config serves: the harness-defined sweep
+// configuration (opaque to this package) plus the lease timing parameters
+// every worker must honor.
+type ConfigResponse struct {
+	Config      json.RawMessage `json:"config"`
+	LeaseTTLMs  int64           `json:"lease_ttl_ms"`
+	HeartbeatMs int64           `json:"heartbeat_ms"`
+}
+
+// LeaseRequest asks for one cell to run.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// Lease grants one cell until the deadline TTLMs from now; heartbeats extend
+// it. Epoch is monotonic per cell: every re-issue (after an expiry or an
+// errored attempt) increments it, and the coordinator only accepts reports
+// carrying the epoch of the live lease.
+type Lease struct {
+	Cell  CellRef `json:"cell"`
+	Epoch int64   `json:"epoch"`
+	TTLMs int64   `json:"ttl_ms"`
+}
+
+// HeartbeatRequest extends a held lease.
+type HeartbeatRequest struct {
+	Worker string  `json:"worker"`
+	Cell   CellRef `json:"cell"`
+	Epoch  int64   `json:"epoch"`
+}
+
+// CellError is a worker-side attempt failure, structured enough for the
+// coordinator to fold into the harness's failure accounting (panic flag,
+// stack, watchdog dump path on the worker's disk).
+type CellError struct {
+	Msg      string `json:"msg"`
+	Kind     string `json:"kind,omitempty"` // "panic", "error", "watchdog-stall", "config-skew", ...
+	Panic    bool   `json:"panic,omitempty"`
+	Stack    string `json:"stack,omitempty"`
+	DumpPath string `json:"dump_path,omitempty"`
+}
+
+// ReportRequest resolves a lease: exactly one of Result (opaque payload the
+// harness decodes) or Error is set. WallMs is the worker-measured execution
+// time, surfaced for ETA/throughput accounting.
+type ReportRequest struct {
+	Worker string          `json:"worker"`
+	Cell   CellRef         `json:"cell"`
+	Epoch  int64           `json:"epoch"`
+	WallMs float64         `json:"wall_ms,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  *CellError      `json:"error,omitempty"`
+}

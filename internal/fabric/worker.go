@@ -1,0 +1,262 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Runner executes one leased cell. It returns the opaque result payload (or
+// a structured error) plus the measured wall time. abandon=true means the
+// worker walks away without reporting — the chaos layer's in-process stand-in
+// for a killed worker: no report, no further heartbeats, so the coordinator
+// recovers the cell through lease expiry.
+//
+// ctx is cancelled when the worker learns its lease was lost (a heartbeat
+// answered 409); long-running work may ignore it, in which case the eventual
+// report is fenced server-side.
+type Runner func(ctx context.Context, lease Lease) (result json.RawMessage, wall time.Duration, cellErr *CellError, abandon bool)
+
+// Worker pulls leases from a coordinator, runs them, and reports results
+// with the lease epoch attached, heartbeating while a cell is in flight.
+type Worker struct {
+	ID      string
+	BaseURL string
+	Run     Runner
+
+	// Client is the HTTP client (nil = a fresh default client); the chaos
+	// layer injects faults by wrapping its transport.
+	Client *http.Client
+
+	// Poll is the idle re-poll interval when the coordinator has no work
+	// (0 = 200ms). Heartbeat timing comes from the coordinator's config.
+	Poll time.Duration
+
+	// Log, when non-nil, receives one-line worker events (lease grants,
+	// lost leases, report retries).
+	Log io.Writer
+
+	cfg ConfigResponse
+}
+
+// DefaultWorkerID names a worker after its host and pid.
+func DefaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return &http.Client{}
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 200 * time.Millisecond
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "worker %s: %s\n", w.ID, fmt.Sprintf(format, args...))
+	}
+}
+
+// post sends a JSON body and decodes a JSON response into out (when non-nil
+// and the status has a body). It returns the HTTP status code.
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fabric: decoding %s response: %w", path, err)
+		}
+		return resp.StatusCode, nil
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// FetchConfig retrieves the coordinator's sweep configuration (retrying
+// while the coordinator comes up) and remembers the lease timing parameters
+// for Loop.
+func (w *Worker) FetchConfig(ctx context.Context) (json.RawMessage, error) {
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var cfg ConfigResponse
+		code, err := w.post(ctx, PathConfig, struct{}{}, &cfg)
+		if err == nil && code == http.StatusOK {
+			w.cfg = cfg
+			return cfg.Config, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("fabric: config endpoint answered %d", code)
+		}
+		lastErr = err
+		sleepCtx(ctx, 250*time.Millisecond)
+	}
+	return nil, fmt.Errorf("fabric: fetching config from %s: %w", w.BaseURL, lastErr)
+}
+
+// Loop pulls and runs leases until the coordinator shuts down (410, returns
+// nil) or ctx is cancelled (returns ctx.Err()). Transport errors and empty
+// polls back off and retry — a worker outlives coordinator restarts within
+// reason.
+func (w *Worker) Loop(ctx context.Context) error {
+	if w.cfg.LeaseTTLMs == 0 {
+		if _, err := w.FetchConfig(ctx); err != nil {
+			return err
+		}
+	}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease Lease
+		code, err := w.post(ctx, PathLease, LeaseRequest{Worker: w.ID}, &lease)
+		switch {
+		case err != nil:
+			failures++
+			if failures >= 30 {
+				// The coordinator has been unreachable for ~30 poll
+				// intervals: it is gone for good (crashed, or shut down
+				// after we missed the 410 window). Exit rather than spin.
+				return fmt.Errorf("fabric: coordinator unreachable after %d attempts: %w", failures, err)
+			}
+			w.logf("lease request failed: %v", err)
+			sleepCtx(ctx, w.poll())
+		case code == http.StatusGone:
+			w.logf("coordinator gone, exiting")
+			return nil
+		case code == http.StatusOK:
+			failures = 0
+			w.runLease(ctx, lease)
+		default: // 204: no work right now
+			failures = 0
+			sleepCtx(ctx, w.poll())
+		}
+	}
+}
+
+// runLease executes one lease under a heartbeat, then reports its outcome.
+func (w *Worker) runLease(ctx context.Context, lease Lease) {
+	w.logf("leased %s/%s/%s epoch %d", lease.Cell.Exp, lease.Cell.Bench, lease.Cell.Key, lease.Epoch)
+	cellCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	hbEvery := time.Duration(w.cfg.HeartbeatMs) * time.Millisecond
+	if hbEvery <= 0 {
+		hbEvery = time.Duration(lease.TTLMs) * time.Millisecond / 3
+	}
+	if hbEvery <= 0 {
+		hbEvery = time.Second
+	}
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		// beat reports false when the lease was fenced (expired and
+		// re-issued): the cell is someone else's now, stop working on it.
+		beat := func() bool {
+			code, err := w.post(ctx, PathHeartbeat,
+				HeartbeatRequest{Worker: w.ID, Cell: lease.Cell, Epoch: lease.Epoch}, nil)
+			if err == nil && code == http.StatusConflict {
+				w.logf("lease on %s/%s fenced, abandoning", lease.Cell.Bench, lease.Cell.Key)
+				cancel()
+				return false
+			}
+			return true
+		}
+		// One beat lands immediately on lease grant — liveness is visible
+		// before the first tick, and every cell (however short) heartbeats
+		// at least once.
+		if !beat() {
+			return
+		}
+		t := time.NewTicker(hbEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				if !beat() {
+					return
+				}
+			case <-hbStop:
+				return
+			case <-cellCtx.Done():
+				return
+			}
+		}
+	}()
+
+	result, wall, cellErr, abandon := w.Run(cellCtx, lease)
+	close(hbStop)
+	hbWG.Wait()
+	if abandon {
+		// Chaos kill: vanish mid-cell. The coordinator's lease TTL is the
+		// only thing that brings this cell back.
+		w.logf("abandoning %s/%s mid-cell (chaos kill)", lease.Cell.Bench, lease.Cell.Key)
+		return
+	}
+
+	rep := ReportRequest{
+		Worker: w.ID, Cell: lease.Cell, Epoch: lease.Epoch,
+		WallMs: float64(wall) / float64(time.Millisecond),
+		Result: result, Error: cellErr,
+	}
+	for attempt := 1; attempt <= 3; attempt++ {
+		code, err := w.post(ctx, PathReport, rep, nil)
+		if err == nil && code == http.StatusOK {
+			return
+		}
+		if err == nil && code == http.StatusConflict {
+			// Fenced: the lease expired (or a duplicated report already
+			// landed). The coordinator has moved on; so do we.
+			w.logf("report for %s/%s epoch %d fenced", lease.Cell.Bench, lease.Cell.Key, lease.Epoch)
+			return
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		w.logf("report attempt %d failed (status %d, err %v), retrying", attempt, code, err)
+		sleepCtx(ctx, 100*time.Millisecond)
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

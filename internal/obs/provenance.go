@@ -188,6 +188,22 @@ type SchedulerReport struct {
 	Stolen      int     `json:"stolen"`
 	BusySeconds float64 `json:"busy_seconds"`
 	Utilization float64 `json:"utilization"`
+
+	// Fabric is the per-worker lease accounting of a distributed sweep
+	// (absent for in-process runs — additive, so the schema version is
+	// unchanged). Sorted by worker id at Finalize.
+	Fabric []FabricWorkerReport `json:"fabric,omitempty"`
+}
+
+// FabricWorkerReport is one fabric worker's lease accounting within an
+// experiment: leases granted, cells completed, leases lost to expiry or
+// errored attempts (requeued), and stale-epoch reports fenced out.
+type FabricWorkerReport struct {
+	ID        string `json:"id"`
+	Leases    int    `json:"leases"`
+	Completed int    `json:"completed"`
+	Requeued  int    `json:"requeued"`
+	Fenced    int    `json:"fenced"`
 }
 
 // ExperimentReport is one experiment's slice of a report.
@@ -384,6 +400,44 @@ func (b *ReportBuilder) AddScheduler(id string, workers, tasks, stolen int, busy
 	e.Scheduler.BusySeconds += busySeconds
 }
 
+// AddFabricWorkers merges one distributed batch's per-worker lease stats
+// into an experiment's scheduler block (stats accumulate across batches,
+// keyed by worker id). Tasks counts leased completions; Workers tracks the
+// distinct fleet size.
+func (b *ReportBuilder) AddFabricWorkers(id string, ws []FabricWorkerReport) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.byID[id]
+	if e == nil {
+		return
+	}
+	if e.Scheduler == nil {
+		e.Scheduler = &SchedulerReport{}
+	}
+	s := e.Scheduler
+	for _, w := range ws {
+		var cur *FabricWorkerReport
+		for i := range s.Fabric {
+			if s.Fabric[i].ID == w.ID {
+				cur = &s.Fabric[i]
+				break
+			}
+		}
+		if cur == nil {
+			s.Fabric = append(s.Fabric, FabricWorkerReport{ID: w.ID})
+			cur = &s.Fabric[len(s.Fabric)-1]
+		}
+		cur.Leases += w.Leases
+		cur.Completed += w.Completed
+		cur.Requeued += w.Requeued
+		cur.Fenced += w.Fenced
+		s.Tasks += w.Completed
+	}
+	if len(s.Fabric) > s.Workers {
+		s.Workers = len(s.Fabric)
+	}
+}
+
 // AddFailure records one failed cell in the report's failures block.
 func (b *ReportBuilder) AddFailure(f CellFailure) {
 	b.mu.Lock()
@@ -436,6 +490,11 @@ func (b *ReportBuilder) Finalize(totalWall time.Duration) *Report {
 			}
 			return e.Rows[x].Config < e.Rows[y].Config
 		})
+		if s := e.Scheduler; s != nil && len(s.Fabric) > 0 {
+			// Worker rows arrive in lease-grant order, which is racy across
+			// runs; sort so the report is deterministic.
+			sort.Slice(s.Fabric, func(x, y int) bool { return s.Fabric[x].ID < s.Fabric[y].ID })
+		}
 		total += e.Sims
 		b.rep.Experiments = append(b.rep.Experiments, *e)
 	}
