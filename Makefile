@@ -20,10 +20,11 @@
 #                      property test, cross-process warm-run determinism,
 #                      SIGKILL-during-store-write recovery)
 #   make test-fabric   tier 1.5: distributed sweep fabric suite under -race
-#                      (lease/heartbeat/epoch-fencing battery, network chaos
-#                      transport, journal epoch fencing on resume, -local
-#                      loopback determinism, SIGKILL-a-worker recovery with
-#                      real coordinator/worker processes)
+#                      (lease/heartbeat/epoch-fencing battery, batched leases,
+#                      blob artifact plane with CRC-verified transfers,
+#                      network chaos transport, journal epoch fencing on
+#                      resume, -local loopback determinism, SIGKILL-a-worker
+#                      recovery with real coordinator/worker processes)
 #   make vet           static hygiene: go vet + gofmt -l (fails on diff);
 #                      runs as part of `make test`
 #   make race          tier 2: vet + race detector over the short suite
@@ -109,14 +110,19 @@ test-store:
 # Distributed sweep fabric tier, always under -race: the lease table, the
 # heartbeat/expiry scanner and the chaos transport are concurrent by
 # construction, so the whole battery runs race-enabled — the protocol unit
-# tests (epoch fencing, TTL expiry/requeue, zombie reports), the journal
-# epoch-fencing resume tests, the -local loopback determinism suite, and the
-# real-process integration drills (SIGKILL a leased worker mid-sweep, network
-# chaos over a full sweep, usage-error contracts).
+# tests (epoch fencing, TTL expiry/requeue, zombie reports, blob endpoint
+# serve/publish/CRC-reject, batched lease grants), the artifact-plane seam
+# (remote fetch/publish tier, blob relay, cross-cache read-through
+# bit-identity), the journal epoch-fencing resume tests, the -local loopback
+# determinism suite, and the real-process integration drills (SIGKILL a
+# leased worker mid-sweep, network chaos over a full sweep including corrupt
+# blob transfers, wire-once-per-worker accounting, usage-error contracts).
 test-fabric:
 	$(GO) test -race -count=1 ./internal/fabric/
+	$(GO) test -race -count=1 ./internal/artifact/ \
+		-run 'TestRemote|TestNilRemote|TestBlobRelay|TestCacheRemote'
 	$(GO) test -race -count=1 ./internal/experiments/ \
-		-run 'Fabric|ParseInject|InProcessInject|EnumerateCells|ResumeFenced'
+		-run 'Fabric|ParseInject|InProcessInject|EnumerateCells|ResumeFenced|Prefetch'
 	$(GO) test -race -count=1 ./cmd/pfe-bench/ -run 'TestFabric'
 
 # Allocation guards, run on their own so a perf PR can iterate on just

@@ -1,0 +1,212 @@
+package main_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/obs"
+)
+
+// TestFabricBlobPlaneWireOnceBitIdentical is the artifact-plane acceptance
+// test: a cold-store `-local` fleet must produce rows byte-identical to a
+// single-process run while building each artifact once fleet-wide — every
+// other worker fetches it over the blob endpoint, and each distinct artifact
+// crosses the wire at most once per worker (the report's fabric.blobs
+// counters are the proof). A `-no-blob-fetch` fleet must stay bit-identical
+// too, with the plane dark.
+func TestFabricBlobPlaneWireOnceBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	pb := bin(t)
+	dir := t.TempDir()
+
+	refJSON := filepath.Join(dir, "ref.json")
+	if out, err := exec.Command(pb, benchArgs("-json", refJSON)...).CombinedOutput(); err != nil {
+		t.Fatalf("single-process run: %v\n%s", err, out)
+	}
+
+	planeJSON := filepath.Join(dir, "plane.json")
+	var stderr bytes.Buffer
+	plane := exec.Command(pb, benchArgs("-local", "3",
+		"-artifact-dir", filepath.Join(dir, "store"), "-json", planeJSON)...)
+	plane.Stderr = &stderr
+	if err := plane.Run(); err != nil {
+		t.Fatalf("-local blob-plane run: %v\n%s", err, stderr.String())
+	}
+	if ref, got := rowsOf(t, refJSON), rowsOf(t, planeJSON); ref != got {
+		t.Errorf("blob-plane rows differ from single-process rows:\nref:   %.400s\nplane: %.400s", ref, got)
+	}
+	if !strings.Contains(stderr.String(), "fabric blobs:") {
+		t.Errorf("-local run printed no blob-plane summary:\n%s", stderr.String())
+	}
+
+	rep, err := obs.ReadReportFile(planeJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fabric == nil || rep.Fabric.Blobs == nil {
+		t.Fatal("report carries no fabric.blobs block")
+	}
+	fb := rep.Fabric.Blobs
+	if rep.Fabric.Workers != 3 {
+		t.Errorf("report counts %d workers, want 3", rep.Fabric.Workers)
+	}
+	// The plane actually carried traffic: artifacts were published once and
+	// fetched by the workers that didn't build them.
+	if fb.Accepts == 0 || fb.Serves == 0 || fb.BytesOut == 0 {
+		t.Fatalf("blob plane carried no traffic: %+v", fb)
+	}
+	// Wire-once-per-worker: a worker caches every artifact it fetches, so the
+	// coordinator can serve each distinct artifact at most once per worker.
+	if fb.Serves > int64(fb.UniqueServed*rep.Fabric.Workers) {
+		t.Errorf("%d serves of %d distinct artifacts across %d workers — some artifact crossed the wire twice to one worker",
+			fb.Serves, fb.UniqueServed, rep.Fabric.Workers)
+	}
+	// Every serve landed: no transfer was lost or rejected on a clean network.
+	if fb.WorkerFetches != fb.Serves || fb.WorkerCorruptRejected != 0 {
+		t.Errorf("workers verified %d of %d served transfers (%d corrupt): %+v",
+			fb.WorkerFetches, fb.Serves, fb.WorkerCorruptRejected, fb)
+	}
+	// Dedup held server-side too: one accept per distinct artifact, the rest
+	// acknowledged as duplicates.
+	if fb.Rejects != 0 {
+		t.Errorf("coordinator rejected %d publishes on a clean network", fb.Rejects)
+	}
+
+	// The same sweep with the plane disabled: every worker rebuilds everything
+	// (the PR 9 baseline), rows still bit-identical, no blob traffic at all.
+	offJSON := filepath.Join(dir, "off.json")
+	off := exec.Command(pb, benchArgs("-local", "3", "-no-blob-fetch",
+		"-artifact-dir", filepath.Join(dir, "store-off"), "-json", offJSON)...)
+	if out, err := off.CombinedOutput(); err != nil {
+		t.Fatalf("-no-blob-fetch run: %v\n%s", err, out)
+	}
+	if ref, got := rowsOf(t, refJSON), rowsOf(t, offJSON); ref != got {
+		t.Errorf("-no-blob-fetch rows differ from single-process rows:\nref: %.400s\noff: %.400s", ref, got)
+	}
+	repOff, err := obs.ReadReportFile(offJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repOff.Fabric != nil && repOff.Fabric.Blobs != nil {
+		t.Errorf("-no-blob-fetch report still shows blob traffic: %+v", repOff.Fabric.Blobs)
+	}
+}
+
+// TestFabricBlobCorruptTransferRecovers drives wire corruption through the
+// CLI: with the coordinator's store pre-warmed (so the fleet's first blob
+// requests are real transfers), `-inject net/blob=corrupt:2` bit-flips two of
+// them in transit. The workers' CRC re-verification must reject exactly
+// those transfers, the retries must succeed, and the rows must stay
+// byte-identical to the undisturbed reference.
+func TestFabricBlobCorruptTransferRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	pb := bin(t)
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+
+	refJSON := filepath.Join(dir, "ref.json")
+	if out, err := exec.Command(pb, benchArgs("-json", refJSON, "-artifact-dir", storeDir)...).CombinedOutput(); err != nil {
+		t.Fatalf("store-warming reference run: %v\n%s", err, out)
+	}
+	// Corrupt every memoized result on disk so the coordinator cannot replay
+	// the sweep: every cell leases out again, and the cold workers fetch the
+	// (still pristine) programs and tapes over the blob plane.
+	ents, err := os.ReadDir(filepath.Join(storeDir, "objects", "result"))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("warm store holds no result blobs (err %v)", err)
+	}
+	for _, e := range ents {
+		path := filepath.Join(storeDir, "objects", "result", e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	chaosJSON := filepath.Join(dir, "chaos.json")
+	var stderr bytes.Buffer
+	chaos := exec.Command(pb, benchArgs("-local", "2", "-artifact-dir", storeDir,
+		"-inject", "net/blob=corrupt:2", "-json", chaosJSON)...)
+	chaos.Stderr = &stderr
+	if err := chaos.Run(); err != nil {
+		t.Fatalf("corrupt-transfer run: %v\n%s", err, stderr.String())
+	}
+	if strings.Contains(stderr.String(), "never fired") {
+		t.Errorf("corrupt chaos schedule was not fully exercised:\n%s", stderr.String())
+	}
+	if ref, got := rowsOf(t, refJSON), rowsOf(t, chaosJSON); ref != got {
+		t.Errorf("rows under wire corruption differ from reference:\nref:   %.400s\nchaos: %.400s", ref, got)
+	}
+	rep, err := obs.ReadReportFile(chaosJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fabric == nil || rep.Fabric.Blobs == nil {
+		t.Fatal("report carries no fabric.blobs block")
+	}
+	fb := rep.Fabric.Blobs
+	// The store was warm, so every blob request was a served transfer: both
+	// corrupt charges landed on real frames and were caught by CRC.
+	if fb.WorkerCorruptRejected != 2 {
+		t.Errorf("workers rejected %d corrupt transfers, want exactly 2: %+v", fb.WorkerCorruptRejected, fb)
+	}
+	if fb.WorkerFetches == 0 {
+		t.Errorf("no verified fetches after retry: %+v", fb)
+	}
+	// Each corrupted transfer cost one extra serve (the retry).
+	if fb.Serves != fb.WorkerFetches+fb.WorkerCorruptRejected {
+		t.Errorf("serves = %d, want fetches (%d) + corrupt rejects (%d)", fb.Serves, fb.WorkerFetches, fb.WorkerCorruptRejected)
+	}
+}
+
+// TestFabricBlobPlaneSurvivesWorkerKill combines the chaos kill drill with
+// the artifact plane live: a cell's worker abandons its lease mid-sweep
+// (kill injection) while other cells ride the blob plane, and the sweep must
+// recover to rows byte-identical to the single-process reference.
+func TestFabricBlobPlaneSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	pb := bin(t)
+	dir := t.TempDir()
+
+	refJSON := filepath.Join(dir, "ref.json")
+	if out, err := exec.Command(pb, benchArgs("-json", refJSON)...).CombinedOutput(); err != nil {
+		t.Fatalf("reference run: %v\n%s", err, out)
+	}
+
+	killJSON := filepath.Join(dir, "kill.json")
+	var stderr bytes.Buffer
+	kill := exec.Command(pb, benchArgs("-local", "2", "-lease-ttl", "500ms",
+		"-artifact-dir", filepath.Join(dir, "store"),
+		"-inject", "gzip/W16=kill", "-json", killJSON)...)
+	kill.Stderr = &stderr
+	if err := kill.Run(); err != nil {
+		t.Fatalf("kill run: %v\n%s", err, stderr.String())
+	}
+	if ref, got := rowsOf(t, refJSON), rowsOf(t, killJSON); ref != got {
+		t.Errorf("rows after mid-sweep kill differ from reference:\nref:  %.400s\nkill: %.400s", ref, got)
+	}
+	rep, err := obs.ReadReportFile(killJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Partial || len(rep.Failures) != 0 {
+		t.Errorf("report partial=%v failures=%d, want a clean recovered sweep", rep.Partial, len(rep.Failures))
+	}
+	if rep.Fabric == nil || rep.Fabric.Blobs == nil || rep.Fabric.Blobs.Accepts == 0 {
+		t.Errorf("blob plane was dark during the kill drill: %+v", rep.Fabric)
+	}
+}

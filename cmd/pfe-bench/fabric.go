@@ -11,6 +11,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/parallel-frontend/pfe/internal/artifact"
+	"github.com/parallel-frontend/pfe/internal/artifact/store"
 	"github.com/parallel-frontend/pfe/internal/experiments"
 	"github.com/parallel-frontend/pfe/internal/fabric"
 	"github.com/parallel-frontend/pfe/internal/obs"
@@ -27,6 +29,9 @@ type fabricFlags struct {
 	Local       int
 	LeaseTTL    time.Duration
 	Heartbeat   time.Duration
+	LeaseBatch  int
+	Prefetch    bool
+	NoBlobFetch bool
 }
 
 func (f fabricFlags) active() bool { return f.Local > 0 || f.Coordinator != "" }
@@ -45,6 +50,8 @@ func (f fabricFlags) validate() error {
 		return fmt.Errorf("-heartbeat %v: want a non-negative duration (0 = lease-ttl/3)", f.Heartbeat)
 	case f.Heartbeat > 0 && f.Heartbeat >= f.LeaseTTL:
 		return fmt.Errorf("-heartbeat %v must be shorter than -lease-ttl %v (a lease must outlive its heartbeat)", f.Heartbeat, f.LeaseTTL)
+	case f.LeaseBatch < 1:
+		return fmt.Errorf("-lease-batch %d: want a positive lease count per round trip", f.LeaseBatch)
 	}
 	return nil
 }
@@ -58,16 +65,27 @@ type fabricSession struct {
 	srv      *http.Server
 	chaos    *fabric.Chaos
 	leaseTTL time.Duration
+	workers  int                // -local fleet size (0 for -coordinator)
+	remotes  []*artifact.Remote // the -local workers' artifact-plane clients
 }
 
 // startFabric wires a coordinator into the sweep options: cells now resolve
 // through the lease table instead of the in-process pool. Telemetry gains
 // the pfe_fabric_* counters and the /status worker roster.
+//
+// With an artifact cache active (and absent -no-blob-fetch), the coordinator
+// also serves the artifact plane: blob GET/PUT over diskStore (or a bounded
+// in-memory relay when the store is off), so workers fetch program images
+// and oracle tapes by hash instead of rebuilding them.
 func startFabric(fab fabricFlags, opts *experiments.Options, maxRetries int, dumpDir string,
-	reg *obs.Registry, tracker *obs.Tracker, rules []fabric.Rule) (*fabricSession, error) {
+	diskStore *store.Store, reg *obs.Registry, tracker *obs.Tracker, rules []fabric.Rule) (*fabricSession, error) {
 	cfg, err := opts.FabricConfigJSON()
 	if err != nil {
 		return nil, err
+	}
+	var blobs fabric.BlobSource
+	if opts.Artifacts != nil && !fab.NoBlobFetch {
+		blobs = artifact.NewBlobRelay(diskStore, 0)
 	}
 	coord := fabric.NewCoordinator(fabric.Options{
 		LeaseTTL:     fab.LeaseTTL,
@@ -75,6 +93,11 @@ func startFabric(fab fabricFlags, opts *experiments.Options, maxRetries int, dum
 		MaxRetries:   maxRetries,
 		RetryBackoff: opts.RetryBackoff,
 		Config:       cfg,
+		Blobs:        blobs,
+		// Warm packs take several seconds of replay to build at paper
+		// warmups; the collapse window must outlast a build or waiters
+		// time out and duplicate the replay.
+		BuildHoldoff: 2 * time.Minute,
 	})
 	coord.Register(reg)
 	tracker.SetFabricRoster(func() []obs.FabricRosterEntry {
@@ -95,19 +118,38 @@ func startFabric(fab fabricFlags, opts *experiments.Options, maxRetries int, dum
 	if fab.Local > 0 {
 		// Worker options round-trip through the wire config — exactly what a
 		// remote worker would compute — over a base carrying only the
-		// process-local pieces (the shared artifact cache, the dump dir).
+		// process-local pieces. Each loopback worker gets its OWN memory-only
+		// artifact cache plus a Remote pointed at the coordinator's blob
+		// endpoint: -local models the real deployment (workers share nothing
+		// but the wire), so cold-fleet numbers and the once-per-worker wire
+		// dedup are honest. -no-blob-fetch keeps the isolated caches but
+		// removes the Remote — the PR 9 rebuild-everything baseline.
 		var fc experiments.FabricConfig
 		if err := json.Unmarshal(cfg, &fc); err != nil {
 			return nil, fmt.Errorf("pfe-bench: fabric config round-trip: %w", err)
 		}
-		wopts := fc.ApplyTo(experiments.Options{Artifacts: opts.Artifacts, DumpDir: dumpDir})
-		runner := experiments.NewFabricRunner(wopts)
+		s.workers = fab.Local
 		s.chaos = fabric.NewChaos(rules)
 		s.fleet = fabric.StartLocal(coord, fab.Local, s.chaos, func(id, baseURL string, client *http.Client) *fabric.Worker {
-			return &fabric.Worker{
+			wopts := fc.ApplyTo(experiments.Options{DumpDir: dumpDir})
+			if opts.Artifacts != nil {
+				wopts.Artifacts = artifact.New(opts.Artifacts.Stats().MaxBytes)
+				if !fab.NoBlobFetch {
+					rem := &artifact.Remote{BaseURL: baseURL, Client: client, WaitBudget: 90 * time.Second}
+					wopts.Artifacts.SetRemote(rem)
+					s.remotes = append(s.remotes, rem)
+				}
+			}
+			runner := experiments.NewFabricRunner(wopts)
+			w := &fabric.Worker{
 				ID: id, BaseURL: baseURL, Client: client,
 				Run: runner.Run, Poll: 25 * time.Millisecond,
+				MaxLeases: fab.LeaseBatch,
 			}
+			if fab.Prefetch {
+				w.Prefetch = runner.Prefetch
+			}
+			return w
 		})
 		tracker.SetWorkers(fab.Local)
 		return s, nil
@@ -153,7 +195,73 @@ func (s *fabricSession) shutdown() error {
 	st := s.coord.Stats()
 	fmt.Fprintf(os.Stderr, "fabric: %d lease(s), %d completed, %d requeued (%d expiries), %d fenced, %d failed\n",
 		st.Leases, st.Completed, st.Requeues, st.Expiries, st.Fenced, st.Failed)
+	bs := s.coord.BlobStats()
+	if bs.Serves+bs.ServeMisses+bs.Accepts+bs.DupAccepts > 0 {
+		fmt.Fprintf(os.Stderr,
+			"fabric blobs: %d served (%d distinct, %.1f MiB out), %d accepted (+%d dup, %.1f MiB in), %d misses, %d collapsed\n",
+			bs.Serves, bs.UniqueServed, float64(bs.BytesOut)/(1<<20),
+			bs.Accepts, bs.DupAccepts, float64(bs.BytesIn)/(1<<20), bs.ServeMisses, bs.Collapses)
+	}
+	if rs := s.remoteStats(); rs.Fetches+rs.Publishes+rs.Corrupt > 0 {
+		fmt.Fprintf(os.Stderr,
+			"fabric blobs: fleet fetched %d (%.1f MiB, %.2fs), published %d, %d corrupt transfer(s) rejected\n",
+			rs.Fetches, float64(rs.BytesIn)/(1<<20), rs.FetchSeconds, rs.Publishes, rs.Corrupt)
+	}
 	return err
+}
+
+// remoteStats sums the -local fleet's worker-side artifact-plane counters.
+func (s *fabricSession) remoteStats() artifact.RemoteStats {
+	var sum artifact.RemoteStats
+	for _, r := range s.remotes {
+		rs := r.Stats()
+		sum.Fetches += rs.Fetches
+		sum.Misses += rs.Misses
+		sum.Waits += rs.Waits
+		sum.Corrupt += rs.Corrupt
+		sum.Errors += rs.Errors
+		sum.Publishes += rs.Publishes
+		sum.BytesIn += rs.BytesIn
+		sum.BytesOut += rs.BytesOut
+		sum.FetchSeconds += rs.FetchSeconds
+		sum.WaitSeconds += rs.WaitSeconds
+	}
+	return sum
+}
+
+// fabricReport assembles the report's fabric block: fleet size plus the
+// artifact plane's transfer accounting (nil Blobs when the plane never
+// moved a byte).
+func (s *fabricSession) fabricReport() obs.FabricReport {
+	workers := s.workers
+	if workers == 0 {
+		workers = len(s.coord.Roster())
+	}
+	fr := obs.FabricReport{Workers: workers}
+	bs := s.coord.BlobStats()
+	rs := s.remoteStats()
+	if bs.Serves+bs.ServeMisses+bs.Accepts+bs.DupAccepts+rs.Fetches+rs.Publishes > 0 {
+		fr.Blobs = &obs.FabricBlobsReport{
+			Serves:       bs.Serves,
+			ServeMisses:  bs.ServeMisses,
+			Collapses:    bs.Collapses,
+			UniqueServed: bs.UniqueServed,
+			Accepts:      bs.Accepts,
+			DupAccepts:   bs.DupAccepts,
+			Rejects:      bs.Rejects,
+			BytesOut:     bs.BytesOut,
+			BytesIn:      bs.BytesIn,
+			ServeSeconds: bs.ServeSeconds,
+
+			WorkerFetches:         rs.Fetches,
+			WorkerFetchBytes:      rs.BytesIn,
+			WorkerCorruptRejected: rs.Corrupt,
+			WorkerPublishes:       rs.Publishes,
+			WorkerFetchSeconds:    rs.FetchSeconds,
+			WorkerWaitSeconds:     rs.WaitSeconds,
+		}
+	}
+	return fr
 }
 
 // runWorker is `pfe-bench -worker URL`: fetch the sweep configuration from
@@ -199,6 +307,14 @@ func runWorker(ctx context.Context, fab fabricFlags, base experiments.Options, r
 		}
 		wopts.Inject = merged
 	}
+	// The artifact plane: a third cache tier behind this worker's local
+	// store, fetching blobs by hash from the coordinator and publishing
+	// local builds back so the rest of the fleet skips them.
+	var rem *artifact.Remote
+	if wopts.Artifacts != nil && !fab.NoBlobFetch {
+		rem = &artifact.Remote{BaseURL: w.BaseURL, Client: w.Client, WaitBudget: 90 * time.Second}
+		wopts.Artifacts.SetRemote(rem)
+	}
 	runner := experiments.NewFabricRunner(wopts)
 	runner.OnKill = func() {
 		// The kill drill for a real worker process is a real death: no
@@ -207,8 +323,17 @@ func runWorker(ctx context.Context, fab fabricFlags, base experiments.Options, r
 		os.Exit(1)
 	}
 	w.Run = runner.Run
+	w.MaxLeases = fab.LeaseBatch
+	if fab.Prefetch {
+		w.Prefetch = runner.Prefetch
+	}
 	fmt.Fprintf(os.Stderr, "worker %s: serving %s\n", id, w.BaseURL)
 	err = w.Loop(ctx)
+	if rs := rem.Stats(); rs.Fetches+rs.Publishes+rs.Corrupt > 0 {
+		fmt.Fprintf(os.Stderr,
+			"worker %s: fetched %d blob(s) (%.1f MiB, %.2fs), published %d, %d corrupt transfer(s) rejected\n",
+			id, rs.Fetches, float64(rs.BytesIn)/(1<<20), rs.FetchSeconds, rs.Publishes, rs.Corrupt)
+	}
 	if errors.Is(err, context.Canceled) {
 		return 130
 	}

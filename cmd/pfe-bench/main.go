@@ -107,6 +107,9 @@ func run() int {
 	flag.IntVar(&fab.Local, "local", 0, "distributed determinism mode: run the coordinator plus this many in-process workers over a loopback listener")
 	flag.DurationVar(&fab.LeaseTTL, "lease-ttl", 10*time.Second, "fabric lease TTL: a cell whose worker misses heartbeats this long is re-queued (its epoch fences the zombie's late report)")
 	flag.DurationVar(&fab.Heartbeat, "heartbeat", 0, "heartbeat interval fabric workers are told to use (0 = lease-ttl/3)")
+	flag.IntVar(&fab.LeaseBatch, "lease-batch", 2, "leases a fabric worker takes per round trip (1 = one at a time); batches run sequentially, each under its own heartbeat")
+	flag.BoolVar(&fab.Prefetch, "prefetch", true, "overlap network with compute: while a fabric worker simulates one cell it prefetches the next queued cell's artifacts")
+	flag.BoolVar(&fab.NoBlobFetch, "no-blob-fetch", false, "disable the fabric artifact plane: workers rebuild every program image and oracle tape locally instead of fetching by hash (the pre-plane baseline)")
 	var accel accelFlags
 	ds := pfe.DefaultSampleSpec()
 	flag.BoolVar(&accel.Sample, "sample", false, "systematic sampling: simulate detailed windows over the oracle tape, fast-forward the gaps, report IPC estimates with 95% confidence intervals")
@@ -199,12 +202,17 @@ func run() int {
 	if *exp == "all" {
 		todo = experiments.All()
 	} else {
-		e, err := experiments.ByID(*exp)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
+		// Comma-separated ids run as one sweep: a single fabric session and
+		// one artifact plane span all of them, so warm state and tapes
+		// recorded for an early experiment are reused by later ones.
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			todo = append(todo, e)
 		}
-		todo = []experiments.Experiment{e}
 	}
 
 	// Sweep span tracing: created only when something consumes it (-sweep-trace
@@ -300,7 +308,7 @@ func run() int {
 	var fabricSess *fabricSession
 	if fab.active() {
 		var err error
-		fabricSess, err = startFabric(fab, &opts, *maxRetries, *dumpDir, reg, tracker, chaosRules)
+		fabricSess, err = startFabric(fab, &opts, *maxRetries, *dumpDir, diskStore, reg, tracker, chaosRules)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pfe-bench:", err)
 			return 2
@@ -405,9 +413,10 @@ func run() int {
 	if opts.Artifacts != nil {
 		if s := opts.Artifacts.Stats(); s.Hits()+s.Misses() > 0 {
 			fmt.Fprintf(os.Stderr,
-				"artifacts: %d reused / %d built (programs %d/%d, tapes %d/%d, results %d/%d), %.1f MiB cached (%.1f MiB tapes)\n",
+				"artifacts: %d reused / %d built (programs %d/%d, tapes %d/%d, results %d/%d, warm %d/%d), %.1f MiB cached (%.1f MiB tapes)\n",
 				s.Hits(), s.Misses(),
 				s.ProgramHits, s.ProgramMisses, s.TapeHits, s.TapeMisses, s.ResultHits, s.ResultMisses,
+				s.WarmHits, s.WarmMisses,
 				float64(s.Bytes)/(1<<20), float64(s.TapeBytes)/(1<<20))
 			if s.Evictions > 0 {
 				fmt.Fprintf(os.Stderr, "artifacts: %d eviction(s) under the %d MiB -artifact-mem cap\n",
@@ -442,6 +451,9 @@ func run() int {
 				ar.Disk = diskReport(diskStore.Stats())
 			}
 			report.SetArtifacts(ar)
+		}
+		if fabricSess != nil {
+			report.SetFabric(fabricSess.fabricReport())
 		}
 		// Per-cell timing breakdown from the span trace: where each row's
 		// wall time went (queue-wait, build, sim, overhead).
@@ -510,6 +522,8 @@ func artifactsReport(s artifact.Stats) obs.ArtifactsReport {
 		TapeMisses:        s.TapeMisses,
 		ResultHits:        s.ResultHits,
 		ResultMisses:      s.ResultMisses,
+		WarmHits:          s.WarmHits,
+		WarmMisses:        s.WarmMisses,
 		Evictions:         s.Evictions,
 		Bytes:             s.Bytes,
 		TapeBytes:         s.TapeBytes,

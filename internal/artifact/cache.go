@@ -18,16 +18,18 @@ const (
 	kindProgram = iota
 	kindTape
 	kindResult
+	kindWarm
 	numKinds
 )
 
-var kindNames = [numKinds]string{"program", "tape", "result"}
+var kindNames = [numKinds]string{"program", "tape", "result", "warm"}
 
 // Stats is a point-in-time snapshot of a Cache's traffic and footprint.
 type Stats struct {
 	ProgramHits, ProgramMisses int64
 	TapeHits, TapeMisses       int64
 	ResultHits, ResultMisses   int64
+	WarmHits, WarmMisses       int64
 
 	Evictions int64 // entries removed by the byte cap
 	Entries   int   // live entries
@@ -41,8 +43,10 @@ type Stats struct {
 }
 
 // Hits and Misses return the all-kind totals.
-func (s Stats) Hits() int64   { return s.ProgramHits + s.TapeHits + s.ResultHits }
-func (s Stats) Misses() int64 { return s.ProgramMisses + s.TapeMisses + s.ResultMisses }
+func (s Stats) Hits() int64 { return s.ProgramHits + s.TapeHits + s.ResultHits + s.WarmHits }
+func (s Stats) Misses() int64 {
+	return s.ProgramMisses + s.TapeMisses + s.ResultMisses + s.WarmMisses
+}
 
 // Cache is the content-addressed artifact store. All methods are safe for
 // concurrent use; a nil *Cache disables every lookup (misses without
@@ -65,6 +69,11 @@ type Cache struct {
 	// store before building, completed builds are written back.
 	store       *store.Store
 	resultCodec ResultCodec
+
+	// Remote tier (optional, see SetRemote): misses that fall through the
+	// disk store fetch from the coordinator's artifact plane before
+	// building, and local builds are published back to it.
+	remote *Remote
 }
 
 // entry is one cached artifact. A pending entry (ready not yet closed) is
@@ -108,8 +117,9 @@ type Info struct {
 	Key string
 	Hit bool
 	// Source is which tier served the lookup: "mem-hit" (in-process cache),
-	// "disk-hit" (persistent store), or "miss" (built fresh). Empty when the
-	// lookup bypassed the cache entirely (nil *Cache).
+	// "disk-hit" (persistent store), "remote-hit" (fetched from the
+	// coordinator's artifact plane), or "miss" (built fresh). Empty when
+	// the lookup bypassed the cache entirely (nil *Cache).
 	Source string
 }
 
@@ -146,13 +156,25 @@ func (c *Cache) ProgramInfo(spec program.Spec) (*program.Program, Info, error) {
 				return p, programBytes(p), nil
 			}
 		}
+		// Third tier: the coordinator's artifact plane. Fetch-by-hash is
+		// cheaper than building, and the fetched blob lands in the local
+		// store so the wire cost is paid once per worker.
+		if p, ok := c.remoteProgram(key); ok {
+			source = "remote-hit"
+			return p, programBytes(p), nil
+		}
 		p, err := program.Build(spec)
 		if err != nil {
 			return nil, 0, err
 		}
-		if c.store != nil {
+		if c.store != nil || c.remote != nil {
 			if data, err := EncodeProgram(p); err == nil {
-				c.store.Put(storeKindProgram, key, data)
+				if c.store != nil {
+					c.store.Put(storeKindProgram, key, data)
+				}
+				// Publish so the rest of the fleet fetches instead of
+				// rebuilding (counted/dropped on error, never fatal).
+				c.remote.Publish(storeKindProgram, key, data)
 			}
 		}
 		return p, programBytes(p), nil
@@ -198,13 +220,23 @@ func (c *Cache) TapeInfo(spec program.Spec, minInsts uint64) (*Tape, Info, error
 				return t, t.Bytes() + t.IndexBytes() + 64, nil
 			}
 		}
+		// Third tier: fetch the block-compressed tape from the coordinator
+		// (recording is the single most expensive artifact build).
+		if t, ok := c.remoteTape(key, p); ok {
+			source = "remote-hit"
+			return t, t.Bytes() + t.IndexBytes() + 64, nil
+		}
 		t, err := Record(p, minInsts)
 		if err != nil {
 			return nil, 0, err
 		}
 		t.sink = &c.tapeFallback
-		if c.store != nil {
-			c.store.Put(storeKindTape, key, EncodeTape(t))
+		if c.store != nil || c.remote != nil {
+			data := EncodeTape(t)
+			if c.store != nil {
+				c.store.Put(storeKindTape, key, data)
+			}
+			c.remote.Publish(storeKindTape, key, data)
 		}
 		return t, t.Bytes() + t.IndexBytes() + 64, nil
 	})
@@ -215,6 +247,58 @@ func (c *Cache) TapeInfo(spec program.Spec, minInsts uint64) (*Tape, Info, error
 		source = "mem-hit"
 	}
 	return v.(*Tape), Info{Key: key, Hit: source != "miss", Source: source}, nil
+}
+
+// WarmState returns the warm-state snapshot stored under key — an opaque,
+// already-encoded byte blob owned by the caller's codec (see pfe's warm-state
+// artifacts) — building it with build on first use. Lookups walk the same
+// tier chain as every other artifact: in-process memory, the local disk
+// store, the coordinator's blob plane, then build (serialized across local
+// processes by the store's build lock, with the finished snapshot persisted
+// and published so the rest of the fleet fetches instead of re-warming).
+func (c *Cache) WarmStateInfo(key string, build func() ([]byte, error)) ([]byte, Info, error) {
+	if c == nil {
+		data, err := build()
+		return data, Info{}, err
+	}
+	source := "miss"
+	v, hit, err := c.get(key, kindWarm, func() (any, int64, error) {
+		if data, ok := c.diskWarm(key); ok {
+			source = "disk-hit"
+			return data, int64(len(data)) + 64, nil
+		}
+		unlock := c.store.BuildLock(storeKindWarm, key)
+		defer unlock()
+		if c.store.Has(storeKindWarm, key) {
+			if data, ok := c.diskWarm(key); ok {
+				source = "disk-hit"
+				return data, int64(len(data)) + 64, nil
+			}
+		}
+		if data, ok := c.remote.Fetch(storeKindWarm, key); ok {
+			source = "remote-hit"
+			if c.store != nil {
+				c.store.Put(storeKindWarm, key, data)
+			}
+			return data, int64(len(data)) + 64, nil
+		}
+		data, err := build()
+		if err != nil {
+			return nil, 0, err
+		}
+		if c.store != nil {
+			c.store.Put(storeKindWarm, key, data)
+		}
+		c.remote.Publish(storeKindWarm, key, data)
+		return data, int64(len(data)) + 64, nil
+	})
+	if err != nil {
+		return nil, Info{Key: key, Source: source}, err
+	}
+	if hit {
+		source = "mem-hit"
+	}
+	return v.([]byte), Info{Key: key, Hit: source != "miss", Source: source}, nil
 }
 
 // GetResult returns a previously memoized cell result (see PutResult). The
@@ -365,6 +449,8 @@ func (c *Cache) Stats() Stats {
 		TapeMisses:        c.misses[kindTape],
 		ResultHits:        c.hits[kindResult],
 		ResultMisses:      c.misses[kindResult],
+		WarmHits:          c.hits[kindWarm],
+		WarmMisses:        c.misses[kindWarm],
 		Evictions:         c.evictions,
 		Entries:           len(c.entries),
 		Bytes:             c.bytes,

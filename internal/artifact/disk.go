@@ -12,6 +12,7 @@ const (
 	storeKindProgram = "program"
 	storeKindTape    = "tape"
 	storeKindResult  = "result"
+	storeKindWarm    = "warm"
 )
 
 // ResultCodec serializes memoized cell results for the persistent store. The
@@ -58,6 +59,31 @@ func (c *Cache) diskProgram(key string) (*program.Program, bool) {
 		return nil, false
 	}
 	return p, true
+}
+
+// diskWarm tries the persistent tier for a warm-state snapshot. The payload
+// is opaque here — the caller's codec owns the format, and calls
+// QuarantineWarm when a checksum-valid blob fails semantic decoding.
+func (c *Cache) diskWarm(key string) ([]byte, bool) {
+	return c.store.Get(storeKindWarm, key)
+}
+
+// QuarantineWarm drops a warm-state snapshot that passed the store checksum
+// but failed the caller's semantic decode (foreign or version-skewed blob),
+// evicting it from the memory tier and quarantining the disk copy so it is
+// never served again.
+func (c *Cache) QuarantineWarm(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if e := c.entries[key]; e != nil && e.elem != nil {
+		c.lru.Remove(e.elem)
+		delete(c.entries, key)
+		c.bytes -= e.bytes
+	}
+	c.mu.Unlock()
+	c.store.Quarantine(storeKindWarm, key)
 }
 
 // diskTape tries the persistent tier for an oracle tape. Decoding is

@@ -1,0 +1,338 @@
+package artifact
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/artifact/store"
+	"github.com/parallel-frontend/pfe/internal/fabric"
+	"github.com/parallel-frontend/pfe/internal/program"
+)
+
+// Remote is the cache's third tier: the coordinator's artifact plane. A miss
+// that falls through memory and the local disk store fetches the blob by
+// content key over HTTP (GET /fabric/v1/blob/{kind}/{key}), re-verifies the
+// CRC frame on receipt, and a locally built artifact is published back (PUT)
+// so the rest of the fleet can fetch instead of rebuilding.
+//
+// All methods are nil-safe: a nil *Remote never fetches and never publishes,
+// so the single-process paths thread it without branching.
+type Remote struct {
+	BaseURL string
+	Client  *http.Client // nil = default client (chaos wraps via transport)
+
+	// MaxAttempts bounds fetch retries on transport errors and corrupt
+	// frames (0 = 3). A 404 is a definitive miss and is never retried.
+	MaxAttempts int
+
+	// WaitBudget bounds how long a fetch polls behind another worker's
+	// in-flight build (the coordinator answers 202 while the builder works;
+	// see fabric build collapsing). Past the budget the fetch reports a miss
+	// and the caller builds locally (0 = 10s; negative = never wait).
+	WaitBudget time.Duration
+
+	fetches    atomic.Int64 // blobs fetched and verified
+	misses     atomic.Int64 // definitive 404 misses
+	waits      atomic.Int64 // 202 responses (build pending on another worker)
+	corrupt    atomic.Int64 // transfers rejected by CRC re-verification
+	errors     atomic.Int64 // transport/status errors (retried)
+	publishes  atomic.Int64 // blobs published back to the coordinator
+	bytesIn    atomic.Int64 // framed bytes fetched (accepted transfers)
+	bytesOut   atomic.Int64 // framed bytes published
+	fetchNanos atomic.Int64 // cumulative wall time inside successful fetches
+	waitNanos  atomic.Int64 // cumulative wall time spent polling behind builds
+}
+
+// RemoteStats snapshots one worker's artifact-plane traffic.
+type RemoteStats struct {
+	Fetches      int64   // blobs fetched and CRC-verified
+	Misses       int64   // definitive 404s (artifact not on the coordinator)
+	Waits        int64   // 202s seen (polled behind another worker's build)
+	Corrupt      int64   // transfers rejected by CRC re-verification
+	Errors       int64   // transport/status errors
+	Publishes    int64   // locally built blobs published back
+	BytesIn      int64   // framed bytes received
+	BytesOut     int64   // framed bytes published
+	FetchSeconds float64 // cumulative wall time inside successful fetches
+	WaitSeconds  float64 // cumulative wall time polling behind builds
+}
+
+// Stats returns the remote tier's traffic counters (zero for nil).
+func (r *Remote) Stats() RemoteStats {
+	if r == nil {
+		return RemoteStats{}
+	}
+	return RemoteStats{
+		Fetches:      r.fetches.Load(),
+		Misses:       r.misses.Load(),
+		Waits:        r.waits.Load(),
+		Corrupt:      r.corrupt.Load(),
+		Errors:       r.errors.Load(),
+		Publishes:    r.publishes.Load(),
+		BytesIn:      r.bytesIn.Load(),
+		BytesOut:     r.bytesOut.Load(),
+		FetchSeconds: float64(r.fetchNanos.Load()) / float64(time.Second),
+		WaitSeconds:  float64(r.waitNanos.Load()) / float64(time.Second),
+	}
+}
+
+func (r *Remote) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+func (r *Remote) attempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 3
+}
+
+// Fetch retrieves the payload for (kind, key) from the coordinator,
+// re-verifying the store frame's CRC on receipt. A corrupt transfer (bit
+// error on the wire) is discarded and retried; after MaxAttempts the fetch
+// reports a miss so the caller falls back to building locally — the plane is
+// an accelerator, never a correctness dependency.
+//
+// A 202 means another worker is already building this artifact (fleet-wide
+// build collapsing): Fetch polls with a growing interval until the builder
+// publishes or WaitBudget runs out, whichever is first. Polls don't consume
+// retry attempts.
+func (r *Remote) Fetch(kind, key string) ([]byte, bool) {
+	if r == nil {
+		return nil, false
+	}
+	url := r.BaseURL + fabric.BlobPath(kind, key)
+	var waitDeadline time.Time
+	poll := 25 * time.Millisecond
+	for attempt := 1; attempt <= r.attempts(); {
+		start := time.Now()
+		resp, err := r.client().Get(url)
+		if err != nil {
+			r.errors.Add(1)
+			attempt++
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.misses.Add(1)
+			return nil, false
+		}
+		if resp.StatusCode == http.StatusAccepted {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.waits.Add(1)
+			now := time.Now()
+			if waitDeadline.IsZero() {
+				wb := r.WaitBudget
+				if wb == 0 {
+					wb = 10 * time.Second
+				}
+				waitDeadline = now.Add(wb)
+			}
+			if now.After(waitDeadline) {
+				// The builder is slow or gone: stop waiting and report a
+				// miss so the caller builds locally.
+				return nil, false
+			}
+			time.Sleep(poll)
+			r.waitNanos.Add(time.Since(now).Nanoseconds())
+			if poll < 250*time.Millisecond {
+				poll *= 2
+			}
+			continue
+		}
+		framed, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			r.errors.Add(1)
+			attempt++
+			continue
+		}
+		payload, err := store.CheckFrame(framed)
+		if err != nil {
+			// The frame failed its CRC: the transfer was corrupted on the
+			// wire (or the coordinator served a damaged blob). Quarantine
+			// the attempt and retry — the next transfer is independent.
+			r.corrupt.Add(1)
+			attempt++
+			continue
+		}
+		r.fetches.Add(1)
+		r.bytesIn.Add(int64(len(framed)))
+		r.fetchNanos.Add(time.Since(start).Nanoseconds())
+		return payload, true
+	}
+	return nil, false
+}
+
+// Publish sends a locally built artifact to the coordinator so the rest of
+// the fleet can fetch it instead of rebuilding. Errors are counted and
+// dropped: publishing is an optimization, never on the correctness path.
+func (r *Remote) Publish(kind, key string, payload []byte) {
+	if r == nil {
+		return
+	}
+	framed := store.Frame(payload)
+	req, err := http.NewRequest(http.MethodPut, r.BaseURL+fabric.BlobPath(kind, key), bytes.NewReader(framed))
+	if err != nil {
+		r.errors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		r.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.errors.Add(1)
+		return
+	}
+	r.publishes.Add(1)
+	r.bytesOut.Add(int64(len(framed)))
+}
+
+// SetRemote attaches the coordinator's artifact plane as the tier behind the
+// local disk store. Attach before first use — SetRemote is not synchronized
+// against concurrent lookups.
+func (c *Cache) SetRemote(r *Remote) {
+	if c == nil {
+		return
+	}
+	c.remote = r
+}
+
+// Remote returns the attached remote tier (nil when none).
+func (c *Cache) Remote() *Remote {
+	if c == nil {
+		return nil
+	}
+	return c.remote
+}
+
+// remoteProgram tries the coordinator's artifact plane for a program image.
+// A fetched blob is semantically decoded before use and persisted into the
+// local store so this worker never pays its wire cost again.
+func (c *Cache) remoteProgram(key string) (*program.Program, bool) {
+	data, ok := c.remote.Fetch(storeKindProgram, key)
+	if !ok {
+		return nil, false
+	}
+	p, err := DecodeProgram(data)
+	if err != nil {
+		// CRC-valid but semantically broken: a foreign or version-skewed
+		// blob. Treat as a miss and build locally.
+		return nil, false
+	}
+	if c.store != nil {
+		c.store.Put(storeKindProgram, key, data)
+	}
+	return p, true
+}
+
+// remoteTape tries the coordinator's artifact plane for an oracle tape. The
+// tape stays block-compressed on the wire (the encoded form is the stored
+// form), and the fetched blob is persisted locally before use.
+func (c *Cache) remoteTape(key string, prog *program.Program) (*Tape, bool) {
+	data, ok := c.remote.Fetch(storeKindTape, key)
+	if !ok {
+		return nil, false
+	}
+	if c.store != nil {
+		// Persist first, then decode through the store's mapping so replay
+		// is zero-copy off the page cache, same as a disk hit.
+		c.store.Put(storeKindTape, key, data)
+		if t, ok := c.diskTape(key, prog); ok {
+			return t, true
+		}
+		return nil, false
+	}
+	t, err := DecodeTape(data, prog)
+	if err != nil {
+		return nil, false
+	}
+	t.sink = &c.tapeFallback
+	return t, true
+}
+
+// BlobRelay adapts a content-addressed store to the fabric's BlobSource: the
+// coordinator serves GETs straight out of its store and ingests worker
+// publishes into it. With no store attached (running -no-artifact-store) it
+// falls back to a bounded in-memory framed-blob map, so the fleet still
+// deduplicates builds within the run.
+type BlobRelay struct {
+	store *store.Store
+
+	mu       sync.Mutex
+	mem      map[string][]byte // framed blobs, key = kind/key
+	memBytes int64
+	memCap   int64
+}
+
+// NewBlobRelay returns a relay over st. memCap bounds the in-memory fallback
+// used when st is nil (0 = 256 MiB).
+func NewBlobRelay(st *store.Store, memCap int64) *BlobRelay {
+	if memCap <= 0 {
+		memCap = 256 << 20
+	}
+	return &BlobRelay{store: st, mem: map[string][]byte{}, memCap: memCap}
+}
+
+// OpenBlob returns the framed bytes for (kind, key). Store blobs are framed
+// on the fly from the store's verified payload mapping; the frame a worker
+// receives therefore carries a freshly computed CRC over exactly the bytes
+// the coordinator's store considers good.
+func (b *BlobRelay) OpenBlob(kind, key string) ([]byte, bool) {
+	if b.store != nil {
+		if payload, ok := b.store.Get(kind, key); ok {
+			return store.Frame(payload), true
+		}
+	}
+	b.mu.Lock()
+	framed, ok := b.mem[kind+"/"+key]
+	b.mu.Unlock()
+	return framed, ok
+}
+
+// AcceptBlob verifies and ingests a worker-published framed blob. It reports
+// accepted=false (nil error) for a duplicate of an artifact already present.
+func (b *BlobRelay) AcceptBlob(kind, key string, framed []byte) (bool, error) {
+	payload, err := store.CheckFrame(framed)
+	if err != nil {
+		return false, fmt.Errorf("artifact: published blob %s/%s: %w", kind, key, err)
+	}
+	if b.store != nil {
+		if b.store.Has(kind, key) {
+			return false, nil
+		}
+		if err := b.store.Put(kind, key, payload); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	mk := kind + "/" + key
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.mem[mk]; dup {
+		return false, nil
+	}
+	if b.memBytes+int64(len(framed)) > b.memCap {
+		// Full: drop the publish. Workers that miss here rebuild locally,
+		// which is always correct.
+		return false, nil
+	}
+	b.mem[mk] = framed
+	b.memBytes += int64(len(framed))
+	return true, nil
+}

@@ -1,0 +1,415 @@
+package artifact
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/artifact/store"
+	"github.com/parallel-frontend/pfe/internal/fabric"
+)
+
+// blobServer stands up a coordinator-shaped blob endpoint over a relay.
+func blobServer(t *testing.T, relay *BlobRelay) *httptest.Server {
+	t.Helper()
+	c := fabric.NewCoordinator(fabric.Options{Blobs: relay})
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestRemoteFetchPublishRoundTrip publishes a payload through one Remote and
+// fetches it back through another, pinning both sides' traffic counters.
+func TestRemoteFetchPublishRoundTrip(t *testing.T) {
+	relay := NewBlobRelay(openStoreT(t, t.TempDir()), 0)
+	srv := blobServer(t, relay)
+	payload := []byte("tape payload, block-compressed on the wire")
+
+	pub := &Remote{BaseURL: srv.URL}
+	pub.Publish("tape", "tape:k:1", payload)
+	if s := pub.Stats(); s.Publishes != 1 || s.Errors != 0 || s.BytesOut == 0 {
+		t.Fatalf("publisher stats: %+v", s)
+	}
+	// Duplicate publish is acknowledged (the coordinator dedups server-side).
+	pub.Publish("tape", "tape:k:1", payload)
+	if s := pub.Stats(); s.Publishes != 2 || s.Errors != 0 {
+		t.Fatalf("dup publish stats: %+v", s)
+	}
+
+	sub := &Remote{BaseURL: srv.URL}
+	got, ok := sub.Fetch("tape", "tape:k:1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("fetch = (%q, %v), want the published payload", got, ok)
+	}
+	if _, ok := sub.Fetch("tape", "absent"); ok {
+		t.Fatal("fetch of an absent key reported a hit")
+	}
+	s := sub.Stats()
+	if s.Fetches != 1 || s.Misses != 1 || s.Corrupt != 0 || s.Errors != 0 {
+		t.Fatalf("fetcher stats: %+v", s)
+	}
+	if s.BytesIn <= int64(len(payload)) {
+		t.Errorf("BytesIn = %d, want > payload length (frame overhead)", s.BytesIn)
+	}
+}
+
+// TestRemoteFetchRetriesCorruptTransfer serves a bit-flipped frame on the
+// first transfer: the Remote must reject it by CRC, retry, and succeed —
+// and a permanently corrupt source must exhaust attempts into a miss.
+func TestRemoteFetchRetriesCorruptTransfer(t *testing.T) {
+	framed := store.Frame([]byte("oracle tape"))
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := append([]byte(nil), framed...)
+		if calls.Add(1) == 1 {
+			body[len(body)-1] ^= 0xff
+		}
+		w.Write(body)
+	}))
+	defer srv.Close()
+
+	r := &Remote{BaseURL: srv.URL}
+	got, ok := r.Fetch("tape", "k")
+	if !ok || string(got) != "oracle tape" {
+		t.Fatalf("fetch after one corrupt transfer = (%q, %v)", got, ok)
+	}
+	if s := r.Stats(); s.Corrupt != 1 || s.Fetches != 1 {
+		t.Fatalf("stats after transient corruption: %+v", s)
+	}
+
+	// Permanently corrupt source: every attempt rejected, ends as a miss.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body := append([]byte(nil), framed...)
+		body[0] ^= 0xff
+		w.Write(body)
+	}))
+	defer bad.Close()
+	r2 := &Remote{BaseURL: bad.URL, MaxAttempts: 2}
+	if _, ok := r2.Fetch("tape", "k"); ok {
+		t.Fatal("permanently corrupt source reported a hit")
+	}
+	if s := r2.Stats(); s.Corrupt != 2 || s.Fetches != 0 {
+		t.Fatalf("stats after exhausted retries: %+v", s)
+	}
+}
+
+// TestRemote404IsDefinitive pins that a miss answers in one round trip —
+// retrying a 404 would add latency to every cold build for nothing.
+func TestRemote404IsDefinitive(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	r := &Remote{BaseURL: srv.URL}
+	if _, ok := r.Fetch("tape", "k"); ok {
+		t.Fatal("404 reported a hit")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("404 took %d round trips, want 1", n)
+	}
+	if s := r.Stats(); s.Misses != 1 || s.Errors != 0 {
+		t.Errorf("stats: %+v", s)
+	}
+}
+
+// TestNilRemote pins nil-safety: the single-process paths thread a nil
+// *Remote without branching.
+func TestNilRemote(t *testing.T) {
+	var r *Remote
+	if _, ok := r.Fetch("tape", "k"); ok {
+		t.Error("nil Remote fetched something")
+	}
+	r.Publish("tape", "k", []byte("x"))
+	if s := r.Stats(); s != (RemoteStats{}) {
+		t.Errorf("nil Remote stats: %+v", s)
+	}
+}
+
+// TestBlobRelayMemFallback exercises the storeless relay: publishes land in
+// the bounded memory map, duplicates and over-cap publishes are dropped
+// without error, and corrupt frames are rejected.
+func TestBlobRelayMemFallback(t *testing.T) {
+	framed := store.Frame([]byte("small"))
+	relay := NewBlobRelay(nil, int64(len(framed))) // room for exactly one blob
+	if acc, err := relay.AcceptBlob("tape", "a", framed); err != nil || !acc {
+		t.Fatalf("accept = (%v, %v)", acc, err)
+	}
+	if acc, err := relay.AcceptBlob("tape", "a", framed); err != nil || acc {
+		t.Fatalf("dup accept = (%v, %v), want (false, nil)", acc, err)
+	}
+	got, ok := relay.OpenBlob("tape", "a")
+	if !ok || !bytes.Equal(got, framed) {
+		t.Fatal("memory relay did not serve the accepted frame back")
+	}
+	// Cap: a second distinct blob would exceed it; dropped, no error.
+	if acc, err := relay.AcceptBlob("tape", "b", framed); err != nil || acc {
+		t.Fatalf("over-cap accept = (%v, %v), want (false, nil)", acc, err)
+	}
+	if _, ok := relay.OpenBlob("tape", "b"); ok {
+		t.Error("over-cap blob was ingested")
+	}
+	corrupt := append([]byte(nil), framed...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if _, err := relay.AcceptBlob("tape", "c", corrupt); err == nil {
+		t.Error("corrupt frame accepted")
+	}
+}
+
+// TestCacheRemoteReadThrough is the artifact-plane integration test: a
+// builder cache publishes its program and tape to the coordinator; a fresh,
+// empty, memory-only cache (a cold fetching worker) pulls both over the wire
+// with "remote-hit" provenance and artifacts bit-identical to the builder's;
+// and a third cache with its own empty disk store persists fetched blobs
+// locally so its next process starts warm without touching the wire.
+func TestCacheRemoteReadThrough(t *testing.T) {
+	relay := NewBlobRelay(openStoreT(t, t.TempDir()), 0)
+	srv := blobServer(t, relay)
+	spec := gccSpec(t)
+	const minInsts = 5_000
+
+	// Builder: cold everywhere, builds locally, publishes both artifacts.
+	builder := New(0)
+	builder.SetRemote(&Remote{BaseURL: srv.URL})
+	p1, pinfo, err := builder.ProgramInfo(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinfo.Source != "miss" {
+		t.Fatalf("builder program lookup: %+v", pinfo)
+	}
+	t1, _, err := builder.TapeInfo(spec, minInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := builder.Remote().Stats(); s.Publishes != 2 {
+		t.Fatalf("builder published %d blobs, want 2 (program, tape): %+v", s.Publishes, s)
+	}
+
+	// Fetching worker: memory-only cache, empty, same coordinator.
+	fetcher := New(0)
+	fetcher.SetRemote(&Remote{BaseURL: srv.URL})
+	p2, pinfo2, err := fetcher.ProgramInfo(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinfo2.Source != "remote-hit" || !pinfo2.Hit {
+		t.Fatalf("fetcher program lookup: %+v", pinfo2)
+	}
+	if p2.Name != p1.Name || !bytes.Equal(p2.Image, p1.Image) || !bytes.Equal(p2.Data, p1.Data) {
+		t.Fatal("fetched program differs from the builder's")
+	}
+	t2, tinfo2, err := fetcher.TapeInfo(spec, minInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tinfo2.Source != "remote-hit" {
+		t.Fatalf("fetcher tape lookup: %+v", tinfo2)
+	}
+	if err := tapeStructEqual(t1, t2); err != nil {
+		t.Fatalf("fetched tape differs from the builder's recording: %v", err)
+	}
+	drainBoth(t, "remote-tape", t1.NewReader(), t2.NewReader(), minInsts+200)
+	if s := fetcher.Remote().Stats(); s.Fetches != 2 || s.Publishes != 0 {
+		t.Fatalf("fetcher wire traffic: %+v, want 2 fetches and no publishes", s)
+	}
+	// Second lookup: memory tier, no new wire traffic.
+	if _, info, err := fetcher.ProgramInfo(spec); err != nil || info.Source != "mem-hit" {
+		t.Fatalf("repeat fetcher lookup: %+v, %v", info, err)
+	}
+	if s := fetcher.Remote().Stats(); s.Fetches != 2 {
+		t.Fatalf("repeat lookup touched the wire: %+v", s)
+	}
+
+	// Disk-backed worker: the fetched blobs persist into its local store.
+	dir := t.TempDir()
+	disk := New(0)
+	disk.SetStore(openStoreT(t, dir), nil)
+	disk.SetRemote(&Remote{BaseURL: srv.URL})
+	if _, info, err := disk.ProgramInfo(spec); err != nil || info.Source != "remote-hit" {
+		t.Fatalf("disk worker program lookup: %+v, %v", info, err)
+	}
+	if t3, info, err := disk.TapeInfo(spec, minInsts); err != nil || info.Source != "remote-hit" {
+		t.Fatalf("disk worker tape lookup: %+v, %v", info, err)
+	} else if err := tapeStructEqual(t1, t3); err != nil {
+		t.Fatalf("disk worker tape differs: %v", err)
+	}
+	// Next process over the same directory: warm from disk, wire untouched.
+	warm := New(0)
+	warm.SetStore(openStoreT(t, dir), nil)
+	rem := &Remote{BaseURL: srv.URL}
+	warm.SetRemote(rem)
+	if _, info, err := warm.ProgramInfo(spec); err != nil || info.Source != "disk-hit" {
+		t.Fatalf("warm program lookup: %+v, %v", info, err)
+	}
+	if _, info, err := warm.TapeInfo(spec, minInsts); err != nil || info.Source != "disk-hit" {
+		t.Fatalf("warm tape lookup: %+v, %v", info, err)
+	}
+	if s := rem.Stats(); s.Fetches != 0 && s.Misses != 0 {
+		t.Fatalf("warm process touched the wire: %+v", s)
+	}
+}
+
+// TestCacheRemoteMissBuildsLocally pins the fallback: with the plane up but
+// empty and no local store, a cache still builds — the remote tier is an
+// accelerator, never a correctness dependency.
+func TestCacheRemoteMissBuildsLocally(t *testing.T) {
+	relay := NewBlobRelay(nil, 0)
+	srv := blobServer(t, relay)
+	c := New(0)
+	c.SetRemote(&Remote{BaseURL: srv.URL})
+	spec := gccSpec(t)
+	if _, info, err := c.ProgramInfo(spec); err != nil || info.Source != "miss" {
+		t.Fatalf("program lookup against an empty plane: %+v, %v", info, err)
+	}
+	s := c.Remote().Stats()
+	if s.Misses == 0 {
+		t.Errorf("no recorded 404 miss: %+v", s)
+	}
+	if s.Publishes == 0 {
+		t.Errorf("local build was not published back: %+v", s)
+	}
+	// The publish seeded the plane: a second cache now fetches it.
+	c2 := New(0)
+	c2.SetRemote(&Remote{BaseURL: srv.URL})
+	if _, info, err := c2.ProgramInfo(spec); err != nil || info.Source != "remote-hit" {
+		t.Fatalf("second cache lookup: %+v, %v", info, err)
+	}
+}
+
+// TestRemoteFetchWaitsForBuilder pins the client half of build collapsing: a
+// 202 parks the fetch, which polls until the builder's publish lands and
+// then completes normally — one transfer, no duplicate build signal.
+func TestRemoteFetchWaitsForBuilder(t *testing.T) {
+	framed := store.Frame([]byte("tape built elsewhere"))
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		w.Write(framed)
+	}))
+	defer srv.Close()
+	r := &Remote{BaseURL: srv.URL}
+	got, ok := r.Fetch("tape", "k")
+	if !ok || string(got) != "tape built elsewhere" {
+		t.Fatalf("fetch behind a builder = (%q, %v)", got, ok)
+	}
+	s := r.Stats()
+	if s.Waits != 2 || s.Fetches != 1 || s.Misses != 0 {
+		t.Fatalf("stats: %+v, want 2 waits then 1 fetch", s)
+	}
+	if s.WaitSeconds <= 0 {
+		t.Errorf("no wait time recorded: %+v", s)
+	}
+}
+
+// TestRemoteFetchWaitBudgetExpires pins the stall bound: a fetch parked
+// behind a builder that never publishes gives up after WaitBudget and
+// reports a miss, so the caller builds locally instead of hanging.
+func TestRemoteFetchWaitBudgetExpires(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+	r := &Remote{BaseURL: srv.URL, WaitBudget: 60 * time.Millisecond}
+	start := time.Now()
+	if _, ok := r.Fetch("tape", "k"); ok {
+		t.Fatal("fetch behind a dead builder reported a hit")
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Fatalf("fetch hung %v past its wait budget", waited)
+	}
+	if s := r.Stats(); s.Waits < 2 {
+		t.Errorf("stats: %+v, want at least 2 parked polls", s)
+	}
+	// Negative budget: never park, miss on the first 202.
+	r2 := &Remote{BaseURL: srv.URL, WaitBudget: -1}
+	if _, ok := r2.Fetch("tape", "k"); ok {
+		t.Fatal("never-wait fetch reported a hit")
+	}
+	if s := r2.Stats(); s.Waits != 1 {
+		t.Errorf("never-wait stats: %+v, want exactly 1 observed 202", s)
+	}
+}
+
+// TestWarmStateTierChain walks a warm-state snapshot through every tier:
+// built once, then served from memory, from the local disk store, and from
+// the coordinator's blob plane by a different worker — never rebuilt.
+func TestWarmStateTierChain(t *testing.T) {
+	relay := NewBlobRelay(openStoreT(t, t.TempDir()), 0)
+	srv := blobServer(t, relay)
+	snapshot := []byte("warmed front-end state, opaque to the cache")
+	var builds atomic.Int64
+	build := func() ([]byte, error) { builds.Add(1); return snapshot, nil }
+
+	// Worker A: cold everywhere — builds, persists, publishes.
+	dirA := t.TempDir()
+	a := New(0)
+	a.SetStore(openStoreT(t, dirA), nil)
+	a.SetRemote(&Remote{BaseURL: srv.URL})
+	got, info, err := a.WarmStateInfo("ws1:k", build)
+	if err != nil || !bytes.Equal(got, snapshot) {
+		t.Fatalf("WarmStateInfo = (%q, %v)", got, err)
+	}
+	if info.Source != "miss" || builds.Load() != 1 {
+		t.Fatalf("first lookup source = %q, builds = %d", info.Source, builds.Load())
+	}
+	if _, info, _ = a.WarmStateInfo("ws1:k", build); info.Source != "mem-hit" {
+		t.Fatalf("repeat lookup source = %q, want mem-hit", info.Source)
+	}
+
+	// A fresh process over worker A's store: disk hit, no rebuild.
+	a2 := New(0)
+	a2.SetStore(openStoreT(t, dirA), nil)
+	if _, info, _ = a2.WarmStateInfo("ws1:k", build); info.Source != "disk-hit" {
+		t.Fatalf("same-store lookup source = %q, want disk-hit", info.Source)
+	}
+
+	// Worker B: empty store, same coordinator — fetches over the plane and
+	// persists locally, so a restart of B hits its own disk.
+	dirB := t.TempDir()
+	b := New(0)
+	b.SetStore(openStoreT(t, dirB), nil)
+	b.SetRemote(&Remote{BaseURL: srv.URL})
+	if _, info, _ = b.WarmStateInfo("ws1:k", build); info.Source != "remote-hit" {
+		t.Fatalf("cross-worker lookup source = %q, want remote-hit", info.Source)
+	}
+	b2 := New(0)
+	b2.SetStore(openStoreT(t, dirB), nil)
+	if _, info, _ = b2.WarmStateInfo("ws1:k", build); info.Source != "disk-hit" {
+		t.Fatalf("post-fetch restart source = %q, want disk-hit", info.Source)
+	}
+	if builds.Load() != 1 {
+		t.Fatalf("snapshot built %d times, want exactly once", builds.Load())
+	}
+
+	if s := a.Stats(); s.WarmHits != 1 || s.WarmMisses != 1 {
+		t.Fatalf("worker A warm traffic: %d hits / %d misses, want 1 / 1", s.WarmHits, s.WarmMisses)
+	}
+}
+
+// TestWarmStateQuarantine drops a checksum-valid but semantically broken
+// snapshot from both tiers so the next lookup rebuilds instead of re-serving
+// the bad blob.
+func TestWarmStateQuarantine(t *testing.T) {
+	var builds atomic.Int64
+	c := New(0)
+	c.SetStore(openStoreT(t, t.TempDir()), nil)
+	build := func() ([]byte, error) { builds.Add(1); return []byte("v1"), nil }
+	if _, _, err := c.WarmStateInfo("ws1:q", build); err != nil {
+		t.Fatal(err)
+	}
+	c.QuarantineWarm("ws1:q")
+	if _, info, _ := c.WarmStateInfo("ws1:q", build); info.Source != "miss" {
+		t.Fatalf("post-quarantine source = %q, want miss (rebuild)", info.Source)
+	}
+	if builds.Load() != 2 {
+		t.Fatalf("builds = %d, want 2", builds.Load())
+	}
+}

@@ -1,0 +1,83 @@
+package bpred
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/frag"
+)
+
+func warmPredictor(t *testing.T) (*TracePredictor, *History) {
+	t.Helper()
+	cfg := Config{PrimaryEntries: 1 << 10, SecondaryEntries: 1 << 8, DOLC: DefaultConfig().DOLC}
+	p := New(cfg)
+	var h History
+	for i := 0; i < 2000; i++ {
+		id := frag.ID{StartPC: uint64(i%37) * 16, BrMask: uint32(i % 7), NumBr: uint8(i % 4)}
+		p.Predict(&h)
+		p.Update(&h, id)
+		h.Push(id.StartPC ^ uint64(id.BrMask))
+	}
+	return p, &h
+}
+
+func TestTracePredictorStateRoundTrip(t *testing.T) {
+	p, h := warmPredictor(t)
+	snap := p.AppendState(nil)
+	snap = h.AppendState(snap)
+
+	cfg := Config{PrimaryEntries: 1 << 10, SecondaryEntries: 1 << 8, DOLC: DefaultConfig().DOLC}
+	fp := New(cfg)
+	var fh History
+	rest, err := fp.LoadState(snap)
+	if err != nil {
+		t.Fatalf("predictor LoadState: %v", err)
+	}
+	if rest, err = fh.LoadState(rest); err != nil {
+		t.Fatalf("history LoadState: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("LoadState left %d bytes", len(rest))
+	}
+	resnap := fp.AppendState(nil)
+	resnap = fh.AppendState(resnap)
+	if !bytes.Equal(resnap, snap) {
+		t.Fatal("re-snapshot differs from original")
+	}
+	// Restored predictor must predict identically going forward.
+	for i := 0; i < 500; i++ {
+		a, b := fp.Predict(&fh), p.Predict(h)
+		if a != b {
+			t.Fatalf("post-restore prediction diverges at %d: %+v vs %+v", i, a, b)
+		}
+		id := frag.ID{StartPC: uint64(i%23) * 8, BrMask: uint32(i % 5), NumBr: uint8(i % 3)}
+		p.Update(h, id)
+		fp.Update(&fh, id)
+		h.Push(id.StartPC)
+		fh.Push(id.StartPC)
+	}
+}
+
+func TestTracePredictorStateSizeMismatch(t *testing.T) {
+	p, _ := warmPredictor(t)
+	snap := p.AppendState(nil)
+	other := New(Config{PrimaryEntries: 1 << 11, SecondaryEntries: 1 << 8, DOLC: DefaultConfig().DOLC})
+	if _, err := other.LoadState(snap); err == nil {
+		t.Fatal("expected error loading snapshot into differently sized predictor")
+	}
+}
+
+func TestHistoryStateCorrupt(t *testing.T) {
+	var h History
+	h.Push(1)
+	h.Push(2)
+	snap := h.AppendState(nil)
+	snap[len(snap)-2] = 200 // n out of range
+	var fh History
+	if _, err := fh.LoadState(snap); err == nil {
+		t.Fatal("expected error on corrupt history count")
+	}
+	if _, err := fh.LoadState(snap[:5]); err == nil {
+		t.Fatal("expected error on truncated history")
+	}
+}

@@ -215,6 +215,24 @@ func (o Options) workers() int {
 	return n
 }
 
+// warmRosterOf collects one machine per distinct config key of a batch —
+// the sweep roster handed to pfe.RunOptions.WarmRoster so the first cell to
+// reach a warm-state boundary trains every class of the sweep in one replay
+// (union warming; see pfe's warmstate.go). Purely a performance hint: it
+// never changes any cell's result or its config hash.
+func warmRosterOf(cells []cell) []pfe.Machine {
+	var ms []pfe.Machine
+	seen := map[string]bool{}
+	for i := range cells {
+		if cells[i].run != nil || seen[cells[i].key] {
+			continue
+		}
+		seen[cells[i].key] = true
+		ms = append(ms, cells[i].machine)
+	}
+	return ms
+}
+
 // cell identifies one simulation in a sweep. run, when non-nil, replaces
 // pfe.Run for this cell (a test hook for the fault-tolerance machinery).
 type cell struct {
@@ -248,6 +266,7 @@ func runCells(o Options, cells []cell) (map[[2]string]*pfe.Result, error) {
 	}
 	ctx := o.ctx()
 	ro := o.runOpts()
+	ro.WarmRoster = warmRosterOf(cells)
 	outs := make([]cellOutcome, len(cells))
 	batch := o.Spans.StartBatch(o.ExperimentID, len(cells))
 	start := time.Now()

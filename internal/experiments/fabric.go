@@ -11,9 +11,11 @@ import (
 	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/fabric"
 	"github.com/parallel-frontend/pfe/internal/obs"
 	"github.com/parallel-frontend/pfe/internal/obs/span"
+	"github.com/parallel-frontend/pfe/internal/program"
 	"github.com/parallel-frontend/pfe/internal/sim"
 )
 
@@ -350,6 +352,55 @@ func (f *FabricRunner) batches(exp string) ([][]cell, error) {
 	return b, nil
 }
 
+// Prefetch warms the worker's artifact tiers for a queued lease: it resolves
+// the lease to its cell exactly as Run would (refusing on any address, name
+// or hash skew) and pulls the cell's program image and oracle tape through
+// the cache's read-through chain — memory, local disk store, coordinator
+// fetch — so the network transfer overlaps the preceding cell's compute. The
+// cache's single-flight guarantees the eventual Run joins an in-flight
+// prefetch instead of duplicating it. Safe to call concurrently with Run;
+// failures are silent (the run pays the fetch itself and reports properly).
+func (f *FabricRunner) Prefetch(lease fabric.Lease) {
+	ref := lease.Cell
+	o := f.Opts
+	o.ExperimentID = ref.Exp
+	if o.Artifacts == nil {
+		return
+	}
+	batches, err := f.batches(ref.Exp)
+	if err != nil {
+		return
+	}
+	if ref.Batch < 0 || ref.Batch >= len(batches) || ref.Index < 0 || ref.Index >= len(batches[ref.Batch]) {
+		return
+	}
+	c := &batches[ref.Batch][ref.Index]
+	if c.run != nil || c.bench != ref.Bench || c.key != ref.Key {
+		return
+	}
+	ro := o.runOpts()
+	hash := cellHash(c, ro)
+	if hash != ref.Hash {
+		return
+	}
+	if o.Inject[c.bench+"/"+c.key] == "" {
+		if _, ok := o.Artifacts.GetResult(hash); ok {
+			// Memoized: Run will replay the result, no artifacts needed.
+			return
+		}
+	}
+	spec, err := program.SpecByName(c.bench)
+	if err != nil {
+		return
+	}
+	if _, err := o.Artifacts.Program(spec); err != nil {
+		return
+	}
+	// Same budget expression as pfe.runSpec/tapeFor, so the prefetched tape
+	// is the exact cache key the run will ask for.
+	o.Artifacts.Tape(spec, uint64(ro.WarmupInsts+ro.MeasureInsts)+artifact.TapeSlack)
+}
+
 // killEpochs interprets a "kill[:n]" inject mode: the worker abandons the
 // cell (vanishing mid-lease, no report) while the lease epoch is at most n.
 // Epoch n+1 — the lease re-issued after the coordinator recovers the cell —
@@ -392,6 +443,12 @@ func (f *FabricRunner) Run(ctx context.Context, lease fabric.Lease) (json.RawMes
 		}, false
 	}
 	ro := o.runOpts()
+	// The whole experiment grid is this cell's sweep roster: the first cell
+	// to build a warm-state boundary on this worker warms every class of
+	// the experiment in one replay and publishes the lot to the blob plane.
+	for _, b := range batches {
+		ro.WarmRoster = append(ro.WarmRoster, warmRosterOf(b)...)
+	}
 	hash := cellHash(c, ro)
 	if hash != ref.Hash {
 		// This worker would compute a different result than the coordinator
@@ -465,8 +522,8 @@ func (f *FabricRunner) Run(ctx context.Context, lease fabric.Lease) (json.RawMes
 //
 // or a network chaos rule for the distributed fabric
 //
-//	net/endpoint=kind[:n]   endpoint: config | lease | heartbeat | report
-//	                        kind: drop | blackhole | dup | delay
+//	net/endpoint=kind[:n]   endpoint: config | lease | heartbeat | report | blob
+//	                        kind: drop | blackhole | dup | delay | corrupt
 //
 // Unknown modes and kinds are errors — a typo must not silently skip the
 // fault drill it was meant to run.

@@ -10,8 +10,10 @@ import (
 	"time"
 
 	pfe "github.com/parallel-frontend/pfe"
+	"github.com/parallel-frontend/pfe/internal/artifact"
 	"github.com/parallel-frontend/pfe/internal/fabric"
 	"github.com/parallel-frontend/pfe/internal/journal"
+	"github.com/parallel-frontend/pfe/internal/program"
 )
 
 // startTestFleet wires o onto a coordinator with n loopback workers whose
@@ -517,5 +519,64 @@ func TestResumeFencedDuplicateBitIdentical(t *testing.T) {
 	if res1.String() != res2.String() {
 		t.Errorf("resumed output differs — the fenced duplicate leaked in:\n--- original\n%s\n--- resumed\n%s",
 			res1, res2)
+	}
+}
+
+// TestPrefetchWarmsRunArtifacts pins the compute/network overlap contract:
+// Prefetch on a queued lease must populate exactly the cache keys the
+// eventual Run asks for (program image, and the tape at Run's own budget), so
+// the run opens both as memory hits. Skewed leases must warm nothing.
+func TestPrefetchWarmsRunArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	o := Options{Warmup: 2000, Measure: 5000, Benchmarks: []string{"gzip"},
+		ExperimentID: "fig4", Artifacts: artifact.New(0)}
+	batches, err := enumerateCells("fig4", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) == 0 || len(batches[0]) == 0 {
+		t.Fatal("fig4 enumerated no cells")
+	}
+	c := &batches[0][0]
+	ro := o.runOpts()
+	lease := fabric.Lease{Cell: fabric.CellRef{Exp: "fig4", Batch: 0, Index: 0,
+		Bench: c.bench, Key: c.key, Hash: cellHash(c, ro)}}
+
+	runner := NewFabricRunner(o)
+	runner.Prefetch(lease)
+
+	spec, err := program.SpecByName(c.bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := o.Artifacts.ProgramInfo(spec); err != nil || info.Source != "mem-hit" {
+		t.Errorf("post-prefetch program lookup: %+v, %v — want a memory hit", info, err)
+	}
+	budget := uint64(ro.WarmupInsts+ro.MeasureInsts) + artifact.TapeSlack
+	if _, info, err := o.Artifacts.TapeInfo(spec, budget); err != nil || info.Source != "mem-hit" {
+		t.Errorf("post-prefetch tape lookup at Run's budget: %+v, %v — want a memory hit", info, err)
+	}
+
+	// A lease whose config hash skewed (a stale or foreign coordinator) must
+	// warm nothing: prefetching under skew would mask the fault Run refuses.
+	skewed := Options{Warmup: 2000, Measure: 5000, Benchmarks: []string{"gzip"},
+		ExperimentID: "fig4", Artifacts: artifact.New(0)}
+	bad := lease
+	bad.Cell.Hash = "skewed"
+	NewFabricRunner(skewed).Prefetch(bad)
+	if s := skewed.Artifacts.Stats(); s.ProgramMisses+s.TapeMisses != 0 {
+		t.Errorf("skewed lease warmed the cache: %+v", s)
+	}
+
+	// A memoized cell skips artifact warming entirely: Run will replay the
+	// stored result without touching program or tape.
+	memo := Options{Warmup: 2000, Measure: 5000, Benchmarks: []string{"gzip"},
+		ExperimentID: "fig4", Artifacts: artifact.New(0)}
+	memo.Artifacts.PutResult(lease.Cell.Hash, "done", 8)
+	NewFabricRunner(memo).Prefetch(lease)
+	if s := memo.Artifacts.Stats(); s.ProgramMisses+s.TapeMisses != 0 {
+		t.Errorf("memoized lease warmed the cache: %+v", s)
 	}
 }

@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BlobSource is the coordinator's artifact plane backing: the harness plugs
+// in its content-addressed store (see internal/artifact.BlobRelay). Blobs are
+// opaque to the fabric and travel the wire in the store's CRC frame, so the
+// receiving end re-verifies the exact checksum the sender maintains on disk.
+//
+// OpenBlob returns the framed bytes for (kind, key), or ok=false when the
+// artifact is absent. AcceptBlob ingests a framed blob published by a worker;
+// it must verify the frame itself and reject a corrupt body with an error.
+// accepted=false with a nil error means the blob was already present (a
+// benign duplicate publish from a racing fleet).
+type BlobSource interface {
+	OpenBlob(kind, key string) (framed []byte, ok bool)
+	AcceptBlob(kind, key string, framed []byte) (accepted bool, err error)
+}
+
+// maxBlobBody bounds a published blob's body. Oracle tapes are the largest
+// artifact class and stay block-compressed on the wire (a few MB at paper
+// budgets); 1 GiB is far above any real artifact while still bounding a
+// hostile or corrupted Content-Length.
+const maxBlobBody = 1 << 30
+
+// blobStats is the coordinator-side accounting for the artifact plane.
+type blobStats struct {
+	serves      atomic.Int64 // 200s served
+	serveMisses atomic.Int64 // 404s (artifact not in the store)
+	collapses   atomic.Int64 // 202s served (build already claimed elsewhere)
+	accepts     atomic.Int64 // published blobs ingested
+	dupAccepts  atomic.Int64 // publishes that were already present
+	rejects     atomic.Int64 // publishes rejected (bad frame)
+	bytesOut    atomic.Int64 // framed bytes served
+	bytesIn     atomic.Int64 // framed bytes accepted (dups included)
+	serveNanos  atomic.Int64 // cumulative time spent serving 200s
+
+	mu      sync.Mutex
+	unique  map[string]struct{}  // distinct kind/key ever served
+	pending map[string]time.Time // kind/key -> when its build was claimed
+}
+
+// claimBuild implements fleet-wide build collapsing. The first asker to miss
+// on (kind, key) becomes the builder (it gets the 404 and builds locally);
+// every later asker within holdoff is told the build is pending (202) and
+// polls instead of duplicating the work. A claim older than holdoff is
+// presumed dead (the builder crashed or stalled) and ownership transfers to
+// the current asker — the plane degrades to redundant builds, never to a
+// stall.
+func (s *blobStats) claimBuild(kind, key string, holdoff time.Duration) (builder bool) {
+	now := time.Now()
+	mk := kind + "/" + key
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		s.pending = map[string]time.Time{}
+	}
+	if at, ok := s.pending[mk]; ok && now.Sub(at) < holdoff {
+		return false
+	}
+	s.pending[mk] = now
+	return true
+}
+
+// buildDone clears a pending build claim: the artifact is now present (or was
+// all along), so future misses may claim afresh.
+func (s *blobStats) buildDone(kind, key string) {
+	mk := kind + "/" + key
+	s.mu.Lock()
+	delete(s.pending, mk)
+	s.mu.Unlock()
+}
+
+func (s *blobStats) servedUnique(kind, key string) {
+	s.mu.Lock()
+	if s.unique == nil {
+		s.unique = map[string]struct{}{}
+	}
+	s.unique[kind+"/"+key] = struct{}{}
+	s.mu.Unlock()
+}
+
+// BlobStats snapshots the coordinator's artifact-plane counters.
+type BlobStats struct {
+	Serves       int64   // blob GETs answered 200
+	ServeMisses  int64   // blob GETs answered 404 (asker becomes the builder)
+	Collapses    int64   // blob GETs answered 202 (build pending elsewhere)
+	UniqueServed int     // distinct artifacts ever served
+	Accepts      int64   // blobs published by workers and ingested
+	DupAccepts   int64   // duplicate publishes (already present)
+	Rejects      int64   // publishes rejected for a bad frame
+	BytesOut     int64   // framed bytes served
+	BytesIn      int64   // framed bytes received from publishes
+	ServeSeconds float64 // cumulative wall time inside 200 serves
+}
+
+// BlobStats returns the coordinator's lifetime artifact-plane counters.
+func (c *Coordinator) BlobStats() BlobStats {
+	s := &c.blobs
+	s.mu.Lock()
+	unique := len(s.unique)
+	s.mu.Unlock()
+	return BlobStats{
+		Serves:       s.serves.Load(),
+		ServeMisses:  s.serveMisses.Load(),
+		Collapses:    s.collapses.Load(),
+		UniqueServed: unique,
+		Accepts:      s.accepts.Load(),
+		DupAccepts:   s.dupAccepts.Load(),
+		Rejects:      s.rejects.Load(),
+		BytesOut:     s.bytesOut.Load(),
+		BytesIn:      s.bytesIn.Load(),
+		ServeSeconds: float64(s.serveNanos.Load()) / float64(time.Second),
+	}
+}
+
+// handleBlob serves GET (fetch by kind/key) and PUT (publish) on PathBlob.
+// Without a BlobSource the endpoint answers 404 for everything — a worker
+// falls back to building locally, which is always correct.
+func (c *Coordinator) handleBlob(w http.ResponseWriter, r *http.Request) {
+	kind, key, ok := SplitBlobPath(r.URL.Path)
+	if !ok {
+		http.Error(w, "fabric: malformed blob path", http.StatusBadRequest)
+		return
+	}
+	src := c.opts.Blobs
+	switch r.Method {
+	case http.MethodGet:
+		if src == nil {
+			c.blobs.serveMisses.Add(1)
+			http.NotFound(w, r)
+			return
+		}
+		start := time.Now()
+		framed, ok := src.OpenBlob(kind, key)
+		if !ok {
+			// Collapse duplicate builds fleet-wide: exactly one asker per
+			// holdoff window gets the 404 (and with it the builder role);
+			// everyone else gets 202 and polls for the builder's publish.
+			if c.blobs.claimBuild(kind, key, c.buildHoldoff()) {
+				c.blobs.serveMisses.Add(1)
+				http.NotFound(w, r)
+			} else {
+				c.blobs.collapses.Add(1)
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusAccepted)
+			}
+			return
+		}
+		c.blobs.buildDone(kind, key)
+		c.blobs.serves.Add(1)
+		c.blobs.bytesOut.Add(int64(len(framed)))
+		c.blobs.servedUnique(kind, key)
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(framed)
+		c.blobs.serveNanos.Add(time.Since(start).Nanoseconds())
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBody+1))
+		if err != nil {
+			http.Error(w, "fabric: reading blob body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxBlobBody {
+			http.Error(w, "fabric: blob too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		c.blobs.bytesIn.Add(int64(len(body)))
+		if src == nil {
+			// No store behind the coordinator: acknowledge and drop, so a
+			// publishing worker doesn't treat a storeless coordinator as an
+			// error worth retrying.
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		accepted, err := src.AcceptBlob(kind, key, body)
+		if err != nil {
+			c.blobs.rejects.Add(1)
+			http.Error(w, "fabric: blob rejected: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if accepted {
+			c.blobs.accepts.Add(1)
+		} else {
+			c.blobs.dupAccepts.Add(1)
+		}
+		c.blobs.buildDone(kind, key)
+		w.WriteHeader(http.StatusOK)
+	default:
+		http.Error(w, "fabric: method not allowed", http.StatusMethodNotAllowed)
+	}
+}

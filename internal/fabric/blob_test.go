@@ -1,0 +1,487 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/parallel-frontend/pfe/internal/artifact/store"
+)
+
+// memBlobs is a BlobSource over a map, using the store's real frame so the
+// endpoint tests exercise the exact wire format workers verify.
+type memBlobs struct {
+	mu sync.Mutex
+	m  map[string][]byte // framed, key = kind/key
+}
+
+func newMemBlobs() *memBlobs { return &memBlobs{m: map[string][]byte{}} }
+
+func (b *memBlobs) put(kind, key string, payload []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[kind+"/"+key] = store.Frame(payload)
+}
+
+func (b *memBlobs) OpenBlob(kind, key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.m[kind+"/"+key]
+	return f, ok
+}
+
+func (b *memBlobs) AcceptBlob(kind, key string, framed []byte) (bool, error) {
+	if _, err := store.CheckFrame(framed); err != nil {
+		return false, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.m[kind+"/"+key]; dup {
+		return false, nil
+	}
+	b.m[kind+"/"+key] = framed
+	return true, nil
+}
+
+// TestSplitBlobPath pins the blob address grammar, including the rejection
+// of kinds and keys that could steer a store outside its object tree.
+func TestSplitBlobPath(t *testing.T) {
+	kind, key, ok := SplitBlobPath(BlobPath("tape", "tape:abc:123"))
+	if !ok || kind != "tape" || key != "tape:abc:123" {
+		t.Errorf("round trip = (%q, %q, %v), want (tape, tape:abc:123, true)", kind, key, ok)
+	}
+	bad := []string{
+		"/fabric/v1/blob/",               // no kind
+		PathBlob + "tape",                // no key
+		PathBlob + "tape/",               // empty key
+		PathBlob + "../escape/key",       // kind escaping the object tree
+		PathBlob + "ta.pe/key",           // kind charset violation
+		PathBlob + "tape/k%2Fey",         // key with an escaped slash
+		PathBlob + "tape/k%5Cey",         // key with an escaped backslash
+		PathBlob + "tape/%zz",            // undecodable escape
+		"/fabric/v1/lease",               // not a blob path at all
+		PathBlob + "Tape/key",            // uppercase kind (charset is lowercase)
+		PathBlob + "tape/sub/deeper/key", // key may not contain raw slashes
+	}
+	for _, p := range bad {
+		if k, ky, ok := SplitBlobPath(p); ok {
+			t.Errorf("SplitBlobPath(%q) = (%q, %q, true), want rejection", p, k, ky)
+		}
+	}
+}
+
+// TestBlobEndpoint drives GET and PUT over HTTP against a coordinator's blob
+// plane: hits, misses, publishes, duplicate publishes, and corrupt-frame
+// rejection, with every counter asserted.
+func TestBlobEndpoint(t *testing.T) {
+	src := newMemBlobs()
+	payload := []byte("oracle tape bytes, block-compressed")
+	src.put("tape", "tape:abc:1", payload)
+	c := NewCoordinator(Options{Blobs: src})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// GET hit: the body is a verifiable frame carrying the exact payload.
+	resp, err := http.Get(srv.URL + BlobPath("tape", "tape:abc:1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("blob GET: status %d, want 200", resp.StatusCode)
+	}
+	got, err := store.CheckFrame(framed)
+	if err != nil {
+		t.Fatalf("served frame failed verification: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("served payload = %q, want %q", got, payload)
+	}
+
+	// GET miss.
+	resp, err = http.Get(srv.URL + BlobPath("tape", "absent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("absent blob GET: status %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed path: kind charset violation (raw ../ would be cleaned by
+	// the client before the request; SplitBlobPath covers it at unit level).
+	resp, err = http.Get(srv.URL + PathBlob + "ta.pe/key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("traversal blob GET: status %d, want 400", resp.StatusCode)
+	}
+
+	put := func(kind, key string, body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+BlobPath(kind, key), bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// PUT: publish, duplicate publish, corrupt publish.
+	pub := store.Frame([]byte("program image"))
+	if code := put("program", "prog:xyz", pub); code != http.StatusOK {
+		t.Fatalf("publish: status %d, want 200", code)
+	}
+	if code := put("program", "prog:xyz", pub); code != http.StatusOK {
+		t.Fatalf("duplicate publish: status %d, want 200", code)
+	}
+	corrupt := append([]byte(nil), pub...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if code := put("program", "prog:bad", corrupt); code != http.StatusBadRequest {
+		t.Fatalf("corrupt publish: status %d, want 400", code)
+	}
+	if _, ok := src.OpenBlob("program", "prog:bad"); ok {
+		t.Error("corrupt publish was ingested")
+	}
+	if _, ok := src.OpenBlob("program", "prog:xyz"); !ok {
+		t.Error("published blob not ingested")
+	}
+
+	bs := c.BlobStats()
+	if bs.Serves != 1 || bs.ServeMisses != 1 || bs.UniqueServed != 1 {
+		t.Errorf("serve stats = %+v, want 1 serve, 1 miss, 1 unique", bs)
+	}
+	if bs.Accepts != 1 || bs.DupAccepts != 1 || bs.Rejects != 1 {
+		t.Errorf("accept stats = %+v, want 1 accept, 1 dup, 1 reject", bs)
+	}
+	if bs.BytesOut != int64(len(framed)) {
+		t.Errorf("BytesOut = %d, want %d", bs.BytesOut, len(framed))
+	}
+	if want := int64(3 * len(pub)); bs.BytesIn != want {
+		t.Errorf("BytesIn = %d, want %d (two publishes and one corrupt)", bs.BytesIn, want)
+	}
+}
+
+// TestBlobEndpointWithoutSource pins the storeless coordinator: GETs answer
+// 404 (workers build locally) and publishes are acknowledged and dropped.
+func TestBlobEndpointWithoutSource(t *testing.T) {
+	c := NewCoordinator(Options{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + BlobPath("tape", "k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("sourceless GET: status %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+BlobPath("tape", "k"),
+		bytes.NewReader(store.Frame([]byte("x"))))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("sourceless publish: status %d, want 200 (acknowledged and dropped)", resp.StatusCode)
+	}
+}
+
+// TestLeaseBatchingGrantsUpToMax pins the batched control plane: a Max=3
+// request drains up to three queued cells in one round trip (extras in
+// Lease.More, each under its own epoch), and a legacy request (Max 0) still
+// gets exactly one.
+func TestLeaseBatchingGrantsUpToMax(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Second})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	bc := newBatchCollector()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := c.RunBatch(context.Background(), refs(4), bc.hooks()); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	var l1 Lease
+	if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "w", Max: 3}, &l1); code != http.StatusOK {
+		t.Fatalf("batched lease: status %d", code)
+	}
+	if len(l1.More) != 2 {
+		t.Fatalf("batched grant carried %d extras, want 2", len(l1.More))
+	}
+	leases := append([]Lease{l1}, l1.More...)
+	seen := map[int]bool{}
+	for i, l := range leases {
+		if l.Epoch != 1 || seen[l.Cell.Index] {
+			t.Errorf("lease %+v: want epoch 1 and a distinct cell", l)
+		}
+		seen[l.Cell.Index] = true
+		if i > 0 && len(l.More) > 0 {
+			t.Errorf("nested More on extra lease %+v", l)
+		}
+	}
+
+	// Legacy single-lease request drains the last cell, no More.
+	var l2 Lease
+	if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "w2"}, &l2); code != http.StatusOK {
+		t.Fatalf("legacy lease: status %d", code)
+	}
+	if len(l2.More) != 0 {
+		t.Errorf("legacy request got %d extras, want 0", len(l2.More))
+	}
+
+	// Queue empty: a further batched request answers 204.
+	if code := postJSON(t, srv.URL+PathLease, LeaseRequest{Worker: "w", Max: 3}, nil); code != http.StatusNoContent {
+		t.Errorf("empty-queue batched lease: status %d, want 204", code)
+	}
+
+	for _, l := range append(leases, l2) {
+		rep := ReportRequest{Worker: "w", Cell: l.Cell, Epoch: l.Epoch, Result: json.RawMessage(`{}`)}
+		if code := postJSON(t, srv.URL+PathReport, rep, nil); code != http.StatusOK {
+			t.Fatalf("report for cell %d: status %d", l.Cell.Index, code)
+		}
+	}
+	<-done
+	if len(bc.results) != 4 {
+		t.Errorf("resolved %d cells, want 4", len(bc.results))
+	}
+}
+
+// TestWorkerBatchedLeasesWithPrefetch drives a full fleet with lease
+// batching and prefetch: every cell resolves exactly once, and the prefetch
+// hook observed upcoming cells while earlier ones ran.
+func TestWorkerBatchedLeasesWithPrefetch(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: time.Second})
+	var prefetched atomic.Int64
+	fleet := StartLocal(c, 2, nil, func(id, baseURL string, client *http.Client) *Worker {
+		return &Worker{ID: id, BaseURL: baseURL, Client: client, Poll: 2 * time.Millisecond,
+			MaxLeases: 3,
+			Prefetch:  func(l Lease) { prefetched.Add(1) },
+			Run: func(ctx context.Context, l Lease) (json.RawMessage, time.Duration, *CellError, bool) {
+				return json.RawMessage(fmt.Sprintf(`{"cell":%d}`, l.Cell.Index)), time.Millisecond, nil, false
+			}}
+	})
+	bc := newBatchCollector()
+	stats, err := c.RunBatch(context.Background(), refs(9), bc.hooks())
+	c.Shutdown()
+	if cerr := fleet.Close(); cerr != nil {
+		t.Fatalf("fleet close: %v", cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.results) != 9 {
+		t.Fatalf("resolved %d cells, want 9", len(bc.results))
+	}
+	for i := 0; i < 9; i++ {
+		var got struct{ Cell int }
+		if err := json.Unmarshal([]byte(bc.payloads[i]), &got); err != nil || got.Cell != i {
+			t.Errorf("cell %d payload = %q, want its own index", i, bc.payloads[i])
+		}
+	}
+	var leasesSum int
+	for _, s := range stats {
+		leasesSum += s.Leases
+	}
+	if leasesSum != 9 {
+		t.Errorf("lease grants sum to %d, want 9 (batched leases still count once each)", leasesSum)
+	}
+	if prefetched.Load() == 0 {
+		t.Error("prefetch hook never fired despite batched leases")
+	}
+}
+
+// TestBatchedLeasesSurviveLongCells pins the heartbeat discipline for queued
+// leases: with cells that outlive the TTL, a batch's later leases must not
+// expire while the first one computes.
+func TestBatchedLeasesSurviveLongCells(t *testing.T) {
+	c := NewCoordinator(Options{LeaseTTL: 80 * time.Millisecond, Heartbeat: 20 * time.Millisecond, RetryBackoff: -1})
+	fleet := StartLocal(c, 1, nil, func(id, baseURL string, client *http.Client) *Worker {
+		return &Worker{ID: id, BaseURL: baseURL, Client: client, Poll: 2 * time.Millisecond,
+			MaxLeases: 3,
+			Run: func(ctx context.Context, l Lease) (json.RawMessage, time.Duration, *CellError, bool) {
+				time.Sleep(120 * time.Millisecond) // > TTL: only heartbeats keep the batch alive
+				return json.RawMessage(`{}`), time.Millisecond, nil, false
+			}}
+	})
+	bc := newBatchCollector()
+	_, err := c.RunBatch(context.Background(), refs(3), bc.hooks())
+	c.Shutdown()
+	if cerr := fleet.Close(); cerr != nil {
+		t.Fatalf("fleet close: %v", cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.results) != 3 {
+		t.Fatalf("resolved %d cells, want 3", len(bc.results))
+	}
+	if st := c.Stats(); st.Expiries != 0 {
+		t.Errorf("expiries = %d, want 0 (queued batch leases must heartbeat from grant)", st.Expiries)
+	}
+	for i, m := range bc.results {
+		if m.Attempts != 1 {
+			t.Errorf("cell %d took %d attempts, want 1 (no lease loss)", i, m.Attempts)
+		}
+	}
+}
+
+// TestRetryDelay pins the backoff envelope: growth with attempts, the cap,
+// and the jitter band.
+func TestRetryDelay(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	for attempt := 1; attempt <= 10; attempt++ {
+		raw := base << (attempt - 1)
+		if raw > max || raw <= 0 {
+			raw = max
+		}
+		for i := 0; i < 50; i++ {
+			d := retryDelay(attempt, base, max)
+			lo := time.Duration(float64(raw) * 0.5)
+			hi := time.Duration(float64(raw) * 1.5)
+			if d < lo || d >= hi {
+				t.Fatalf("retryDelay(%d) = %v, want in [%v, %v)", attempt, d, lo, hi)
+			}
+		}
+	}
+	if d := retryDelay(3, 0, time.Second); d <= 0 {
+		t.Errorf("zero base produced %v, want a positive delay", d)
+	}
+}
+
+// TestChaosCorruptFlipsBlobByte pins the corrupt kind end to end at the
+// transport: a blob fetched through the chaos client fails frame
+// verification exactly once, then the schedule is spent and the retry
+// verifies clean.
+func TestChaosCorruptFlipsBlobByte(t *testing.T) {
+	src := newMemBlobs()
+	src.put("tape", "k", []byte("payload bytes"))
+	c := NewCoordinator(Options{Blobs: src})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	chaos := NewChaos([]Rule{{Endpoint: "blob", Kind: "corrupt"}})
+	client := &http.Client{Transport: chaos.Wrap(nil)}
+	fetch := func() error {
+		resp, err := client.Get(srv.URL + BlobPath("tape", "k"))
+		if err != nil {
+			return err
+		}
+		framed, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		_, err = store.CheckFrame(framed)
+		return err
+	}
+	if err := fetch(); err == nil {
+		t.Fatal("corrupted transfer passed frame verification")
+	}
+	if err := fetch(); err != nil {
+		t.Fatalf("post-chaos transfer failed verification: %v", err)
+	}
+	if n := chaos.Remaining(); n != 0 {
+		t.Errorf("chaos schedule has %d unfired faults, want 0", n)
+	}
+	// The control-plane endpoints never matched the blob rule.
+	if got := c.BlobStats().Serves; got != 2 {
+		t.Errorf("serves = %d, want 2", got)
+	}
+}
+
+// TestParseRuleBlobCorrupt pins the extended chaos grammar.
+func TestParseRuleBlobCorrupt(t *testing.T) {
+	r, err := ParseRule("blob=corrupt:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (r != Rule{Endpoint: "blob", Kind: "corrupt", Times: 2}) {
+		t.Errorf("ParseRule(blob=corrupt:2) = %+v", r)
+	}
+	if _, err := ParseRule("blob=smash"); err == nil {
+		t.Error("ParseRule(blob=smash) accepted, want an error")
+	}
+	for _, in := range []string{"blob=drop", "blob=blackhole:3", "blob=delay", "report=corrupt"} {
+		if _, err := ParseRule(in); err != nil {
+			t.Errorf("ParseRule(%q): %v", in, err)
+		}
+	}
+}
+
+// TestBlobBuildCollapse pins the fleet-wide build-collapse protocol: the
+// first asker to miss becomes the builder (404), later askers are parked
+// (202) until the builder publishes, and an abandoned claim is reassigned
+// after the holdoff.
+func TestBlobBuildCollapse(t *testing.T) {
+	src := newMemBlobs()
+	c := NewCoordinator(Options{Blobs: src, BuildHoldoff: 50 * time.Millisecond})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	get := func(key string) int {
+		resp, err := http.Get(srv.URL + BlobPath("tape", key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get("k"); code != http.StatusNotFound {
+		t.Fatalf("first miss: status %d, want 404 (asker becomes builder)", code)
+	}
+	if code := get("k"); code != http.StatusAccepted {
+		t.Fatalf("second miss during build: status %d, want 202 (collapsed)", code)
+	}
+	// A different key is an independent claim.
+	if code := get("other"); code != http.StatusNotFound {
+		t.Fatalf("miss on a different key: status %d, want 404", code)
+	}
+	// The publish releases the claim and the blob serves.
+	src.put("tape", "k", []byte("payload"))
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+BlobPath("tape", "k"),
+		bytes.NewReader(store.Frame([]byte("payload"))))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if code := get("k"); code != http.StatusOK {
+		t.Fatalf("post-publish fetch: status %d, want 200", code)
+	}
+	// The abandoned "other" claim expires: after the holdoff a new asker is
+	// handed the builder role instead of parking forever.
+	time.Sleep(80 * time.Millisecond)
+	if code := get("other"); code != http.StatusNotFound {
+		t.Fatalf("miss after holdoff expiry: status %d, want 404 (role reassigned)", code)
+	}
+	bs := c.BlobStats()
+	if bs.Collapses != 1 || bs.ServeMisses != 3 {
+		t.Errorf("collapse stats: %+v, want 1 collapse and 3 builder 404s", bs)
+	}
+}

@@ -26,24 +26,28 @@ import (
 //	dup        send the request twice, return the second response (the
 //	           duplicate exercises idempotence/fencing server-side)
 //	delay      hold the request for Delay (default 100ms) before sending
+//	corrupt    send the request, flip the last byte of the response body
+//	           (a bit error on the wire — a framed blob fails its CRC
+//	           re-verification and the fetcher must quarantine and retry)
 type Rule struct {
-	Endpoint string // "config", "lease", "heartbeat", "report"
-	Kind     string // "drop", "blackhole", "dup", "delay"
+	Endpoint string // "config", "lease", "heartbeat", "report", "blob"
+	Kind     string // "drop", "blackhole", "dup", "delay", "corrupt"
 	Times    int    // requests affected (0 = 1)
 	Delay    time.Duration
 }
 
 // ChaosKinds lists the accepted network fault kinds.
-var ChaosKinds = []string{"drop", "blackhole", "dup", "delay"}
+var ChaosKinds = []string{"drop", "blackhole", "dup", "delay", "corrupt"}
 
 // ChaosEndpoints lists the endpoints a rule may target.
-var ChaosEndpoints = []string{"config", "lease", "heartbeat", "report"}
+var ChaosEndpoints = []string{"config", "lease", "heartbeat", "report", "blob"}
 
 var endpointPaths = map[string]string{
 	"config":    PathConfig,
 	"lease":     PathLease,
 	"heartbeat": PathHeartbeat,
 	"report":    PathReport,
+	"blob":      PathBlob,
 }
 
 // ParseRule parses one "endpoint=kind[:times]" chaos spec entry.
@@ -59,7 +63,7 @@ func ParseRule(s string) (Rule, error) {
 	kind, timesStr, hasTimes := strings.Cut(rest, ":")
 	r := Rule{Endpoint: ep, Kind: kind, Times: 1}
 	switch kind {
-	case "drop", "blackhole", "dup":
+	case "drop", "blackhole", "dup", "corrupt":
 	case "delay":
 		r.Delay = 100 * time.Millisecond
 	default:
@@ -111,13 +115,25 @@ func (c *Chaos) take(path string) *Rule {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, rs := range c.rules {
-		if rs.left > 0 && strings.HasSuffix(path, endpointPaths[rs.Endpoint]) {
+		if rs.left > 0 && matchEndpoint(path, rs.Endpoint) {
 			rs.left--
 			r := rs.Rule
 			return &r
 		}
 	}
 	return nil
+}
+
+// matchEndpoint matches a request path against a rule's endpoint. The blob
+// endpoint is a prefix (the kind/key ride in the path); the control-plane
+// endpoints are exact paths matched by suffix (the BaseURL may carry a
+// prefix in front of them).
+func matchEndpoint(path, endpoint string) bool {
+	p := endpointPaths[endpoint]
+	if endpoint == "blob" {
+		return strings.Contains(path, p)
+	}
+	return strings.HasSuffix(path, p)
 }
 
 // Remaining reports how many rule firings are left unconsumed (0 after a
@@ -196,6 +212,24 @@ func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 			return nil, req.Context().Err()
 		}
 		return t.rt.RoundTrip(req)
+	case "corrupt":
+		resp, err := t.rt.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(body) > 0 {
+			// Flip the last byte: for a framed blob that's inside the
+			// payload, so the CRC re-verification on receipt must fail.
+			body[len(body)-1] ^= 0xff
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(body))
+		resp.ContentLength = int64(len(body))
+		return resp, nil
 	}
 	return t.rt.RoundTrip(req)
 }

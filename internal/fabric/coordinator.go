@@ -33,6 +33,18 @@ type Options struct {
 	// Config is the opaque sweep configuration served at /config; workers
 	// build their run options from it.
 	Config json.RawMessage
+
+	// Blobs, when non-nil, backs the artifact plane at PathBlob: workers
+	// fetch program images, oracle tapes and memoized results by hash
+	// instead of rebuilding them. Nil disables the plane (blob GETs answer
+	// 404 and workers build locally).
+	Blobs BlobSource
+
+	// BuildHoldoff is the build-collapse window on the artifact plane: after
+	// one worker is handed the builder role for a missing blob (a 404),
+	// further askers are answered 202 (build pending, poll again) for this
+	// long before the role is presumed abandoned and reassigned (0 = 15s).
+	BuildHoldoff time.Duration
 }
 
 func (o Options) leaseTTL() time.Duration {
@@ -47,6 +59,13 @@ func (o Options) heartbeat() time.Duration {
 		return o.Heartbeat
 	}
 	return o.leaseTTL() / 3
+}
+
+func (c *Coordinator) buildHoldoff() time.Duration {
+	if c.opts.BuildHoldoff > 0 {
+		return c.opts.BuildHoldoff
+	}
+	return 15 * time.Second
 }
 
 // backoff returns how long a cell stays unleasable after its attempt-th
@@ -179,6 +198,9 @@ type Coordinator struct {
 	fenced     atomic.Int64
 	completed  atomic.Int64
 	failed     atomic.Int64
+
+	// Artifact-plane counters (pfe_fabric_blob_* metrics; see blob.go).
+	blobs blobStats
 }
 
 // NewCoordinator returns an idle coordinator; RunBatch activates it.
@@ -247,6 +269,19 @@ func (c *Coordinator) Register(reg *obs.Registry) {
 	reg.CounterFunc("pfe_fabric_fenced_reports_total", "Stale-epoch reports and heartbeats fenced out.", cf(&c.fenced))
 	reg.CounterFunc("pfe_fabric_cells_completed_total", "Cells resolved with a result.", cf(&c.completed))
 	reg.CounterFunc("pfe_fabric_cells_failed_total", "Cells that exhausted their retries.", cf(&c.failed))
+	reg.CounterFunc("pfe_fabric_blob_serves_total", "Artifact blobs served to workers.", cf(&c.blobs.serves))
+	reg.CounterFunc("pfe_fabric_blob_serve_misses_total", "Blob fetches answered 404 (artifact absent).", cf(&c.blobs.serveMisses))
+	reg.CounterFunc("pfe_fabric_blob_collapses_total", "Blob fetches answered 202 (build pending on another worker).", cf(&c.blobs.collapses))
+	reg.CounterFunc("pfe_fabric_blob_accepts_total", "Worker-published blobs ingested into the store.", cf(&c.blobs.accepts))
+	reg.CounterFunc("pfe_fabric_blob_dup_accepts_total", "Duplicate blob publishes (already present).", cf(&c.blobs.dupAccepts))
+	reg.CounterFunc("pfe_fabric_blob_rejects_total", "Blob publishes rejected for a bad CRC frame.", cf(&c.blobs.rejects))
+	reg.CounterFunc("pfe_fabric_blob_bytes_out_total", "Framed blob bytes served to workers.", cf(&c.blobs.bytesOut))
+	reg.CounterFunc("pfe_fabric_blob_bytes_in_total", "Framed blob bytes received from worker publishes.", cf(&c.blobs.bytesIn))
+	reg.GaugeFunc("pfe_fabric_blob_unique_served", "Distinct artifacts ever served over the wire.", func() float64 {
+		c.blobs.mu.Lock()
+		defer c.blobs.mu.Unlock()
+		return float64(len(c.blobs.unique))
+	})
 	reg.GaugeFunc("pfe_fabric_workers", "Workers ever seen by the coordinator.", func() float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -482,6 +517,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(PathLease, c.handleLease)
 	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
 	mux.HandleFunc(PathReport, c.handleReport)
+	mux.HandleFunc(PathBlob, c.handleBlob)
 	return mux
 }
 
@@ -529,20 +565,26 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	wi := c.touchLocked(req.Worker)
 	calls := c.scanExpiredLocked(now)
 	b := c.batch
-	var lease *Lease
+	max := req.Max
+	if max < 1 {
+		max = 1
+	}
+	var granted []Lease
 	if b != nil {
-		// FIFO over leasable cells, skipping the ones still in backoff.
-		for i, k := range b.queue {
+		// FIFO over leasable cells, skipping the ones still in backoff;
+		// grant up to max leases in one pass and keep the rest queued.
+		var kept []cellKey
+		for _, k := range b.queue {
 			cs := b.cells[k]
-			if cs.resolved || cs.leased || now.Before(cs.notBefore) {
+			if len(granted) >= max || cs.resolved || cs.leased || now.Before(cs.notBefore) {
+				kept = append(kept, k)
 				continue
 			}
-			b.queue = append(b.queue[:i], b.queue[i+1:]...)
 			cs.leased = true
 			cs.worker = req.Worker
 			cs.epoch++
 			cs.deadline = now.Add(c.opts.leaseTTL())
-			lease = &Lease{Cell: cs.ref, Epoch: cs.epoch, TTLMs: c.opts.leaseTTL().Milliseconds()}
+			granted = append(granted, Lease{Cell: cs.ref, Epoch: cs.epoch, TTLMs: c.opts.leaseTTL().Milliseconds()})
 			c.leases.Add(1)
 			wi.leases++
 			wi.busy = cs.ref.Exp + "/" + cs.ref.Bench + "/" + cs.ref.Key
@@ -551,8 +593,8 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 				idx, worker, num, epoch := cs.ref.Index, req.Worker, wi.num, cs.epoch
 				calls = append(calls, func() { h(idx, worker, num, epoch) })
 			}
-			break
 		}
+		b.queue = kept
 	}
 	if len(calls) > 0 {
 		b.hookWG.Add(len(calls))
@@ -562,11 +604,16 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		fn()
 		b.hookWG.Done()
 	}
-	if lease == nil {
+	if len(granted) == 0 {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	writeJSON(w, http.StatusOK, lease)
+	lease := granted[0]
+	lease.More = granted[1:]
+	if len(lease.More) == 0 {
+		lease.More = nil
+	}
+	writeJSON(w, http.StatusOK, &lease)
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {

@@ -18,9 +18,18 @@
 //	/fabric/v1/lease      -> 200 lease | 204 no work now | 410 shut down
 //	/fabric/v1/heartbeat  -> 200 extended | 409 lease lost (fenced)
 //	/fabric/v1/report     -> 200 accepted | 409 fenced (stale epoch)
+//
+// plus the artifact plane (bodies are CRC-framed blobs, see blob.go):
+//
+//	GET /fabric/v1/blob/{kind}/{key}  -> 200 framed blob | 404 absent
+//	PUT /fabric/v1/blob/{kind}/{key}  -> 200 accepted | 400 bad frame
 package fabric
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"net/url"
+	"strings"
+)
 
 // Endpoint paths (versioned so a skewed worker fails fast and loudly).
 const (
@@ -28,7 +37,43 @@ const (
 	PathLease     = "/fabric/v1/lease"
 	PathHeartbeat = "/fabric/v1/heartbeat"
 	PathReport    = "/fabric/v1/report"
+
+	// PathBlob is the artifact-plane prefix; the full path is
+	// PathBlob + kind + "/" + escaped key (see BlobPath).
+	PathBlob = "/fabric/v1/blob/"
 )
+
+// BlobPath returns the blob endpoint path addressing one artifact by kind
+// ("program", "tape", "result") and content key.
+func BlobPath(kind, key string) string {
+	return PathBlob + kind + "/" + url.PathEscape(key)
+}
+
+// SplitBlobPath parses a blob endpoint path back into (kind, key). The kind
+// is restricted to simple identifiers so a hostile path cannot steer the
+// coordinator's store outside its object directories.
+func SplitBlobPath(path string) (kind, key string, ok bool) {
+	rest, found := strings.CutPrefix(path, PathBlob)
+	if !found {
+		return "", "", false
+	}
+	kind, escKey, found := strings.Cut(rest, "/")
+	if !found || kind == "" || escKey == "" {
+		return "", "", false
+	}
+	for _, r := range kind {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return "", "", false
+		}
+	}
+	key, err := url.PathUnescape(escKey)
+	if err != nil || key == "" || strings.ContainsAny(key, "/\\") {
+		return "", "", false
+	}
+	return kind, key, true
+}
 
 // CellRef identifies one sweep cell without carrying its (unserializable)
 // machine configuration: the experiment id, the ordinal of the runCells
@@ -54,9 +99,12 @@ type ConfigResponse struct {
 	HeartbeatMs int64           `json:"heartbeat_ms"`
 }
 
-// LeaseRequest asks for one cell to run.
+// LeaseRequest asks for work. Max caps how many cells the coordinator may
+// grant in one round trip (0 or 1 = a single lease, the PR 9 wire shape); a
+// batching worker sets Max>1 and receives the extras in Lease.More.
 type LeaseRequest struct {
 	Worker string `json:"worker"`
+	Max    int    `json:"max,omitempty"`
 }
 
 // Lease grants one cell until the deadline TTLMs from now; heartbeats extend
@@ -67,6 +115,11 @@ type Lease struct {
 	Cell  CellRef `json:"cell"`
 	Epoch int64   `json:"epoch"`
 	TTLMs int64   `json:"ttl_ms"`
+
+	// More carries the extra leases of a batched grant (LeaseRequest.Max > 1).
+	// Each entry is a full independent lease — same TTL and heartbeat rules —
+	// and never nests further (More is nil on every element).
+	More []Lease `json:"more,omitempty"`
 }
 
 // HeartbeatRequest extends a held lease.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sync"
@@ -37,6 +38,19 @@ type Worker struct {
 	// Poll is the idle re-poll interval when the coordinator has no work
 	// (0 = 200ms). Heartbeat timing comes from the coordinator's config.
 	Poll time.Duration
+
+	// MaxLeases is how many leases to request per round trip (0 or 1 = one
+	// at a time, the PR 9 behavior). Batched leases run sequentially, each
+	// under its own heartbeat, so the TTL/heartbeat safety story is
+	// unchanged — batching only amortizes the lease round trips.
+	MaxLeases int
+
+	// Prefetch, when non-nil, is called with the next queued lease just
+	// before the current one starts running. Implementations warm caches
+	// (fetch the cell's program image and oracle tape from the coordinator)
+	// so the network transfer overlaps the running cell's compute. Called
+	// on its own goroutine; it must be safe to run concurrently with Run.
+	Prefetch func(lease Lease)
 
 	// Log, when non-nil, receives one-line worker events (lease grants,
 	// lost leases, report retries).
@@ -141,7 +155,7 @@ func (w *Worker) Loop(ctx context.Context) error {
 			return err
 		}
 		var lease Lease
-		code, err := w.post(ctx, PathLease, LeaseRequest{Worker: w.ID}, &lease)
+		code, err := w.post(ctx, PathLease, LeaseRequest{Worker: w.ID, Max: w.MaxLeases}, &lease)
 		switch {
 		case err != nil:
 			failures++
@@ -152,13 +166,19 @@ func (w *Worker) Loop(ctx context.Context) error {
 				return fmt.Errorf("fabric: coordinator unreachable after %d attempts: %w", failures, err)
 			}
 			w.logf("lease request failed: %v", err)
-			sleepCtx(ctx, w.poll())
+			// Exponential backoff with jitter so a large fleet doesn't
+			// hammer a briefly unreachable coordinator in lockstep. Capped
+			// relative to the poll interval, keeping the total give-up
+			// window proportional to the configured tempo.
+			sleepCtx(ctx, retryDelay(failures, w.poll(), 10*w.poll()))
 		case code == http.StatusGone:
 			w.logf("coordinator gone, exiting")
 			return nil
 		case code == http.StatusOK:
 			failures = 0
-			w.runLease(ctx, lease)
+			leases := append([]Lease{lease}, lease.More...)
+			leases[0].More = nil
+			w.runLeases(ctx, leases)
 		default: // 204: no work right now
 			failures = 0
 			sleepCtx(ctx, w.poll())
@@ -166,11 +186,81 @@ func (w *Worker) Loop(ctx context.Context) error {
 	}
 }
 
-// runLease executes one lease under a heartbeat, then reports its outcome.
-func (w *Worker) runLease(ctx context.Context, lease Lease) {
-	w.logf("leased %s/%s/%s epoch %d", lease.Cell.Exp, lease.Cell.Bench, lease.Cell.Key, lease.Epoch)
+// retryDelay is the attempt-th (1-based) retry's backoff: base doubling per
+// attempt, capped at max, scaled by a jitter factor in [0.5, 1.5) so a fleet
+// retrying the same outage decorrelates instead of thundering back together.
+func retryDelay(attempt int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// runLeases runs a batch of leases sequentially. Every lease in the batch
+// heartbeats from the moment of grant — a queued lease must not expire while
+// an earlier one computes — and while lease k runs, lease k+1 is handed to
+// Prefetch so its artifact fetches overlap k's compute.
+func (w *Worker) runLeases(ctx context.Context, leases []Lease) {
+	beats := make([]*heartbeater, len(leases))
+	for i, l := range leases {
+		beats[i] = w.startHeartbeat(ctx, l)
+	}
+	defer func() {
+		for _, hb := range beats {
+			if hb != nil {
+				hb.halt()
+			}
+		}
+	}()
+	for i, l := range leases {
+		if ctx.Err() != nil {
+			return
+		}
+		if w.Prefetch != nil && i+1 < len(leases) {
+			next := leases[i+1]
+			go w.Prefetch(next)
+		}
+		if !w.runLease(ctx, l, beats[i]) {
+			// Chaos kill: the worker vanishes mid-cell. Stop heartbeating
+			// every lease in the batch so the coordinator recovers them all
+			// through expiry, exactly as if the process died.
+			return
+		}
+		beats[i] = nil
+	}
+}
+
+// heartbeater keeps one lease alive from grant to report. cellCtx is
+// cancelled when the lease is fenced (a heartbeat answered 409) — the cell
+// belongs to someone else now, so the run should stop.
+type heartbeater struct {
+	cellCtx context.Context
+	cancel  context.CancelFunc
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// halt stops the heartbeat loop and waits it out. Idempotent.
+func (hb *heartbeater) halt() {
+	hb.once.Do(func() { close(hb.stop) })
+	hb.wg.Wait()
+	hb.cancel()
+}
+
+// startHeartbeat begins heartbeating a granted lease immediately (liveness
+// is visible before the first tick, and every lease — however short or
+// however deep in a batch — beats at least once).
+func (w *Worker) startHeartbeat(ctx context.Context, lease Lease) *heartbeater {
 	cellCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	hb := &heartbeater{cellCtx: cellCtx, cancel: cancel, stop: make(chan struct{})}
 
 	hbEvery := time.Duration(w.cfg.HeartbeatMs) * time.Millisecond
 	if hbEvery <= 0 {
@@ -179,11 +269,9 @@ func (w *Worker) runLease(ctx context.Context, lease Lease) {
 	if hbEvery <= 0 {
 		hbEvery = time.Second
 	}
-	hbStop := make(chan struct{})
-	var hbWG sync.WaitGroup
-	hbWG.Add(1)
+	hb.wg.Add(1)
 	go func() {
-		defer hbWG.Done()
+		defer hb.wg.Done()
 		// beat reports false when the lease was fenced (expired and
 		// re-issued): the cell is someone else's now, stop working on it.
 		beat := func() bool {
@@ -196,9 +284,6 @@ func (w *Worker) runLease(ctx context.Context, lease Lease) {
 			}
 			return true
 		}
-		// One beat lands immediately on lease grant — liveness is visible
-		// before the first tick, and every cell (however short) heartbeats
-		// at least once.
 		if !beat() {
 			return
 		}
@@ -210,23 +295,30 @@ func (w *Worker) runLease(ctx context.Context, lease Lease) {
 				if !beat() {
 					return
 				}
-			case <-hbStop:
+			case <-hb.stop:
 				return
 			case <-cellCtx.Done():
 				return
 			}
 		}
 	}()
+	return hb
+}
 
-	result, wall, cellErr, abandon := w.Run(cellCtx, lease)
-	close(hbStop)
-	hbWG.Wait()
+// runLease executes one lease under its heartbeat, then reports its outcome.
+// It reports false when the runner abandoned the cell (chaos kill): the
+// caller must stop heartbeating everything it still holds and walk away.
+func (w *Worker) runLease(ctx context.Context, lease Lease, hb *heartbeater) bool {
+	w.logf("leased %s/%s/%s epoch %d", lease.Cell.Exp, lease.Cell.Bench, lease.Cell.Key, lease.Epoch)
+
+	result, wall, cellErr, abandon := w.Run(hb.cellCtx, lease)
 	if abandon {
 		// Chaos kill: vanish mid-cell. The coordinator's lease TTL is the
 		// only thing that brings this cell back.
 		w.logf("abandoning %s/%s mid-cell (chaos kill)", lease.Cell.Bench, lease.Cell.Key)
-		return
+		return false
 	}
+	hb.halt()
 
 	rep := ReportRequest{
 		Worker: w.ID, Cell: lease.Cell, Epoch: lease.Epoch,
@@ -236,20 +328,23 @@ func (w *Worker) runLease(ctx context.Context, lease Lease) {
 	for attempt := 1; attempt <= 3; attempt++ {
 		code, err := w.post(ctx, PathReport, rep, nil)
 		if err == nil && code == http.StatusOK {
-			return
+			return true
 		}
 		if err == nil && code == http.StatusConflict {
 			// Fenced: the lease expired (or a duplicated report already
 			// landed). The coordinator has moved on; so do we.
 			w.logf("report for %s/%s epoch %d fenced", lease.Cell.Bench, lease.Cell.Key, lease.Epoch)
-			return
+			return true
 		}
 		if ctx.Err() != nil {
-			return
+			return true
 		}
 		w.logf("report attempt %d failed (status %d, err %v), retrying", attempt, code, err)
-		sleepCtx(ctx, 100*time.Millisecond)
+		// Exponential backoff + jitter (capped): transient coordinator
+		// hiccups clear without a synchronized fleet-wide retry storm.
+		sleepCtx(ctx, retryDelay(attempt, 100*time.Millisecond, time.Second))
 	}
+	return true
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) {

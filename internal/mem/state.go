@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// State serialization: a cache's replay-relevant contents (tags, valid bits,
+// LRU stamps, counters) in a deterministic fixed-width little-endian layout,
+// so functionally warmed hierarchies can be snapshotted as content-addressed
+// artifacts and restored bit-exactly (see pfe's warm-state artifacts). The
+// geometry itself is NOT serialized — a snapshot only loads into a cache of
+// the exact same shape, which the caller guarantees by keying snapshots on
+// the machine's memory configuration.
+
+// AppendState appends the cache's contents to b and returns the extended
+// slice.
+func (c *Cache) AppendState(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint64(b, c.stamp)
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.accesses))
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.misses))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.tags)))
+	for _, t := range c.tags {
+		b = binary.LittleEndian.AppendUint64(b, t)
+	}
+	for _, v := range c.valid {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	for _, l := range c.lru {
+		b = binary.LittleEndian.AppendUint64(b, l)
+	}
+	return b
+}
+
+// LoadState restores contents previously written by AppendState into a cache
+// of identical geometry, returning the remaining bytes. A line-count
+// mismatch (snapshot from a differently shaped cache) is an error, never a
+// silent partial restore.
+func (c *Cache) LoadState(b []byte) ([]byte, error) {
+	if len(b) < 8*3+4 {
+		return nil, fmt.Errorf("mem: truncated cache state for %s", c.name)
+	}
+	stamp := binary.LittleEndian.Uint64(b)
+	accesses := int64(binary.LittleEndian.Uint64(b[8:]))
+	misses := int64(binary.LittleEndian.Uint64(b[16:]))
+	n := int(binary.LittleEndian.Uint32(b[24:]))
+	b = b[28:]
+	if n != len(c.tags) {
+		return nil, fmt.Errorf("mem: cache state for %s has %d lines, cache has %d", c.name, n, len(c.tags))
+	}
+	if len(b) < n*8+n+n*8 {
+		return nil, fmt.Errorf("mem: truncated cache state for %s", c.name)
+	}
+	c.stamp, c.accesses, c.misses = stamp, accesses, misses
+	for i := 0; i < n; i++ {
+		c.tags[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	b = b[n*8:]
+	for i := 0; i < n; i++ {
+		c.valid[i] = b[i] != 0
+	}
+	b = b[n:]
+	for i := 0; i < n; i++ {
+		c.lru[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return b[n*8:], nil
+}
+
+// AppendState appends the hierarchy's contents (all three caches plus the
+// DRAM access counter) to b.
+func (h *Hierarchy) AppendState(b []byte) []byte {
+	b = h.L1I.AppendState(b)
+	b = h.L1D.AppendState(b)
+	b = h.L2.AppendState(b)
+	return binary.LittleEndian.AppendUint64(b, uint64(h.Memory.Accesses))
+}
+
+// LoadState restores a hierarchy snapshot into an identically configured
+// hierarchy, returning the remaining bytes.
+func (h *Hierarchy) LoadState(b []byte) ([]byte, error) {
+	var err error
+	if b, err = h.L1I.LoadState(b); err != nil {
+		return nil, err
+	}
+	if b, err = h.L1D.LoadState(b); err != nil {
+		return nil, err
+	}
+	if b, err = h.L2.LoadState(b); err != nil {
+		return nil, err
+	}
+	if len(b) < 8 {
+		return nil, fmt.Errorf("mem: truncated hierarchy state")
+	}
+	h.Memory.Accesses = int64(binary.LittleEndian.Uint64(b))
+	return b[8:], nil
+}

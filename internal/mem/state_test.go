@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func warmCache(t *testing.T) *Cache {
+	t.Helper()
+	c := NewCache("l1t", CacheGeometry{SizeBytes: 4096, Ways: 2, BlockBytes: 64, HitLatency: 1}, nil)
+	for i := 0; i < 500; i++ {
+		c.Access(uint64(i)*88+13, i%3 == 0, uint64(i))
+	}
+	return c
+}
+
+func TestCacheStateRoundTrip(t *testing.T) {
+	c := warmCache(t)
+	snap := c.AppendState(nil)
+
+	fresh := NewCache("l1t", CacheGeometry{SizeBytes: 4096, Ways: 2, BlockBytes: 64, HitLatency: 1}, nil)
+	rest, err := fresh.LoadState(snap)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("LoadState left %d bytes", len(rest))
+	}
+	if !bytes.Equal(fresh.AppendState(nil), snap) {
+		t.Fatal("re-snapshot differs from original")
+	}
+	if fresh.Accesses() != c.Accesses() || fresh.Misses() != c.Misses() {
+		t.Fatalf("counters differ: %d/%d vs %d/%d", fresh.Accesses(), fresh.Misses(), c.Accesses(), c.Misses())
+	}
+	// Restored cache must behave identically going forward.
+	for i := 0; i < 200; i++ {
+		addr := uint64(i)*72 + 7
+		a := c.Access(addr, false, uint64(500+i))
+		b := fresh.Access(addr, false, uint64(500+i))
+		if a != b {
+			t.Fatalf("post-restore latency diverges at %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestCacheStateGeometryMismatch(t *testing.T) {
+	snap := warmCache(t).AppendState(nil)
+	other := NewCache("l1t", CacheGeometry{SizeBytes: 8192, Ways: 2, BlockBytes: 64, HitLatency: 1}, nil)
+	if _, err := other.LoadState(snap); err == nil {
+		t.Fatal("expected error loading snapshot into differently shaped cache")
+	}
+}
+
+func TestCacheStateTruncated(t *testing.T) {
+	snap := warmCache(t).AppendState(nil)
+	fresh := NewCache("l1t", CacheGeometry{SizeBytes: 4096, Ways: 2, BlockBytes: 64, HitLatency: 1}, nil)
+	for _, n := range []int{0, 10, len(snap) / 2, len(snap) - 1} {
+		if _, err := fresh.LoadState(snap[:n]); err == nil {
+			t.Fatalf("expected error at truncation %d", n)
+		}
+	}
+}
+
+func TestHierarchyStateRoundTrip(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	for i := 0; i < 1000; i++ {
+		h.L1I.Access(uint64(i)*64, false, uint64(i))
+		h.L1D.Access(uint64(i)*96+1<<20, i%4 == 0, uint64(i))
+	}
+	snap := h.AppendState(nil)
+
+	fresh := NewHierarchy(cfg)
+	rest, err := fresh.LoadState(snap)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("LoadState left %d bytes", len(rest))
+	}
+	if !bytes.Equal(fresh.AppendState(nil), snap) {
+		t.Fatal("re-snapshot differs from original")
+	}
+	if fresh.Memory.Accesses != h.Memory.Accesses {
+		t.Fatalf("DRAM accesses differ: %d vs %d", fresh.Memory.Accesses, h.Memory.Accesses)
+	}
+}

@@ -147,6 +147,8 @@ type ArtifactsReport struct {
 	TapeMisses        int64 `json:"tape_misses"`
 	ResultHits        int64 `json:"result_hits"`
 	ResultMisses      int64 `json:"result_misses"`
+	WarmHits          int64 `json:"warm_hits,omitempty"`
+	WarmMisses        int64 `json:"warm_misses,omitempty"`
 	Evictions         int64 `json:"evictions,omitempty"`
 	Bytes             int64 `json:"bytes"`
 	TapeBytes         int64 `json:"tape_bytes"`
@@ -249,7 +251,45 @@ type Report struct {
 	// schema version is unchanged.
 	Artifacts *ArtifactsReport `json:"artifacts,omitempty"`
 
+	// Fabric is the distributed-sweep summary (present only for fabric
+	// runs). Additive and omitted when absent, so the schema version is
+	// unchanged.
+	Fabric *FabricReport `json:"fabric,omitempty"`
+
 	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// FabricReport is the run-level distributed-sweep summary: fleet size plus
+// the artifact plane's transfer accounting.
+type FabricReport struct {
+	Workers int                `json:"workers"`
+	Blobs   *FabricBlobsReport `json:"blobs,omitempty"`
+}
+
+// FabricBlobsReport aggregates the artifact plane's wire traffic: the
+// coordinator's serve/accept side and the fleet's fetch/publish side. The
+// dedup invariant — each distinct artifact crosses the wire at most once per
+// worker — is checkable as Serves <= UniqueServed * Workers.
+type FabricBlobsReport struct {
+	Serves       int64   `json:"serves"`
+	ServeMisses  int64   `json:"serve_misses,omitempty"`
+	Collapses    int64   `json:"collapses,omitempty"`
+	UniqueServed int     `json:"unique_served"`
+	Accepts      int64   `json:"accepts"`
+	DupAccepts   int64   `json:"dup_accepts,omitempty"`
+	Rejects      int64   `json:"rejects,omitempty"`
+	BytesOut     int64   `json:"bytes_out"`
+	BytesIn      int64   `json:"bytes_in"`
+	ServeSeconds float64 `json:"serve_seconds,omitempty"`
+
+	// Worker-side aggregates across the -local fleet (absent for external
+	// workers, whose counters live in their own processes).
+	WorkerFetches         int64   `json:"worker_fetches,omitempty"`
+	WorkerFetchBytes      int64   `json:"worker_fetch_bytes,omitempty"`
+	WorkerCorruptRejected int64   `json:"worker_corrupt_rejected,omitempty"`
+	WorkerPublishes       int64   `json:"worker_publishes,omitempty"`
+	WorkerFetchSeconds    float64 `json:"worker_fetch_seconds,omitempty"`
+	WorkerWaitSeconds     float64 `json:"worker_wait_seconds,omitempty"`
 }
 
 // EncodeReport writes r as indented JSON.
@@ -451,6 +491,13 @@ func (b *ReportBuilder) SetArtifacts(a ArtifactsReport) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.rep.Artifacts = &a
+}
+
+// SetFabric records the distributed-sweep summary in the report.
+func (b *ReportBuilder) SetFabric(f FabricReport) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rep.Fabric = &f
 }
 
 // SetPartial marks the report as covering an incomplete run (e.g. a sweep

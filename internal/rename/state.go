@@ -1,0 +1,62 @@
+package rename
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// State serialization for the live-out predictor (deterministic fixed-width
+// little-endian), so warmed tables can travel inside pfe's warm-state
+// artifacts. Snapshots only load into an identically configured predictor.
+
+// AppendState appends the table contents and counters to b.
+func (lp *LiveOutPredictor) AppendState(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(lp.entries)))
+	for _, e := range lp.entries {
+		var v byte
+		if e.valid {
+			v = 1
+		}
+		b = append(b, v)
+		b = binary.LittleEndian.AppendUint16(b, e.tag)
+		b = binary.LittleEndian.AppendUint64(b, e.lo.RegMask)
+		b = binary.LittleEndian.AppendUint32(b, e.lo.LastWrite)
+		b = binary.LittleEndian.AppendUint64(b, e.lru)
+	}
+	b = binary.LittleEndian.AppendUint64(b, lp.stamp)
+	b = binary.LittleEndian.AppendUint64(b, uint64(lp.lookups))
+	return binary.LittleEndian.AppendUint64(b, uint64(lp.hits))
+}
+
+// LoadState restores a snapshot written by AppendState, returning the
+// remaining bytes.
+func (lp *LiveOutPredictor) LoadState(b []byte) ([]byte, error) {
+	const w = 1 + 2 + 8 + 4 + 8
+	if len(b) < 4 {
+		return nil, fmt.Errorf("rename: truncated live-out predictor state")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n != len(lp.entries) {
+		return nil, fmt.Errorf("rename: live-out state has %d entries, predictor has %d", n, len(lp.entries))
+	}
+	if len(b) < n*w+8*3 {
+		return nil, fmt.Errorf("rename: truncated live-out predictor state")
+	}
+	for i := range lp.entries {
+		lp.entries[i] = loEntry{
+			valid: b[0] != 0,
+			tag:   binary.LittleEndian.Uint16(b[1:]),
+			lo: LiveOuts{
+				RegMask:   binary.LittleEndian.Uint64(b[3:]),
+				LastWrite: binary.LittleEndian.Uint32(b[11:]),
+			},
+			lru: binary.LittleEndian.Uint64(b[15:]),
+		}
+		b = b[w:]
+	}
+	lp.stamp = binary.LittleEndian.Uint64(b)
+	lp.lookups = int64(binary.LittleEndian.Uint64(b[8:]))
+	lp.hits = int64(binary.LittleEndian.Uint64(b[16:]))
+	return b[24:], nil
+}

@@ -1,0 +1,60 @@
+package rename
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/frag"
+)
+
+func warmLiveOut(t *testing.T) *LiveOutPredictor {
+	t.Helper()
+	lp := NewLiveOutPredictor(LiveOutPredictorConfig{Entries: 256, Ways: 2, TagBits: 4})
+	for i := 0; i < 1500; i++ {
+		id := frag.ID{StartPC: uint64(i%61) * 24, BrMask: uint32(i % 9), NumBr: uint8(i % 4)}
+		lp.Predict(id)
+		lp.Train(id, LiveOuts{RegMask: uint64(i) * 0x9e37, LastWrite: uint32(i % 16)})
+	}
+	return lp
+}
+
+func TestLiveOutStateRoundTrip(t *testing.T) {
+	lp := warmLiveOut(t)
+	snap := lp.AppendState(nil)
+
+	fresh := NewLiveOutPredictor(LiveOutPredictorConfig{Entries: 256, Ways: 2, TagBits: 4})
+	rest, err := fresh.LoadState(snap)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("LoadState left %d bytes", len(rest))
+	}
+	if !bytes.Equal(fresh.AppendState(nil), snap) {
+		t.Fatal("re-snapshot differs from original")
+	}
+	// Restored predictor must answer identically going forward.
+	for i := 0; i < 400; i++ {
+		id := frag.ID{StartPC: uint64(i%53) * 24, BrMask: uint32(i % 6), NumBr: uint8(i % 3)}
+		al, aok := lp.Predict(id)
+		bl, bok := fresh.Predict(id)
+		if al != bl || aok != bok {
+			t.Fatalf("post-restore prediction diverges at %d", i)
+		}
+		lo := LiveOuts{RegMask: uint64(i), LastWrite: uint32(i % 8)}
+		lp.Train(id, lo)
+		fresh.Train(id, lo)
+	}
+}
+
+func TestLiveOutStateSizeMismatch(t *testing.T) {
+	snap := warmLiveOut(t).AppendState(nil)
+	other := NewLiveOutPredictor(LiveOutPredictorConfig{Entries: 512, Ways: 2, TagBits: 4})
+	if _, err := other.LoadState(snap); err == nil {
+		t.Fatal("expected error loading snapshot into differently sized predictor")
+	}
+	fresh := NewLiveOutPredictor(LiveOutPredictorConfig{Entries: 256, Ways: 2, TagBits: 4})
+	if _, err := fresh.LoadState(snap[:len(snap)-3]); err == nil {
+		t.Fatal("expected error on truncated snapshot")
+	}
+}

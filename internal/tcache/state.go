@@ -1,0 +1,74 @@
+package tcache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/parallel-frontend/pfe/internal/frag"
+)
+
+// State serialization for the trace cache (deterministic fixed-width
+// little-endian). Lines store only the trace identity — the fragment bodies
+// are pure functions of (program, ID) and are re-materialized on load via
+// the caller's resolver, exactly as the fill unit would build them.
+
+// AppendState appends the cache's line identities and counters to b.
+func (c *Cache) AppendState(b []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(c.lines)))
+	for i := range c.lines {
+		ln := &c.lines[i]
+		var v byte
+		if ln.valid {
+			v = 1
+		}
+		b = append(b, v)
+		b = binary.LittleEndian.AppendUint64(b, ln.id.StartPC)
+		b = binary.LittleEndian.AppendUint32(b, ln.id.BrMask)
+		b = append(b, ln.id.NumBr)
+		b = binary.LittleEndian.AppendUint64(b, ln.lru)
+	}
+	b = binary.LittleEndian.AppendUint64(b, c.stamp)
+	for _, v := range [...]int64{c.lookups, c.hits, c.fills} {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+// LoadState restores a snapshot written by AppendState into an identically
+// shaped cache, rebuilding each valid line's trace through resolve, and
+// returns the remaining bytes.
+func (c *Cache) LoadState(b []byte, resolve func(frag.ID) *frag.Fragment) ([]byte, error) {
+	const w = 1 + 8 + 4 + 1 + 8
+	if len(b) < 4 {
+		return nil, fmt.Errorf("tcache: truncated state")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n != len(c.lines) {
+		return nil, fmt.Errorf("tcache: state has %d lines, cache has %d", n, len(c.lines))
+	}
+	if len(b) < n*w+8*4 {
+		return nil, fmt.Errorf("tcache: truncated state")
+	}
+	for i := range c.lines {
+		ln := line{
+			valid: b[0] != 0,
+			id: frag.ID{
+				StartPC: binary.LittleEndian.Uint64(b[1:]),
+				BrMask:  binary.LittleEndian.Uint32(b[9:]),
+				NumBr:   b[13],
+			},
+			lru: binary.LittleEndian.Uint64(b[14:]),
+		}
+		if ln.valid {
+			ln.f = resolve(ln.id)
+		}
+		c.lines[i] = ln
+		b = b[w:]
+	}
+	c.stamp = binary.LittleEndian.Uint64(b)
+	c.lookups = int64(binary.LittleEndian.Uint64(b[8:]))
+	c.hits = int64(binary.LittleEndian.Uint64(b[16:]))
+	c.fills = int64(binary.LittleEndian.Uint64(b[24:]))
+	return b[32:], nil
+}

@@ -1,0 +1,73 @@
+package tcache
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/parallel-frontend/pfe/internal/frag"
+)
+
+func testFrag(id frag.ID) *frag.Fragment {
+	f := &frag.Fragment{ID: id}
+	for j := 0; j < 4; j++ {
+		f.PCs = append(f.PCs, id.StartPC+uint64(j)*4)
+	}
+	return f
+}
+
+func warmTCache(t *testing.T) *Cache {
+	t.Helper()
+	c := New(Config{SizeBytes: 1 << 14, Ways: 2})
+	for i := 0; i < 800; i++ {
+		id := frag.ID{StartPC: uint64(i%97) * 32, BrMask: uint32(i % 11), NumBr: uint8(i % 4)}
+		if _, ok := c.Lookup(id); !ok {
+			c.Fill(testFrag(id))
+		}
+	}
+	return c
+}
+
+func TestTCacheStateRoundTrip(t *testing.T) {
+	c := warmTCache(t)
+	snap := c.AppendState(nil)
+
+	fresh := New(Config{SizeBytes: 1 << 14, Ways: 2})
+	rest, err := fresh.LoadState(snap, testFrag)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("LoadState left %d bytes", len(rest))
+	}
+	if !bytes.Equal(fresh.AppendState(nil), snap) {
+		t.Fatal("re-snapshot differs from original")
+	}
+	if fresh.Entries() != c.Entries() {
+		t.Fatalf("entries differ: %d vs %d", fresh.Entries(), c.Entries())
+	}
+	// Restored cache must hit/miss identically going forward, and hits must
+	// return re-materialized fragments with the right identity.
+	for i := 0; i < 300; i++ {
+		id := frag.ID{StartPC: uint64(i%89) * 32, BrMask: uint32(i % 7), NumBr: uint8(i % 3)}
+		af, aok := c.Lookup(id)
+		bf, bok := fresh.Lookup(id)
+		if aok != bok {
+			t.Fatalf("post-restore hit/miss diverges at %d", i)
+		}
+		if aok && (bf == nil || bf.ID != af.ID || len(bf.PCs) != len(af.PCs)) {
+			t.Fatalf("post-restore fragment differs at %d", i)
+		}
+	}
+}
+
+func TestTCacheStateSizeMismatch(t *testing.T) {
+	snap := warmTCache(t).AppendState(nil)
+	other := New(Config{SizeBytes: 1 << 15, Ways: 2})
+	if _, err := other.LoadState(snap, testFrag); err == nil {
+		t.Fatal("expected error loading snapshot into differently sized cache")
+	}
+	fresh := New(Config{SizeBytes: 1 << 14, Ways: 2})
+	if _, err := fresh.LoadState(snap[:len(snap)-5], testFrag); err == nil {
+		t.Fatal("expected error on truncated snapshot")
+	}
+}

@@ -277,6 +277,18 @@ type RunOptions struct {
 	// build + emulation work from multi-config sweeps. Safe to share
 	// across concurrent runs; see internal/artifact.
 	Artifacts *artifact.Cache
+
+	// WarmRoster, when Artifacts is attached, lists the machines of the
+	// surrounding sweep. When this run is the first to reach a warm-state
+	// boundary (see warmstate.go), it replays the skipped prefix once
+	// training the union of every distinct warm class in the roster —
+	// hierarchies, predictor, live-out predictor, trace caches — and
+	// snapshots them all, so the sweep (or the whole fleet, via the blob
+	// plane) pays one replay per boundary instead of one per class. The
+	// roster never changes any result: each snapshot is bit-identical to
+	// the one a solo warm of that class would produce. Empty means solo
+	// warming.
+	WarmRoster []Machine
 }
 
 // DefaultRunOptions returns the harness defaults: 100 K instructions of
@@ -321,9 +333,9 @@ func runSpec(spec program.Spec, m Machine, opts RunOptions) (*Result, error) {
 			return nil, err
 		}
 		if opts.Sample != nil {
-			return runSampled(p, tape, m, opts)
+			return runSampled(spec, p, tape, m, opts)
 		}
-		return runSliced(p, tape, m, opts)
+		return runSliced(spec, p, tape, m, opts)
 	}
 	var p *program.Program
 	var oracle emu.Oracle

@@ -23,7 +23,7 @@ import (
 // overlap's imperfect warmup. Slice results combine by index, so a sliced
 // run is bit-identical across worker counts; K=1 degenerates to the exact
 // serial run.
-func runSliced(p *program.Program, tape *artifact.Tape, m Machine, opts RunOptions) (*Result, error) {
+func runSliced(pspec program.Spec, p *program.Program, tape *artifact.Tape, m Machine, opts RunOptions) (*Result, error) {
 	total, err := measuredSpan(tape, opts)
 	if err != nil {
 		return nil, err
@@ -91,7 +91,12 @@ func runSliced(p *program.Program, tape *artifact.Tape, m Machine, opts RunOptio
 			sw := ss.Child(span.KindPhase, "slice-warm")
 			sw.Int("warm_insts", sj-warm)
 			wm := newWarmer(rd, p, m)
-			if err := wm.warmTo(uint64(sj - warm)); err != nil {
+			// Through the warm-state artifact tier: a boundary another cell
+			// (or fleet worker) already reached restores at decode cost
+			// instead of replaying the whole prefix.
+			info, err := warmThrough(wm, pspec, m, uint64(sj-warm), opts)
+			annotArtifact(sw, info)
+			if err != nil {
 				sw.End()
 				ss.Str("error", firstLine(err.Error()))
 				outs[j] = out{err: fmt.Errorf("pfe: slice %d warming: %w", j, err)}
